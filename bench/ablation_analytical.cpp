@@ -1,0 +1,55 @@
+// Ablation A2: closed-form model vs full simulation. The analytical model
+// (src/model) predicts every scheme's overhead from the Table II numbers
+// alone; here it is checked against the simulator per benchmark.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "model/analytical.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace laec;
+  using cpu::EccPolicy;
+
+  report::Table t({"benchmark", "ES sim", "ES model", "EC sim", "EC model",
+                   "LAEC sim", "LAEC model"});
+  double mae_es = 0, mae_ec = 0, mae_la = 0;
+  for (const auto& k : workloads::eembc_kernels()) {
+    const auto base = bench::run_calibrated(k, EccPolicy::kNoEcc);
+    const double es =
+        bench::ratio(bench::run_calibrated(k, EccPolicy::kExtraStage).cycles,
+                     base.cycles) -
+        1.0;
+    const double ec =
+        bench::ratio(bench::run_calibrated(k, EccPolicy::kExtraCycle).cycles,
+                     base.cycles) -
+        1.0;
+    const double la =
+        bench::ratio(bench::run_calibrated(k, EccPolicy::kLaec).cycles,
+                     base.cycles) -
+        1.0;
+
+    model::WorkloadParams w;
+    w.load_frac = k.paper.load_pct / 100.0;
+    w.hit_frac = k.paper.hit_pct / 100.0;
+    w.dep_frac = k.paper.dep_pct / 100.0;
+    w.addr_dep_frac = k.addr_dep_frac;
+    w.base_cpi = base.cpi;
+    const auto pred = model::predict(w);
+
+    t.add_row({k.name, report::Table::pct(es),
+               report::Table::pct(pred.extra_stage), report::Table::pct(ec),
+               report::Table::pct(pred.extra_cycle), report::Table::pct(la),
+               report::Table::pct(pred.laec)});
+    mae_es += std::abs(es - pred.extra_stage);
+    mae_ec += std::abs(ec - pred.extra_cycle);
+    mae_la += std::abs(la - pred.laec);
+  }
+  std::printf(
+      "Analytical model vs simulation (calibrated traces, overhead vs\n"
+      "no-ECC):\n\n%s\nMean absolute error: ES %.2fpp  EC %.2fpp  "
+      "LAEC %.2fpp\n",
+      t.to_text().c_str(), 100.0 * mae_es / 16, 100.0 * mae_ec / 16,
+      100.0 * mae_la / 16);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation A3: sensitivity of the Fig. 8 result to machine parameters —
+// DL1 geometry, write-buffer depth, divide latency and L2/memory latency.
+// Uses three representative kernels on the real hierarchy.
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace laec;
+using cpu::EccPolicy;
+
+double avg_overhead(const std::function<void(core::SimConfig&)>& tweak,
+                    EccPolicy policy) {
+  // matrix: 3 KB resident; tblook: tiny tables + divides; cacheb: streams
+  // 64 KB (smashes any DL1) — together they expose geometry sensitivity.
+  const char* names[] = {"matrix", "tblook", "cacheb"};
+  double sum = 0;
+  for (const char* n : names) {
+    const auto built = workloads::kernel_by_name(n).build();
+    core::SimConfig base_cfg = bench::config_for(EccPolicy::kNoEcc);
+    tweak(base_cfg);
+    core::SimConfig cfg = bench::config_for(policy);
+    tweak(cfg);
+    const auto base = core::run_program(base_cfg, built.program);
+    const auto s = core::run_program(cfg, built.program);
+    sum += bench::ratio(s.cycles, base.cycles) - 1.0;
+  }
+  return sum / 3.0;
+}
+
+void sweep_row(report::Table& t, const std::string& label,
+               const std::function<void(core::SimConfig&)>& tweak) {
+  t.add_row({label,
+             report::Table::pct(avg_overhead(tweak, EccPolicy::kExtraCycle)),
+             report::Table::pct(avg_overhead(tweak, EccPolicy::kExtraStage)),
+             report::Table::pct(avg_overhead(tweak, EccPolicy::kLaec))});
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Parameter sensitivity of the scheme overheads (avg over matrix,\n"
+      "tblook, cacheb; real hierarchy). Each row changes one parameter\n"
+      "from the defaults (16KB 4-way DL1, depth-8 WB, div=12, mem=26).\n\n");
+
+  report::Table t({"configuration", "Extra Cycle", "Extra Stage", "LAEC"});
+  sweep_row(t, "defaults", [](core::SimConfig&) {});
+  sweep_row(t, "DL1 1KB", [](core::SimConfig& c) {
+    c.dl1_size_bytes = 1 * 1024;
+  });
+  sweep_row(t, "DL1 128KB", [](core::SimConfig& c) {
+    c.dl1_size_bytes = 128 * 1024;
+  });
+  sweep_row(t, "DL1 direct-mapped", [](core::SimConfig& c) { c.dl1_ways = 1; });
+  sweep_row(t, "write buffer depth 1",
+            [](core::SimConfig& c) { c.write_buffer_depth = 1; });
+  sweep_row(t, "write buffer depth 32",
+            [](core::SimConfig& c) { c.write_buffer_depth = 32; });
+  sweep_row(t, "div latency 1", [](core::SimConfig& c) { c.div_latency = 1; });
+  sweep_row(t, "div latency 34",
+            [](core::SimConfig& c) { c.div_latency = 34; });
+  sweep_row(t, "memory 80 cycles",
+            [](core::SimConfig& c) { c.memory_cycles = 80; });
+  sweep_row(t, "memory 8 cycles",
+            [](core::SimConfig& c) { c.memory_cycles = 8; });
+  std::printf("%s\n", t.to_text().c_str());
+  std::printf(
+      "Reading: larger caches / faster memory increase the *relative*\n"
+      "weight of load-use stalls, widening the gap LAEC recovers; slow\n"
+      "dividers and tiny caches dilute it.\n");
+  return 0;
+}

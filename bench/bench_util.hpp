@@ -1,0 +1,42 @@
+// Shared helpers for the benchmark harnesses that regenerate the paper's
+// tables and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "workloads/eembc.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace laec::bench {
+
+inline core::SimConfig config_for(cpu::EccPolicy ecc) {
+  core::SimConfig cfg;
+  cfg.ecc = ecc;
+  return cfg;
+}
+
+/// Run one kernel under one scheme (program mode: real caches).
+inline core::RunStats run_kernel(const workloads::KernelEntry& k,
+                                 cpu::EccPolicy ecc) {
+  const auto built = k.build();
+  auto cfg = config_for(ecc);
+  return core::run_program(cfg, built.program);
+}
+
+/// Run one benchmark's calibrated synthetic trace under one scheme.
+inline core::RunStats run_calibrated(const workloads::KernelEntry& k,
+                                     cpu::EccPolicy ecc,
+                                     u64 num_ops = 120'000) {
+  auto cfg = config_for(ecc);
+  workloads::SyntheticTrace trace(
+      workloads::SyntheticParams::from_kernel(k, num_ops));
+  return core::run_trace(cfg, trace);
+}
+
+inline double ratio(u64 num, u64 den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace laec::bench

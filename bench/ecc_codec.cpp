@@ -1,0 +1,86 @@
+// Microbenchmark M1: throughput of the real codec implementations plus the
+// gate-level latency estimates that justify the pipeline-stage placement.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "ecc/parity.hpp"
+#include "ecc/secded.hpp"
+#include "ecc/xor_tree.hpp"
+
+namespace {
+
+using namespace laec;
+
+void BM_Secded32Encode(benchmark::State& state) {
+  const auto& c = ecc::secded32();
+  Rng rng(1);
+  u64 v = rng.next_u64() & 0xffffffff;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.encode(v));
+    v = (v * 2862933555777941757ull + 3037000493ull) & 0xffffffff;
+  }
+}
+BENCHMARK(BM_Secded32Encode);
+
+void BM_Secded32CheckClean(benchmark::State& state) {
+  const auto& c = ecc::secded32();
+  const u64 v = 0xdeadbeef;
+  const u64 chk = c.encode(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.check(v, chk));
+  }
+}
+BENCHMARK(BM_Secded32CheckClean);
+
+void BM_Secded32CheckCorrecting(benchmark::State& state) {
+  const auto& c = ecc::secded32();
+  const u64 v = 0xdeadbeef;
+  const u64 chk = c.encode(v);
+  const u64 bad = v ^ 0x40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.check(bad, chk));
+  }
+}
+BENCHMARK(BM_Secded32CheckCorrecting);
+
+void BM_Secded64Check(benchmark::State& state) {
+  const auto& c = ecc::secded64();
+  const u64 v = 0x0123456789abcdefull;
+  const u64 chk = c.encode(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.check(v, chk));
+  }
+}
+BENCHMARK(BM_Secded64Check);
+
+void BM_Parity32(benchmark::State& state) {
+  ecc::ParityCode c(32);
+  const u64 v = 0x5aa5f00f;
+  const u64 p = c.encode(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.check(v, p));
+  }
+}
+BENCHMARK(BM_Parity32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace laec;
+  std::printf("Gate-level estimates (65nm-class, 35 ps/level):\n");
+  const auto par = ecc::estimate_parity(32);
+  const auto enc = ecc::estimate_encoder(ecc::secded32());
+  const auto chk = ecc::estimate_checker(ecc::secded32());
+  std::printf("  parity-32 check:      depth %2u  (%4.0f ps)\n",
+              par.depth_levels, ecc::estimate_delay_ps(par));
+  std::printf("  SECDED(39,32) encode: depth %2u  (%4.0f ps)\n",
+              enc.depth_levels, ecc::estimate_delay_ps(enc));
+  std::printf("  SECDED(39,32) check:  depth %2u  (%4.0f ps)\n\n",
+              chk.depth_levels, ecc::estimate_delay_ps(chk));
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

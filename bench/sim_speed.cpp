@@ -1,0 +1,51 @@
+// Microbenchmark M2: host-side simulator throughput (simulated cycles per
+// wall second) for program mode and trace mode.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace laec;
+
+void BM_KernelMatrixLaec(benchmark::State& state) {
+  const auto built = workloads::kernel_by_name("matrix").build();
+  u64 cycles = 0;
+  for (auto _ : state) {
+    auto cfg = bench::config_for(cpu::EccPolicy::kLaec);
+    const auto s = core::run_program(cfg, built.program);
+    cycles += s.cycles;
+    benchmark::DoNotOptimize(s.cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KernelMatrixLaec)->Unit(benchmark::kMillisecond);
+
+void BM_SyntheticTraceLaec(benchmark::State& state) {
+  const auto& k = workloads::kernel_by_name("a2time");
+  u64 cycles = 0;
+  for (auto _ : state) {
+    const auto s = bench::run_calibrated(k, cpu::EccPolicy::kLaec, 50'000);
+    cycles += s.cycles;
+    benchmark::DoNotOptimize(s.cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SyntheticTraceLaec)->Unit(benchmark::kMillisecond);
+
+void BM_FullSuiteCharacterization(benchmark::State& state) {
+  for (auto _ : state) {
+    u64 total = 0;
+    for (const auto& k : workloads::eembc_kernels()) {
+      total += bench::run_calibrated(k, cpu::EccPolicy::kNoEcc, 10'000).cycles;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_FullSuiteCharacterization)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Bit-manipulation helpers shared by the ECC codecs and the cache arrays.
+#pragma once
+
+#include <bit>
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace laec {
+
+/// Number of set bits.
+[[nodiscard]] constexpr int popcount64(u64 v) { return std::popcount(v); }
+
+/// Even parity of a word: 0 when the number of set bits is even.
+[[nodiscard]] constexpr u32 parity64(u64 v) {
+  return static_cast<u32>(std::popcount(v) & 1);
+}
+
+/// Extract bit `pos` (0 = LSB).
+[[nodiscard]] constexpr u32 get_bit(u64 v, unsigned pos) {
+  assert(pos < 64);
+  return static_cast<u32>((v >> pos) & 1u);
+}
+
+/// Return `v` with bit `pos` set to `bit` (0/1).
+[[nodiscard]] constexpr u64 set_bit(u64 v, unsigned pos, u32 bit) {
+  assert(pos < 64);
+  const u64 mask = u64{1} << pos;
+  return bit ? (v | mask) : (v & ~mask);
+}
+
+/// Return `v` with bit `pos` flipped.
+[[nodiscard]] constexpr u64 flip_bit(u64 v, unsigned pos) {
+  assert(pos < 64);
+  return v ^ (u64{1} << pos);
+}
+
+/// Mask with the low `n` bits set (n in [0,64]).
+[[nodiscard]] constexpr u64 low_mask(unsigned n) {
+  assert(n <= 64);
+  return n == 64 ? ~u64{0} : (u64{1} << n) - 1;
+}
+
+/// True when `v` is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(u64 v) { return std::has_single_bit(v); }
+
+/// log2 of a power of two.
+[[nodiscard]] constexpr unsigned log2_pow2(u64 v) {
+  assert(is_pow2(v));
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Sign-extend the low `bits` bits of `v` to 32 bits.
+[[nodiscard]] constexpr i32 sign_extend(u32 v, unsigned bits) {
+  assert(bits >= 1 && bits <= 32);
+  const u32 m = u32{1} << (bits - 1);
+  const u32 x = v & static_cast<u32>(low_mask(bits));
+  return static_cast<i32>((x ^ m) - m);
+}
+
+}  // namespace laec

@@ -1,0 +1,34 @@
+// Fixed-width integer aliases and small shared vocabulary types used across
+// every laec module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace laec {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulated cycle count. Cycle 0 is the first simulated cycle.
+using Cycle = u64;
+
+/// Sentinel for "never happens" / "not yet known" cycle values.
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Physical byte address in the simulated machine (32-bit machine).
+using Addr = u32;
+
+/// Dynamic-instruction sequence number (program order, starting at 0).
+using Seq = u64;
+
+inline constexpr Seq kNoSeq = std::numeric_limits<Seq>::max();
+
+}  // namespace laec

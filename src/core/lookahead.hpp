@@ -1,0 +1,51 @@
+// LAEC — the paper's contribution (§III.A, §III.E).
+//
+// When a load sits in the Register Access stage, this unit decides whether
+// the whole DL1 access pipeline (address generation, array read, SECDED
+// check) can be hoisted one cycle:
+//
+//   1. no data hazard  — every address source register must be obtainable
+//      one cycle early, through the two extra register-file read ports or an
+//      existing bypass. Under HazardRule::kExact this is the operand-
+//      earliness test (available by the end of the cycle before RA); under
+//      kPaperLiteral the paper's distance-1-producer test is additionally
+//      applied verbatim.
+//   2. no resource hazard — the immediately preceding instruction must not
+//      be a non-anticipated load, whose Memory-stage DL1 read would collide
+//      with our Execute-stage read on the single DL1 port.
+//
+// A load that passes both reads the DL1 in EX and checks the code in M, so
+// its checked data is bypassable exactly as early as an unprotected load's —
+// the anticipation cancels the ECC stage. A load that fails either test
+// falls back to the Extra Stage path, so LAEC is never slower than Extra
+// Stage (a property test in tests/test_laec.cpp enforces this paper claim).
+//
+// This file lives in src/core (it is the paper's mechanism) but compiles
+// into the cpu library, which owns the pipeline internals it inspects.
+#pragma once
+
+#include "common/types.hpp"
+#include "cpu/pipeline.hpp"
+
+namespace laec::core {
+
+struct LookaheadDecision {
+  bool anticipate = false;
+  cpu::LookaheadOutcome outcome = cpu::LookaheadOutcome::kPolicyOff;
+};
+
+class LookaheadUnit {
+ public:
+  explicit LookaheadUnit(const cpu::PipelineParams& params)
+      : params_(params) {}
+
+  /// Decide for the load occupying RA during `ra_cycle`. Pure: no state is
+  /// mutated; the pipeline re-evaluates every RA cycle until dispatch.
+  [[nodiscard]] LookaheadDecision decide(const cpu::Pipeline& pipe,
+                                         Seq load_seq, Cycle ra_cycle) const;
+
+ private:
+  const cpu::PipelineParams& params_;
+};
+
+}  // namespace laec::core

@@ -1,0 +1,113 @@
+#include "core/simulator.hpp"
+
+#include <memory>
+
+namespace laec::core {
+
+sim::SystemConfig make_system_config(const SimConfig& cfg, bool trace_mode) {
+  sim::SystemConfig sc;
+  sc.num_cores = cfg.num_cores;
+  sc.max_cycles = cfg.max_cycles;
+  sc.traffic = cfg.traffic;
+
+  sc.memsys.bus.request_cycles = cfg.bus_request_cycles;
+  sc.memsys.bus.response_cycles = cfg.bus_response_cycles;
+  sc.memsys.l2.hit_cycles = cfg.l2_hit_cycles;
+  sc.memsys.l2.write_cycles = cfg.l2_write_cycles;
+  sc.memsys.l2.memory_cycles = cfg.memory_cycles;
+
+  cpu::PipelineParams& pp = sc.core.pipeline;
+  pp.ecc = cfg.ecc;
+  pp.hazard_rule = cfg.hazard_rule;
+  pp.ecc_slot = cfg.ecc_slot;
+  pp.stride_predictor = cfg.stride_predictor;
+  pp.mul_latency = cfg.mul_latency;
+  pp.div_latency = cfg.div_latency;
+  pp.record_chronogram = cfg.record_chronogram;
+  pp.lookahead_under_branch_shadow = cfg.lookahead_under_branch_shadow;
+  pp.max_cycles = cfg.max_cycles;
+
+  mem::CacheConfig& dc = sc.core.dl1.cache;
+  dc.size_bytes = cfg.dl1_size_bytes;
+  dc.ways = cfg.dl1_ways;
+  dc.line_bytes = cfg.dl1_line_bytes;
+  switch (cfg.ecc) {
+    case cpu::EccPolicy::kNoEcc:
+      dc.write_policy = mem::WritePolicy::kWriteBack;
+      dc.codec = ecc::CodecKind::kNone;
+      break;
+    case cpu::EccPolicy::kExtraCycle:
+    case cpu::EccPolicy::kExtraStage:
+    case cpu::EccPolicy::kLaec:
+      dc.write_policy = mem::WritePolicy::kWriteBack;
+      dc.codec = ecc::CodecKind::kSecded;
+      break;
+    case cpu::EccPolicy::kWtParity:
+      dc.write_policy = mem::WritePolicy::kWriteThrough;
+      dc.alloc_policy = mem::AllocPolicy::kNoWriteAllocate;
+      dc.codec = ecc::CodecKind::kParity;
+      break;
+  }
+  sc.core.dl1.oracle.enabled = trace_mode;
+  sc.core.dl1.oracle.miss_cycles = cfg.oracle_miss_cycles;
+
+  sc.core.l1i.cache.size_bytes = cfg.l1i_size_bytes;
+  sc.core.l1i.cache.line_bytes = cfg.dl1_line_bytes;
+  sc.core.wbuf.depth = cfg.write_buffer_depth;
+  return sc;
+}
+
+RunStats collect_stats(sim::System& system, bool completed) {
+  RunStats r;
+  r.completed = completed;
+  const StatSet& ps = system.core(0).pipeline().stats();
+  const StatSet& ds = system.core(0).dl1().stats();
+  const StatSet& cs = system.core(0).dl1().cache().stats();
+  const StatSet& bs = system.memsys().bus().stats();
+
+  r.cycles = ps.value("cycles");
+  r.instructions = ps.value("instructions");
+  r.cpi = r.instructions == 0
+              ? 0.0
+              : static_cast<double>(r.cycles) /
+                    static_cast<double>(r.instructions);
+  r.loads = ps.value("loads");
+  r.load_hits = ps.value("load_hits");
+  r.stores = ps.value("stores");
+  r.dep_loads = ps.value("dep_loads");
+  r.laec_anticipated = ps.value("laec_anticipated");
+  r.laec_data_hazard = ps.value("laec_data_hazard");
+  r.laec_resource_hazard = ps.value("laec_resource_hazard");
+  r.ecc_corrected = cs.value("ecc_corrected");
+  r.ecc_detected_uncorrectable = cs.value("ecc_detected_uncorrectable");
+  r.parity_refetches = ds.value("parity_refetches");
+  r.data_loss_events = ds.value("data_loss_events");
+  r.bus_transactions = bs.value("transactions");
+  r.bus_wait_cycles = bs.value("wait_cycles");
+
+  r.pipeline_stats.add(ps);
+  r.dl1_stats.add(ds);
+  r.dl1_stats.add(cs);
+  r.bus_stats.add(bs);
+  return r;
+}
+
+RunStats run_program(const SimConfig& cfg, const isa::Program& program) {
+  sim::System system(make_system_config(cfg, /*trace_mode=*/false));
+  std::unique_ptr<ecc::FaultInjector> injector;
+  if (cfg.dl1_faults.has_value()) {
+    injector = std::make_unique<ecc::FaultInjector>(*cfg.dl1_faults);
+    system.core(0).dl1().set_injector(injector.get());
+  }
+  system.load_program(program);
+  const auto run = system.run();
+  return collect_stats(system, run.completed);
+}
+
+RunStats run_trace(const SimConfig& cfg, cpu::TraceSource& trace) {
+  sim::System system(make_system_config(cfg, /*trace_mode=*/true), &trace);
+  const auto run = system.run();
+  return collect_stats(system, run.completed);
+}
+
+}  // namespace laec::core

@@ -1,0 +1,122 @@
+// Public entry point of the LAEC library.
+//
+// SimConfig captures every knob a study needs (which ECC deployment, cache
+// geometry, latencies, fault injection); run_program / run_trace build the
+// full NGMP-like system, run it, and return a digested RunStats. The
+// examples and every benchmark harness sit on top of this facade; tests and
+// power users can still assemble sim::System directly.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cpu/pipeline_config.hpp"
+#include "cpu/trace_source.hpp"
+#include "ecc/injector.hpp"
+#include "isa/program.hpp"
+#include "sim/system.hpp"
+
+namespace laec::core {
+
+struct SimConfig {
+  /// DL1 ECC deployment under study. Chooses the DL1 codec and write policy:
+  /// kNoEcc -> unprotected write-back; kExtraCycle/kExtraStage/kLaec ->
+  /// SECDED write-back; kWtParity -> parity write-through.
+  cpu::EccPolicy ecc = cpu::EccPolicy::kLaec;
+  cpu::HazardRule hazard_rule = cpu::HazardRule::kExact;
+  cpu::EccSlotPolicy ecc_slot = cpu::EccSlotPolicy::kAuto;
+  /// Extension: stride-predicted look-ahead for data-hazard-blocked loads.
+  bool stride_predictor = false;
+
+  // Geometry (paper §IV: 4-way, 32 B lines, 16 KB DL1).
+  u32 dl1_size_bytes = 16 * 1024;
+  u32 dl1_ways = 4;
+  u32 dl1_line_bytes = 32;
+  u32 l1i_size_bytes = 16 * 1024;
+  unsigned write_buffer_depth = 8;
+
+  // Latencies.
+  unsigned mul_latency = 1;
+  unsigned div_latency = 12;
+  unsigned bus_request_cycles = 2;
+  unsigned bus_response_cycles = 2;
+  unsigned l2_hit_cycles = 4;
+  unsigned l2_write_cycles = 2;
+  unsigned memory_cycles = 26;
+
+  // System shape.
+  unsigned num_cores = 1;
+  std::vector<sim::TrafficPattern> traffic;  ///< co-runner bus pressure
+
+  // Fault injection into the DL1 arrays (soft errors).
+  std::optional<ecc::InjectorConfig> dl1_faults;
+
+  // Trace (oracle) mode tuning: forced-miss service time. Calibrated so
+  // the trace-mode baseline CPI lands near the paper's effective ~1.3
+  // (EXPERIMENTS.md, E3 calibration note).
+  unsigned oracle_miss_cycles = 8;
+
+  bool record_chronogram = false;
+  bool lookahead_under_branch_shadow = true;
+  u64 max_cycles = 500'000'000;
+};
+
+/// Expand a SimConfig into the full system configuration (exposed so tests
+/// and ablations can tweak the result before building a System).
+[[nodiscard]] sim::SystemConfig make_system_config(const SimConfig& cfg,
+                                                   bool trace_mode = false);
+
+struct RunStats {
+  bool completed = false;
+  u64 cycles = 0;
+  u64 instructions = 0;
+  double cpi = 0.0;
+  u64 loads = 0;
+  u64 load_hits = 0;
+  u64 stores = 0;
+  u64 dep_loads = 0;  ///< loads consumed at distance 1-2 (Table II)
+  u64 laec_anticipated = 0;
+  u64 laec_data_hazard = 0;
+  u64 laec_resource_hazard = 0;
+  u64 ecc_corrected = 0;
+  u64 ecc_detected_uncorrectable = 0;
+  u64 parity_refetches = 0;
+  u64 data_loss_events = 0;
+  u64 bus_transactions = 0;
+  u64 bus_wait_cycles = 0;
+
+  /// Table II ratios.
+  [[nodiscard]] double load_fraction() const {
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(loads) /
+                                   static_cast<double>(instructions);
+  }
+  [[nodiscard]] double hit_fraction() const {
+    return loads == 0 ? 0.0
+                      : static_cast<double>(load_hits) /
+                            static_cast<double>(loads);
+  }
+  [[nodiscard]] double dep_fraction() const {
+    return loads == 0 ? 0.0
+                      : static_cast<double>(dep_loads) /
+                            static_cast<double>(loads);
+  }
+
+  StatSet pipeline_stats;
+  StatSet dl1_stats;
+  StatSet bus_stats;
+};
+
+/// Assemble, run `program` on core 0 of a fresh system, digest the stats.
+/// A fault injector described by cfg.dl1_faults is attached to core 0's DL1.
+[[nodiscard]] RunStats run_program(const SimConfig& cfg,
+                                   const isa::Program& program);
+
+/// Same, but feed core 0 from a synthetic trace (oracle DL1 outcomes).
+[[nodiscard]] RunStats run_trace(const SimConfig& cfg,
+                                 cpu::TraceSource& trace);
+
+/// Digest stats out of an already-run system (used by custom drivers).
+[[nodiscard]] RunStats collect_stats(sim::System& system, bool completed);
+
+}  // namespace laec::core

@@ -1,0 +1,4 @@
+// TraceSource is an interface; this TU anchors the vtable.
+#include "cpu/trace_source.hpp"
+
+namespace laec::cpu {}  // namespace laec::cpu

@@ -1,0 +1,32 @@
+// Synthetic instruction supply for trace-driven simulation.
+//
+// In trace mode the pipeline consumes pre-decoded operations instead of
+// fetching encodings through the L1I, and memory operations carry an oracle
+// hit/miss classification. This is how the calibrated Table II workloads are
+// injected (DESIGN.md §4): dependences are expressed through real register
+// assignments, so every hazard path in the pipeline is exercised, while the
+// cache outcome is forced to match the characterized rates.
+#pragma once
+
+#include <optional>
+
+#include "isa/isa.hpp"
+
+namespace laec::cpu {
+
+struct TraceOp {
+  isa::DecodedInst inst;
+  /// Memory ops only: pre-classified DL1 outcome and effective address.
+  bool forced_mem = false;
+  bool forced_hit = true;
+  Addr eff_addr = 0;
+};
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  /// Next dynamic operation, or nullopt at end of trace.
+  virtual std::optional<TraceOp> next() = 0;
+};
+
+}  // namespace laec::cpu

@@ -1,0 +1,46 @@
+// Common vocabulary for the error-code subsystem.
+//
+// The simulated caches store real check bits next to every protected word and
+// run the real codec on every access, so injected faults propagate (or are
+// corrected) exactly as they would in hardware.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace laec::ecc {
+
+/// Which protection scheme a memory array uses.
+enum class CodecKind {
+  kNone,    ///< unprotected array
+  kParity,  ///< 1 parity bit per word: single-error detection only
+  kSecded,  ///< Hsiao SECDED: single-error correction, double-error detection
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CodecKind k) {
+  switch (k) {
+    case CodecKind::kNone: return "none";
+    case CodecKind::kParity: return "parity";
+    case CodecKind::kSecded: return "secded";
+  }
+  return "?";
+}
+
+/// Outcome of checking one protected word.
+enum class CheckStatus {
+  kOk,                     ///< syndrome clean, data delivered as stored
+  kCorrected,              ///< single-bit error corrected on the fly
+  kDetectedUncorrectable,  ///< error detected but not correctable
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CheckStatus s) {
+  switch (s) {
+    case CheckStatus::kOk: return "ok";
+    case CheckStatus::kCorrected: return "corrected";
+    case CheckStatus::kDetectedUncorrectable: return "detected-uncorrectable";
+  }
+  return "?";
+}
+
+}  // namespace laec::ecc

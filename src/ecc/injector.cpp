@@ -1,0 +1,40 @@
+#include "ecc/injector.hpp"
+
+#include <algorithm>
+
+namespace laec::ecc {
+
+FaultInjector::FaultInjector(const InjectorConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {}
+
+void FaultInjector::script_flip(u64 word_index, unsigned bit) {
+  scripted_.emplace_back(word_index, bit);
+}
+
+std::vector<unsigned> FaultInjector::flips_for_access(u64 word_index) {
+  std::vector<unsigned> flips;
+  // Scripted flips first (all entries matching this word fire at once).
+  for (auto it = scripted_.begin(); it != scripted_.end();) {
+    if (it->first == word_index) {
+      flips.push_back(it->second);
+      ++injected_scripted_;
+      it = scripted_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (cfg_.double_flip_prob > 0 && rng_.chance(cfg_.double_flip_prob)) {
+    const unsigned a = static_cast<unsigned>(rng_.below(cfg_.word_bits));
+    unsigned b = static_cast<unsigned>(rng_.below(cfg_.word_bits - 1));
+    if (b >= a) ++b;  // distinct second position
+    flips.push_back(a);
+    flips.push_back(b);
+    ++injected_double_;
+  } else if (cfg_.single_flip_prob > 0 && rng_.chance(cfg_.single_flip_prob)) {
+    flips.push_back(static_cast<unsigned>(rng_.below(cfg_.word_bits)));
+    ++injected_single_;
+  }
+  return flips;
+}
+
+}  // namespace laec::ecc

@@ -1,0 +1,64 @@
+// Soft-error (bit flip) injection for the simulated memory arrays.
+//
+// Two modes compose:
+//  * scripted faults — exact (word index, bit position) pairs queued by tests
+//    and examples; injected on the next matching access;
+//  * random faults — Bernoulli per-word-access flip probabilities for single
+//    and double upsets, driven by the deterministic library RNG.
+//
+// MBUs beyond 2 bits are out of scope, mirroring the paper's fault model
+// ("we do not consider MBUs", §V).
+#pragma once
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace laec::ecc {
+
+struct InjectorConfig {
+  /// Probability that an accessed stored word has suffered exactly one bit
+  /// flip since it was written.
+  double single_flip_prob = 0.0;
+  /// Probability of exactly two flips (SECDED's detected-uncorrectable case).
+  double double_flip_prob = 0.0;
+  /// Bits eligible for flipping: data bits plus check bits of one word.
+  unsigned word_bits = 39;  // (39,32) SECDED codeword by default
+  u64 seed = 0x5eed;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() : FaultInjector(InjectorConfig{}) {}
+  explicit FaultInjector(const InjectorConfig& cfg);
+
+  /// Queue a deterministic flip: the next access to word `word_index` flips
+  /// codeword bit `bit`. Multiple entries for the same word accumulate.
+  void script_flip(u64 word_index, unsigned bit);
+
+  /// Sample the flips to apply to an access of `word_index`. Returns bit
+  /// positions within the codeword ([0, word_bits)).
+  [[nodiscard]] std::vector<unsigned> flips_for_access(u64 word_index);
+
+  [[nodiscard]] bool enabled() const {
+    return cfg_.single_flip_prob > 0 || cfg_.double_flip_prob > 0 ||
+           !scripted_.empty();
+  }
+
+  [[nodiscard]] u64 injected_single() const { return injected_single_; }
+  [[nodiscard]] u64 injected_double() const { return injected_double_; }
+  [[nodiscard]] u64 injected_scripted() const { return injected_scripted_; }
+
+ private:
+  InjectorConfig cfg_;
+  Rng rng_;
+  std::deque<std::pair<u64, unsigned>> scripted_;
+  u64 injected_single_ = 0;
+  u64 injected_double_ = 0;
+  u64 injected_scripted_ = 0;
+};
+
+}  // namespace laec::ecc

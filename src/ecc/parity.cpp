@@ -1,0 +1,27 @@
+#include "ecc/parity.hpp"
+
+#include <cassert>
+
+#include "common/bitops.hpp"
+
+namespace laec::ecc {
+
+ParityCode::ParityCode(unsigned data_bits) : data_bits_(data_bits) {
+  assert(data_bits >= 1 && data_bits <= 64);
+}
+
+u64 ParityCode::encode(u64 data) const {
+  return parity64(data & low_mask(data_bits_));
+}
+
+ParityCode::Result ParityCode::check(u64 data, u64 parity_bit) const {
+  Result r;
+  r.data = data & low_mask(data_bits_);
+  const u64 expect = encode(data);
+  r.status = (expect == (parity_bit & 1))
+                 ? CheckStatus::kOk
+                 : CheckStatus::kDetectedUncorrectable;
+  return r;
+}
+
+}  // namespace laec::ecc

@@ -1,0 +1,38 @@
+// Single even-parity bit per data word.
+//
+// This is the protection the LEON3/LEON4 family uses in its write-through L1
+// caches: errors are *detected* and recovery happens by invalidating the line
+// and refetching the clean copy from the ECC-protected L2 (paper §II.A).
+#pragma once
+
+#include "common/types.hpp"
+#include "ecc/code.hpp"
+
+namespace laec::ecc {
+
+class ParityCode {
+ public:
+  /// `data_bits` must be in [1, 64].
+  explicit ParityCode(unsigned data_bits);
+
+  [[nodiscard]] unsigned data_bits() const { return data_bits_; }
+  [[nodiscard]] unsigned check_bits() const { return 1; }
+
+  /// Even-parity bit over the data word.
+  [[nodiscard]] u64 encode(u64 data) const;
+
+  struct Result {
+    CheckStatus status = CheckStatus::kOk;
+    u64 data = 0;  ///< delivered data (parity cannot correct; data as stored)
+  };
+
+  /// Check a stored (data, parity) pair. Any odd number of bit flips is
+  /// reported as kDetectedUncorrectable; even numbers of flips are silent
+  /// (the fundamental parity limitation the paper works around with SECDED).
+  [[nodiscard]] Result check(u64 data, u64 parity_bit) const;
+
+ private:
+  unsigned data_bits_;
+};
+
+}  // namespace laec::ecc

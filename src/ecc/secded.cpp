@@ -1,0 +1,149 @@
+#include "ecc/secded.hpp"
+
+#include <cassert>
+
+#include "common/bitops.hpp"
+
+namespace laec::ecc {
+
+namespace {
+
+constexpr unsigned check_bits_for(unsigned k) {
+  switch (k) {
+    case 8: return 5;
+    case 16: return 6;
+    case 32: return 7;
+    case 64: return 8;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+SecdedCode::SecdedCode(unsigned data_bits) : k_(data_bits) {
+  r_ = check_bits_for(data_bits);
+  assert(r_ != 0 && "data_bits must be 8, 16, 32 or 64");
+  build_matrix();
+}
+
+void SecdedCode::build_matrix() {
+  columns_.reserve(k_);
+  // Enumerate odd-weight (>=3) r-bit columns: weight 3 first, then 5, ...
+  // Within a weight class we round-robin over rotations of the enumeration
+  // order so row weights stay balanced (the Hsiao property that keeps every
+  // syndrome XOR tree shallow and equal-depth).
+  for (unsigned w = 3; w <= r_ && columns_.size() < k_; w += 2) {
+    std::vector<u64> klass;
+    for (u64 c = 0; c < (u64{1} << r_); ++c) {
+      if (static_cast<unsigned>(popcount64(c)) == w) klass.push_back(c);
+    }
+    // Greedy balance: repeatedly take the column that keeps row weights
+    // most even.
+    std::vector<unsigned> row_w(r_, 0);
+    std::vector<bool> used(klass.size(), false);
+    while (columns_.size() < k_) {
+      int best = -1;
+      u64 best_score = ~u64{0};
+      for (std::size_t i = 0; i < klass.size(); ++i) {
+        if (used[i]) continue;
+        // Score = resulting max row weight (then total as tiebreak).
+        unsigned mx = 0;
+        for (unsigned row = 0; row < r_; ++row) {
+          const unsigned v = row_w[row] + get_bit(klass[i], row);
+          if (v > mx) mx = v;
+        }
+        const u64 score = (static_cast<u64>(mx) << 32) | klass[i];
+        if (score < best_score) {
+          best_score = score;
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) break;  // class exhausted, go to next weight
+      used[static_cast<std::size_t>(best)] = true;
+      const u64 col = klass[static_cast<std::size_t>(best)];
+      for (unsigned row = 0; row < r_; ++row) row_w[row] += get_bit(col, row);
+      columns_.push_back(col);
+    }
+  }
+  assert(columns_.size() == k_);
+
+  row_masks_.assign(r_, 0);
+  for (unsigned i = 0; i < k_; ++i) {
+    for (unsigned row = 0; row < r_; ++row) {
+      if (get_bit(columns_[i], row)) {
+        row_masks_[row] = set_bit(row_masks_[row], i, 1);
+      }
+    }
+  }
+
+  // Syndrome lookup: -1 = clean is handled separately; here map every
+  // nonzero syndrome to a codeword position or -2 (uncorrectable).
+  syndrome_lut_.assign(std::size_t{1} << r_, -2);
+  for (unsigned i = 0; i < k_; ++i) {
+    syndrome_lut_[static_cast<std::size_t>(columns_[i])] = static_cast<i32>(i);
+  }
+  for (unsigned j = 0; j < r_; ++j) {
+    syndrome_lut_[std::size_t{1} << j] = static_cast<i32>(k_ + j);
+  }
+}
+
+unsigned SecdedCode::row_weight(unsigned row) const {
+  assert(row < r_);
+  return static_cast<unsigned>(popcount64(row_masks_[row]));
+}
+
+u64 SecdedCode::encode(u64 data) const {
+  data &= low_mask(k_);
+  u64 check = 0;
+  for (unsigned row = 0; row < r_; ++row) {
+    check = set_bit(check, row, parity64(data & row_masks_[row]));
+  }
+  return check;
+}
+
+u64 SecdedCode::syndrome(u64 data, u64 check) const {
+  return encode(data) ^ (check & low_mask(r_));
+}
+
+SecdedCode::Result SecdedCode::check(u64 data, u64 check) const {
+  Result res;
+  res.data = data & low_mask(k_);
+  res.check = check & low_mask(r_);
+  const u64 s = syndrome(data, check);
+  if (s == 0) {
+    res.status = CheckStatus::kOk;
+    return res;
+  }
+  const i32 pos = syndrome_lut_[static_cast<std::size_t>(s)];
+  if (pos < 0) {
+    res.status = CheckStatus::kDetectedUncorrectable;
+    return res;
+  }
+  res.status = CheckStatus::kCorrected;
+  res.corrected_pos = pos;
+  if (static_cast<unsigned>(pos) < k_) {
+    res.data = flip_bit(res.data, static_cast<unsigned>(pos));
+  } else {
+    res.check = flip_bit(res.check, static_cast<unsigned>(pos) - k_);
+  }
+  return res;
+}
+
+const SecdedCode& secded8() {
+  static const SecdedCode c(8);
+  return c;
+}
+const SecdedCode& secded16() {
+  static const SecdedCode c(16);
+  return c;
+}
+const SecdedCode& secded32() {
+  static const SecdedCode c(32);
+  return c;
+}
+const SecdedCode& secded64() {
+  static const SecdedCode c(64);
+  return c;
+}
+
+}  // namespace laec::ecc

@@ -1,0 +1,83 @@
+// Hsiao single-error-correction / double-error-detection (SECDED) code.
+//
+// The classic odd-weight-column code from Hsiao (1970), the scheme the paper
+// deploys in the write-back DL1 and the shared L2 (paper §I, §III). For k
+// data bits we use r check bits with the standard geometries:
+//
+//     (13, 8)   k=8,  r=5
+//     (22, 16)  k=16, r=6
+//     (39, 32)  k=32, r=7   <- DL1/L2 word granularity used in this repo
+//     (72, 64)  k=64, r=8
+//
+// The parity-check matrix H assigns each data bit a distinct odd-weight
+// (>= 3) column and each check bit a unit column. Decoding computes the
+// syndrome s = H * codeword:
+//
+//   s == 0                  -> clean
+//   s matches a data column -> that data bit flipped; correct it
+//   s is a unit vector      -> a check bit flipped; data is intact
+//   anything else           -> >= 2 errors; detected-uncorrectable
+//
+// Odd-weight columns give the SECDED guarantee: any double error produces an
+// even-weight (hence unmatched) syndrome.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+#include "ecc/code.hpp"
+
+namespace laec::ecc {
+
+class SecdedCode {
+ public:
+  /// `data_bits` must be one of 8, 16, 32, 64.
+  explicit SecdedCode(unsigned data_bits);
+
+  [[nodiscard]] unsigned data_bits() const { return k_; }
+  [[nodiscard]] unsigned check_bits() const { return r_; }
+  [[nodiscard]] unsigned codeword_bits() const { return k_ + r_; }
+
+  /// Check bits for a data word (low `check_bits()` bits of the result).
+  [[nodiscard]] u64 encode(u64 data) const;
+
+  /// Raw syndrome of a stored (data, check) pair.
+  [[nodiscard]] u64 syndrome(u64 data, u64 check) const;
+
+  struct Result {
+    CheckStatus status = CheckStatus::kOk;
+    u64 data = 0;           ///< corrected data word
+    u64 check = 0;          ///< corrected check bits
+    /// Position of the corrected bit in codeword space: [0, k) = data bit,
+    /// [k, k+r) = check bit, -1 when nothing was corrected.
+    int corrected_pos = -1;
+  };
+
+  /// Decode a stored pair, correcting a single-bit error when possible.
+  [[nodiscard]] Result check(u64 data, u64 check) const;
+
+  /// Column of data bit `i` in H (for tests and the XOR-tree estimator).
+  [[nodiscard]] u64 column(unsigned i) const { return columns_[i]; }
+
+  /// Number of data bits feeding check bit `row` (row weight of H).
+  [[nodiscard]] unsigned row_weight(unsigned row) const;
+
+ private:
+  void build_matrix();
+
+  unsigned k_ = 0;  // data bits
+  unsigned r_ = 0;  // check bits
+  std::vector<u64> columns_;      // per data bit: its r-bit column
+  std::vector<u64> row_masks_;    // per check bit: mask over data bits
+  std::vector<i32> syndrome_lut_; // syndrome -> corrected codeword pos / -1 /
+                                  // -2 (uncorrectable); size 2^r
+};
+
+/// Shared per-width instances (the codes are stateless after construction).
+[[nodiscard]] const SecdedCode& secded8();
+[[nodiscard]] const SecdedCode& secded16();
+[[nodiscard]] const SecdedCode& secded32();
+[[nodiscard]] const SecdedCode& secded64();
+
+}  // namespace laec::ecc

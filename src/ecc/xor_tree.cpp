@@ -1,0 +1,63 @@
+#include "ecc/xor_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace laec::ecc {
+
+namespace {
+
+unsigned ceil_log2(unsigned n) {
+  unsigned d = 0;
+  unsigned v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++d;
+  }
+  return d;
+}
+
+}  // namespace
+
+GateEstimate estimate_encoder(const SecdedCode& code) {
+  GateEstimate g;
+  for (unsigned row = 0; row < code.check_bits(); ++row) {
+    const unsigned w = code.row_weight(row);
+    assert(w >= 1);
+    g.xor2_gates += w - 1;
+    g.depth_levels = std::max(g.depth_levels, ceil_log2(w));
+  }
+  return g;
+}
+
+GateEstimate estimate_checker(const SecdedCode& code) {
+  GateEstimate g;
+  // Syndrome trees: each row XORs its data bits plus its own check bit.
+  for (unsigned row = 0; row < code.check_bits(); ++row) {
+    const unsigned w = code.row_weight(row) + 1;
+    g.xor2_gates += w - 1;
+    g.depth_levels = std::max(g.depth_levels, ceil_log2(w));
+  }
+  // Column match: one r-input AND (with selective inversion) per data bit.
+  const unsigned r = code.check_bits();
+  g.and2_gates += code.data_bits() * (r - 1);
+  // Correction: one XOR2 per data bit, in parallel.
+  g.xor2_gates += code.data_bits();
+  g.depth_levels += ceil_log2(r) + 1;
+  return g;
+}
+
+GateEstimate estimate_parity(unsigned data_bits) {
+  GateEstimate g;
+  assert(data_bits >= 1);
+  g.xor2_gates = data_bits;  // data_bits-1 for the tree + 1 compare
+  g.depth_levels = ceil_log2(data_bits) + 1;
+  return g;
+}
+
+double estimate_delay_ps(const GateEstimate& g, double ps_per_level) {
+  return static_cast<double>(g.depth_levels) * ps_per_level;
+}
+
+}  // namespace laec::ecc

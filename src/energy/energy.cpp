@@ -1,0 +1,46 @@
+#include "energy/energy.hpp"
+
+namespace laec::energy {
+
+EnergyBreakdown compute(const EnergyParams& p, const core::RunStats& stats,
+                        cpu::EccPolicy policy) {
+  EnergyBreakdown b;
+  const double insts = static_cast<double>(stats.instructions);
+  const double loads = static_cast<double>(stats.loads);
+  const double stores = static_cast<double>(stats.stores);
+  const double anticipated = static_cast<double>(stats.laec_anticipated);
+
+  double pj = insts * p.base_inst_pj;
+  pj += loads * p.dl1_read_pj;
+  pj += stores * p.dl1_write_pj;
+
+  switch (policy) {
+    case cpu::EccPolicy::kNoEcc:
+      break;
+    case cpu::EccPolicy::kWtParity:
+      pj += loads * p.parity_pj + stores * p.parity_pj;
+      break;
+    case cpu::EccPolicy::kExtraCycle:
+    case cpu::EccPolicy::kExtraStage:
+    case cpu::EccPolicy::kLaec:
+      pj += loads * p.secded_check_pj + stores * p.secded_encode_pj;
+      break;
+  }
+
+  double laec_pj = 0.0;
+  if (policy == cpu::EccPolicy::kLaec) {
+    // Two early register-file reads plus the dedicated address adder per
+    // anticipated load (Fig. 6 hardware).
+    laec_pj = anticipated * (2.0 * p.rf_read_port_pj + p.agen_adder_pj);
+    pj += laec_pj;
+  }
+
+  const double seconds =
+      static_cast<double>(stats.cycles) / (p.freq_mhz * 1e6);
+  b.dynamic_uj = pj * 1e-6;
+  b.leakage_uj = p.leak_core_mw * 1e-3 * seconds * 1e6;
+  b.laec_adder_uj = laec_pj * 1e-6;
+  return b;
+}
+
+}  // namespace laec::energy

@@ -1,0 +1,211 @@
+#include "isa/assembler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace laec::isa {
+
+Assembler::Assembler(std::string program_name, Addr text_base,
+                     Addr data_base) {
+  prog_.name = std::move(program_name);
+  prog_.text_base = text_base;
+  prog_.data_base = data_base;
+  prog_.entry = text_base;
+}
+
+Addr Assembler::here() const {
+  return prog_.text_base + static_cast<Addr>(4 * insts_.size());
+}
+
+Addr Assembler::data_cursor() const {
+  return prog_.data_base + static_cast<Addr>(prog_.data.size());
+}
+
+Assembler& Assembler::label(const std::string& name) {
+  if (!prog_.symbols.emplace(name, here()).second) {
+    throw std::runtime_error("Assembler: duplicate label '" + name + "'");
+  }
+  return *this;
+}
+
+Assembler& Assembler::data_label(const std::string& name) {
+  if (!prog_.symbols.emplace(name, data_cursor()).second) {
+    throw std::runtime_error("Assembler: duplicate label '" + name + "'");
+  }
+  return *this;
+}
+
+Assembler& Assembler::rrr(Op op, R rd, R rs1, R rs2) {
+  DecodedInst d;
+  d.op = op;
+  d.rd = rd;
+  d.rs1 = rs1;
+  d.rs2 = rs2;
+  d.uses_imm = false;
+  insts_.push_back(d);
+  return *this;
+}
+
+Assembler& Assembler::rri(Op op, R rd, R rs1, i32 imm) {
+  if (imm < kImmMin || imm > kImmMax) {
+    throw std::runtime_error("Assembler: 13-bit immediate out of range");
+  }
+  DecodedInst d;
+  d.op = op;
+  d.rd = rd;
+  d.rs1 = rs1;
+  d.imm = imm;
+  d.uses_imm = true;
+  insts_.push_back(d);
+  return *this;
+}
+
+Assembler& Assembler::lui(R rd, i32 imm20) {
+  if (imm20 < kImm20Min || imm20 > kImm20Max) {
+    throw std::runtime_error("Assembler: 20-bit immediate out of range");
+  }
+  DecodedInst d;
+  d.op = Op::kLui;
+  d.rd = rd;
+  d.imm = imm20;
+  d.uses_imm = true;
+  insts_.push_back(d);
+  return *this;
+}
+
+Assembler& Assembler::li(R rd, u32 value) {
+  const i32 sv = static_cast<i32>(value);
+  if (sv >= kImmMin && sv <= kImmMax) {
+    return addi(rd, R{0}, sv);
+  }
+  // lui loads value[31:12]; ori fills value[11:0] (ori immediate must be
+  // non-negative, so use the low 12 bits only).
+  const u32 low = value & 0xfffu;
+  const u32 high = value >> 12;
+  lui(rd, sign_extend(high, 20));
+  if (low != 0) ori(rd, rd, static_cast<i32>(low));
+  return *this;
+}
+
+Assembler& Assembler::nop() {
+  DecodedInst d;
+  d.op = Op::kNop;
+  insts_.push_back(d);
+  return *this;
+}
+
+Assembler& Assembler::branch(Op op, R rs1, R rs2, const std::string& target) {
+  DecodedInst d;
+  d.op = op;
+  d.rs1 = rs1;
+  d.rs2 = rs2;
+  d.uses_imm = true;
+  fixups_.push_back({insts_.size(), target});
+  insts_.push_back(d);
+  return *this;
+}
+
+Assembler& Assembler::beq(R a, R b, const std::string& t) { return branch(Op::kBeq, a, b, t); }
+Assembler& Assembler::bne(R a, R b, const std::string& t) { return branch(Op::kBne, a, b, t); }
+Assembler& Assembler::blt(R a, R b, const std::string& t) { return branch(Op::kBlt, a, b, t); }
+Assembler& Assembler::bge(R a, R b, const std::string& t) { return branch(Op::kBge, a, b, t); }
+Assembler& Assembler::bltu(R a, R b, const std::string& t) { return branch(Op::kBltu, a, b, t); }
+Assembler& Assembler::bgeu(R a, R b, const std::string& t) { return branch(Op::kBgeu, a, b, t); }
+
+Assembler& Assembler::jal(R rd, const std::string& target) {
+  DecodedInst d;
+  d.op = Op::kJal;
+  d.rd = rd;
+  d.uses_imm = true;
+  fixups_.push_back({insts_.size(), target});
+  insts_.push_back(d);
+  return *this;
+}
+
+Assembler& Assembler::jalr(R rd, R rs1, i32 imm) {
+  DecodedInst d;
+  d.op = Op::kJalr;
+  d.rd = rd;
+  d.rs1 = rs1;
+  d.imm = imm;
+  d.uses_imm = true;
+  insts_.push_back(d);
+  return *this;
+}
+
+Assembler& Assembler::halt() {
+  DecodedInst d;
+  d.op = Op::kHalt;
+  insts_.push_back(d);
+  return *this;
+}
+
+Assembler& Assembler::raw(const DecodedInst& d) {
+  insts_.push_back(d);
+  return *this;
+}
+
+Addr Assembler::data_word(u32 value) {
+  const Addr at = data_align(4);
+  prog_.data.push_back(static_cast<u8>(value & 0xff));
+  prog_.data.push_back(static_cast<u8>((value >> 8) & 0xff));
+  prog_.data.push_back(static_cast<u8>((value >> 16) & 0xff));
+  prog_.data.push_back(static_cast<u8>((value >> 24) & 0xff));
+  return at;
+}
+
+Addr Assembler::data_fill(std::size_t count, u32 value) {
+  const Addr at = data_align(4);
+  for (std::size_t i = 0; i < count; ++i) data_word(value);
+  return at;
+}
+
+Addr Assembler::data_words(const std::vector<u32>& values) {
+  const Addr at = data_align(4);
+  for (u32 v : values) data_word(v);
+  return at;
+}
+
+Addr Assembler::data_bytes(const std::vector<u8>& bytes) {
+  const Addr at = data_cursor();
+  prog_.data.insert(prog_.data.end(), bytes.begin(), bytes.end());
+  return at;
+}
+
+Addr Assembler::data_align(unsigned alignment) {
+  assert(is_pow2(alignment));
+  while ((data_cursor() & (alignment - 1)) != 0) prog_.data.push_back(0);
+  return data_cursor();
+}
+
+Program Assembler::finish() {
+  if (finished_) throw std::runtime_error("Assembler: finish() called twice");
+  finished_ = true;
+  for (const Fixup& f : fixups_) {
+    auto it = prog_.symbols.find(f.target);
+    if (it == prog_.symbols.end()) {
+      throw std::runtime_error("Assembler: undefined label '" + f.target + "'");
+    }
+    DecodedInst& d = insts_[f.inst_index];
+    const Addr pc = prog_.text_base + static_cast<Addr>(4 * f.inst_index);
+    const i64 disp_bytes =
+        static_cast<i64>(it->second) - static_cast<i64>(pc);
+    assert(disp_bytes % 4 == 0);
+    const i64 disp = disp_bytes / 4;
+    const bool is_jal = d.op == Op::kJal;
+    const i64 lo = is_jal ? kImm20Min : kBranchDispMin;
+    const i64 hi = is_jal ? kImm20Max : kBranchDispMax;
+    if (disp < lo || disp > hi) {
+      throw std::runtime_error("Assembler: branch displacement overflow to '" +
+                               f.target + "'");
+    }
+    d.imm = static_cast<i32>(disp);
+  }
+  prog_.text.reserve(insts_.size());
+  for (const DecodedInst& d : insts_) prog_.text.push_back(encode(d));
+  return std::move(prog_);
+}
+
+}  // namespace laec::isa

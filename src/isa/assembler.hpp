@@ -1,0 +1,155 @@
+// Two-pass programmatic assembler for SRV8.
+//
+// Workload kernels are C++ functions that build programs through this fluent
+// API; labels may be referenced before they are defined and are resolved in
+// `finish()`. Example:
+//
+//   Assembler a("dot");
+//   a.li(R{1}, a.data_word(0))       // pointer to vector
+//    .li(R{2}, 16)                   // length
+//    .label("loop")
+//    .lw(R{3}, R{1}, 0)
+//    .add(R{4}, R{4}, R{3})
+//    .addi(R{1}, R{1}, 4)
+//    .addi(R{2}, R{2}, -1)
+//    .bne(R{2}, R{0}, "loop")
+//    .halt();
+//   Program p = a.finish();
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace laec::isa {
+
+/// Strongly-typed register index to keep builder call sites readable.
+struct R {
+  u8 idx;
+  constexpr explicit R(unsigned i) : idx(static_cast<u8>(i)) {}
+  constexpr operator u8() const { return idx; }  // NOLINT: deliberate
+};
+
+class Assembler {
+ public:
+  explicit Assembler(std::string program_name = "program",
+                     Addr text_base = kDefaultTextBase,
+                     Addr data_base = kDefaultDataBase);
+
+  // --- labels -------------------------------------------------------------
+  /// Define a text label at the current instruction position.
+  Assembler& label(const std::string& name);
+
+  // --- ALU, register-register ---------------------------------------------
+  Assembler& add(R rd, R rs1, R rs2) { return rrr(Op::kAdd, rd, rs1, rs2); }
+  Assembler& sub(R rd, R rs1, R rs2) { return rrr(Op::kSub, rd, rs1, rs2); }
+  Assembler& and_(R rd, R rs1, R rs2) { return rrr(Op::kAnd, rd, rs1, rs2); }
+  Assembler& or_(R rd, R rs1, R rs2) { return rrr(Op::kOr, rd, rs1, rs2); }
+  Assembler& xor_(R rd, R rs1, R rs2) { return rrr(Op::kXor, rd, rs1, rs2); }
+  Assembler& sll(R rd, R rs1, R rs2) { return rrr(Op::kSll, rd, rs1, rs2); }
+  Assembler& srl(R rd, R rs1, R rs2) { return rrr(Op::kSrl, rd, rs1, rs2); }
+  Assembler& sra(R rd, R rs1, R rs2) { return rrr(Op::kSra, rd, rs1, rs2); }
+  Assembler& slt(R rd, R rs1, R rs2) { return rrr(Op::kSlt, rd, rs1, rs2); }
+  Assembler& sltu(R rd, R rs1, R rs2) { return rrr(Op::kSltu, rd, rs1, rs2); }
+  Assembler& mul(R rd, R rs1, R rs2) { return rrr(Op::kMul, rd, rs1, rs2); }
+  Assembler& mulh(R rd, R rs1, R rs2) { return rrr(Op::kMulh, rd, rs1, rs2); }
+  Assembler& div(R rd, R rs1, R rs2) { return rrr(Op::kDiv, rd, rs1, rs2); }
+  Assembler& rem(R rd, R rs1, R rs2) { return rrr(Op::kRem, rd, rs1, rs2); }
+
+  // --- ALU, register-immediate ----------------------------------------------
+  Assembler& addi(R rd, R rs1, i32 imm) { return rri(Op::kAdd, rd, rs1, imm); }
+  Assembler& subi(R rd, R rs1, i32 imm) { return rri(Op::kSub, rd, rs1, imm); }
+  Assembler& andi(R rd, R rs1, i32 imm) { return rri(Op::kAnd, rd, rs1, imm); }
+  Assembler& ori(R rd, R rs1, i32 imm) { return rri(Op::kOr, rd, rs1, imm); }
+  Assembler& xori(R rd, R rs1, i32 imm) { return rri(Op::kXor, rd, rs1, imm); }
+  Assembler& slli(R rd, R rs1, i32 imm) { return rri(Op::kSll, rd, rs1, imm); }
+  Assembler& srli(R rd, R rs1, i32 imm) { return rri(Op::kSrl, rd, rs1, imm); }
+  Assembler& srai(R rd, R rs1, i32 imm) { return rri(Op::kSra, rd, rs1, imm); }
+  Assembler& slti(R rd, R rs1, i32 imm) { return rri(Op::kSlt, rd, rs1, imm); }
+  Assembler& muli(R rd, R rs1, i32 imm) { return rri(Op::kMul, rd, rs1, imm); }
+  Assembler& lui(R rd, i32 imm20);
+
+  /// Load a full 32-bit constant (expands to lui+ori or a single addi).
+  Assembler& li(R rd, u32 value);
+  /// Register move (or with r0).
+  Assembler& mv(R rd, R rs) { return rrr(Op::kOr, rd, rs, R{0}); }
+  Assembler& nop();
+
+  // --- memory ----------------------------------------------------------------
+  // Register+register form (the SPARC-style form the paper's figures use).
+  Assembler& lw(R rd, R rs1, R rs2) { return rrr(Op::kLw, rd, rs1, rs2); }
+  Assembler& lh(R rd, R rs1, R rs2) { return rrr(Op::kLh, rd, rs1, rs2); }
+  Assembler& lhu(R rd, R rs1, R rs2) { return rrr(Op::kLhu, rd, rs1, rs2); }
+  Assembler& lb(R rd, R rs1, R rs2) { return rrr(Op::kLb, rd, rs1, rs2); }
+  Assembler& lbu(R rd, R rs1, R rs2) { return rrr(Op::kLbu, rd, rs1, rs2); }
+  // Register+immediate form.
+  Assembler& lw(R rd, R rs1, i32 off) { return rri(Op::kLw, rd, rs1, off); }
+  Assembler& lh(R rd, R rs1, i32 off) { return rri(Op::kLh, rd, rs1, off); }
+  Assembler& lhu(R rd, R rs1, i32 off) { return rri(Op::kLhu, rd, rs1, off); }
+  Assembler& lb(R rd, R rs1, i32 off) { return rri(Op::kLb, rd, rs1, off); }
+  Assembler& lbu(R rd, R rs1, i32 off) { return rri(Op::kLbu, rd, rs1, off); }
+  // Stores: data register first (SPARC `st rd, [rs1+rs2]`).
+  Assembler& sw(R rdata, R rs1, R rs2) { return rrr(Op::kSw, rdata, rs1, rs2); }
+  Assembler& sh(R rdata, R rs1, R rs2) { return rrr(Op::kSh, rdata, rs1, rs2); }
+  Assembler& sb(R rdata, R rs1, R rs2) { return rrr(Op::kSb, rdata, rs1, rs2); }
+  Assembler& sw(R rdata, R rs1, i32 off) { return rri(Op::kSw, rdata, rs1, off); }
+  Assembler& sh(R rdata, R rs1, i32 off) { return rri(Op::kSh, rdata, rs1, off); }
+  Assembler& sb(R rdata, R rs1, i32 off) { return rri(Op::kSb, rdata, rs1, off); }
+
+  // --- control ----------------------------------------------------------------
+  Assembler& beq(R rs1, R rs2, const std::string& target);
+  Assembler& bne(R rs1, R rs2, const std::string& target);
+  Assembler& blt(R rs1, R rs2, const std::string& target);
+  Assembler& bge(R rs1, R rs2, const std::string& target);
+  Assembler& bltu(R rs1, R rs2, const std::string& target);
+  Assembler& bgeu(R rs1, R rs2, const std::string& target);
+  Assembler& jal(R rd, const std::string& target);
+  Assembler& j(const std::string& target) { return jal(R{0}, target); }
+  Assembler& jalr(R rd, R rs1, i32 imm = 0);
+  Assembler& halt();
+
+  /// Escape hatch: append an arbitrary decoded instruction.
+  Assembler& raw(const DecodedInst& d);
+
+  // --- data segment -------------------------------------------------------
+  /// Append a 32-bit little-endian word; returns its absolute address.
+  Addr data_word(u32 value);
+  /// Append `count` words of `value`; returns address of the first.
+  Addr data_fill(std::size_t count, u32 value);
+  /// Append a block of words; returns address of the first.
+  Addr data_words(const std::vector<u32>& values);
+  /// Append raw bytes; returns address of the first.
+  Addr data_bytes(const std::vector<u8>& bytes);
+  /// Align the data cursor to `alignment` bytes (power of two).
+  Addr data_align(unsigned alignment);
+  /// Name the current data cursor.
+  Assembler& data_label(const std::string& name);
+
+  /// Current data cursor (next data address to be assigned).
+  [[nodiscard]] Addr data_cursor() const;
+  /// Address of the instruction that will be emitted next.
+  [[nodiscard]] Addr here() const;
+
+  /// Resolve all label references and produce the program. Throws
+  /// std::runtime_error on undefined labels or displacement overflow.
+  Program finish();
+
+ private:
+  Assembler& rrr(Op op, R rd, R rs1, R rs2);
+  Assembler& rri(Op op, R rd, R rs1, i32 imm);
+  Assembler& branch(Op op, R rs1, R rs2, const std::string& target);
+
+  struct Fixup {
+    std::size_t inst_index;
+    std::string target;
+  };
+
+  Program prog_;
+  std::vector<DecodedInst> insts_;
+  std::vector<Fixup> fixups_;
+  bool finished_ = false;
+};
+
+}  // namespace laec::isa

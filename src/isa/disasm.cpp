@@ -1,0 +1,114 @@
+#include "isa/disasm.hpp"
+
+#include <sstream>
+
+namespace laec::isa {
+
+namespace {
+
+std::string reg(u8 r) { return "r" + std::to_string(r); }
+
+std::string addr_expr(const DecodedInst& d) {
+  std::ostringstream os;
+  os << "[" << reg(d.rs1);
+  if (d.uses_imm) {
+    if (d.imm >= 0) {
+      os << "+" << d.imm;
+    } else {
+      os << d.imm;
+    }
+  } else {
+    os << "+" << reg(d.rs2);
+  }
+  os << "]";
+  return os.str();
+}
+
+const char* alu_symbol(Op op) {
+  switch (op) {
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kAnd: return "&";
+    case Op::kOr: return "|";
+    case Op::kXor: return "^";
+    case Op::kSll: return "<<";
+    case Op::kSrl: return ">>";
+    case Op::kSra: return ">>>";
+    case Op::kMul: return "*";
+    case Op::kDiv: return "/";
+    case Op::kRem: return "%";
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+std::string disassemble(const DecodedInst& d) {
+  std::ostringstream os;
+  os << mnemonic(d.op);
+  switch (d.cls()) {
+    case OpClass::kAlu:
+      if (d.op == Op::kLui) {
+        os << " " << reg(d.rd) << ", " << d.imm;
+      } else if (d.uses_imm) {
+        os << "i " << reg(d.rd) << ", " << reg(d.rs1) << ", " << d.imm;
+      } else {
+        os << " " << reg(d.rd) << ", " << reg(d.rs1) << ", " << reg(d.rs2);
+      }
+      break;
+    case OpClass::kLoad:
+      os << " " << reg(d.rd) << ", " << addr_expr(d);
+      break;
+    case OpClass::kStore:
+      os << " " << reg(d.rd) << ", " << addr_expr(d);
+      break;
+    case OpClass::kBranch:
+      os << " " << reg(d.rs1) << ", " << reg(d.rs2) << ", " << d.imm;
+      break;
+    case OpClass::kJump:
+      if (d.op == Op::kJal) {
+        os << " " << reg(d.rd) << ", " << d.imm;
+      } else {
+        os << " " << reg(d.rd) << ", " << reg(d.rs1) << ", " << d.imm;
+      }
+      break;
+    case OpClass::kNop:
+    case OpClass::kHalt:
+      break;
+  }
+  return os.str();
+}
+
+std::string paper_style(const DecodedInst& d) {
+  std::ostringstream os;
+  const auto second_term = [&]() -> std::string {
+    if (!d.uses_imm) return "+" + reg(d.rs2);
+    if (d.imm >= 0) return "+" + std::to_string(d.imm);
+    return std::to_string(d.imm);
+  };
+  switch (d.cls()) {
+    case OpClass::kLoad:
+      os << reg(d.rd) << " = load(" << reg(d.rs1) << second_term() << ")";
+      return os.str();
+    case OpClass::kStore:
+      os << "store(" << reg(d.rs1) << second_term() << ") = " << reg(d.rd);
+      return os.str();
+    case OpClass::kAlu: {
+      const char* sym = alu_symbol(d.op);
+      if (sym != nullptr) {
+        os << reg(d.rd) << " = " << reg(d.rs1) << " " << sym << " ";
+        if (d.uses_imm) {
+          os << d.imm;
+        } else {
+          os << reg(d.rs2);
+        }
+        return os.str();
+      }
+      return disassemble(d);
+    }
+    default:
+      return disassemble(d);
+  }
+}
+
+}  // namespace laec::isa

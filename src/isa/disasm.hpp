@@ -1,0 +1,17 @@
+// Textual rendering of decoded instructions.
+#pragma once
+
+#include <string>
+
+#include "isa/isa.hpp"
+
+namespace laec::isa {
+
+/// Conventional disassembly, e.g. "lw r3, [r1+r2]" / "add r5, r3, r4".
+[[nodiscard]] std::string disassemble(const DecodedInst& d);
+
+/// Paper-figure style used by the chronogram renderer, e.g.
+/// "r3 = load(r1+r2)" / "r5 = r3 + r4".
+[[nodiscard]] std::string paper_style(const DecodedInst& d);
+
+}  // namespace laec::isa

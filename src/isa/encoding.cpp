@@ -1,0 +1,203 @@
+#include <cassert>
+
+#include "common/bitops.hpp"
+#include "isa/isa.hpp"
+
+namespace laec::isa {
+
+std::string_view mnemonic(Op op) {
+  switch (op) {
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kSll: return "sll";
+    case Op::kSrl: return "srl";
+    case Op::kSra: return "sra";
+    case Op::kSlt: return "slt";
+    case Op::kSltu: return "sltu";
+    case Op::kMul: return "mul";
+    case Op::kMulh: return "mulh";
+    case Op::kDiv: return "div";
+    case Op::kRem: return "rem";
+    case Op::kLui: return "lui";
+    case Op::kLw: return "lw";
+    case Op::kLh: return "lh";
+    case Op::kLhu: return "lhu";
+    case Op::kLb: return "lb";
+    case Op::kLbu: return "lbu";
+    case Op::kSw: return "sw";
+    case Op::kSh: return "sh";
+    case Op::kSb: return "sb";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kBltu: return "bltu";
+    case Op::kBgeu: return "bgeu";
+    case Op::kJal: return "jal";
+    case Op::kJalr: return "jalr";
+    case Op::kNop: return "nop";
+    case Op::kHalt: return "halt";
+    case Op::kOpCount: break;
+  }
+  return "?";
+}
+
+OpClass op_class(Op op) {
+  switch (op) {
+    case Op::kLw:
+    case Op::kLh:
+    case Op::kLhu:
+    case Op::kLb:
+    case Op::kLbu:
+      return OpClass::kLoad;
+    case Op::kSw:
+    case Op::kSh:
+    case Op::kSb:
+      return OpClass::kStore;
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+      return OpClass::kBranch;
+    case Op::kJal:
+    case Op::kJalr:
+      return OpClass::kJump;
+    case Op::kNop:
+      return OpClass::kNop;
+    case Op::kHalt:
+      return OpClass::kHalt;
+    default:
+      return OpClass::kAlu;
+  }
+}
+
+unsigned mem_access_bytes(Op op) {
+  switch (op) {
+    case Op::kLw:
+    case Op::kSw:
+      return 4;
+    case Op::kLh:
+    case Op::kLhu:
+    case Op::kSh:
+      return 2;
+    case Op::kLb:
+    case Op::kLbu:
+    case Op::kSb:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+std::optional<u8> DecodedInst::dest() const {
+  switch (cls()) {
+    case OpClass::kAlu:
+    case OpClass::kLoad:
+    case OpClass::kJump:
+      return (rd == 0) ? std::nullopt : std::optional<u8>(rd);
+    default:
+      return std::nullopt;
+  }
+}
+
+std::array<std::optional<u8>, 2> DecodedInst::exec_srcs() const {
+  std::array<std::optional<u8>, 2> s{std::nullopt, std::nullopt};
+  switch (cls()) {
+    case OpClass::kAlu:
+      if (op == Op::kLui) return s;
+      s[0] = rs1;
+      if (!uses_imm) s[1] = rs2;
+      return s;
+    case OpClass::kLoad:
+    case OpClass::kStore:
+      s[0] = rs1;
+      if (!uses_imm) s[1] = rs2;
+      return s;
+    case OpClass::kBranch:
+      s[0] = rs1;
+      s[1] = rs2;
+      return s;
+    case OpClass::kJump:
+      if (op == Op::kJalr) s[0] = rs1;
+      return s;
+    default:
+      return s;
+  }
+}
+
+std::optional<u8> DecodedInst::store_data_src() const {
+  if (!is_store()) return std::nullopt;
+  return rd;
+}
+
+u32 encode(const DecodedInst& d) {
+  u32 w = static_cast<u32>(d.op) << 26;
+  if (d.op == Op::kLui || d.op == Op::kJal) {
+    assert(d.imm >= kImm20Min && d.imm <= kImm20Max);
+    w |= (static_cast<u32>(d.rd) & 0x1f) << 20;
+    w |= static_cast<u32>(d.imm) & 0xfffffu;
+    w |= 1u << 25;
+    return w;
+  }
+  if (op_class(d.op) == OpClass::kBranch) {
+    // Branch format: rs1, rs2 compared; 15-bit word displacement split
+    // across the rd field (high 5 bits) and bits [9:0].
+    assert(d.imm >= kBranchDispMin && d.imm <= kBranchDispMax);
+    const u32 disp = static_cast<u32>(d.imm) & 0x7fffu;
+    w |= ((disp >> 10) & 0x1f) << 20;
+    w |= (static_cast<u32>(d.rs1) & 0x1f) << 15;
+    w |= (static_cast<u32>(d.rs2) & 0x1f) << 10;
+    w |= disp & 0x3ffu;
+    return w;
+  }
+  w |= (static_cast<u32>(d.rd) & 0x1f) << 20;
+  w |= (static_cast<u32>(d.rs1) & 0x1f) << 15;
+  if (d.uses_imm) {
+    assert(d.imm >= kImmMin && d.imm <= kImmMax);
+    w |= 1u << 25;
+    w |= static_cast<u32>(d.imm) & 0x1fffu;
+  } else {
+    w |= (static_cast<u32>(d.rs2) & 0x1f) << 10;
+  }
+  return w;
+}
+
+DecodedInst decode(u32 word) {
+  DecodedInst d;
+  const u32 opc = word >> 26;
+  if (opc >= static_cast<u32>(Op::kOpCount)) {
+    d.op = Op::kHalt;
+    return d;
+  }
+  d.op = static_cast<Op>(opc);
+  if (d.op == Op::kLui || d.op == Op::kJal) {
+    d.rd = static_cast<u8>((word >> 20) & 0x1f);
+    d.uses_imm = true;
+    d.imm = sign_extend(word & 0xfffffu, 20);
+    return d;
+  }
+  if (op_class(d.op) == OpClass::kBranch) {
+    d.rs1 = static_cast<u8>((word >> 15) & 0x1f);
+    d.rs2 = static_cast<u8>((word >> 10) & 0x1f);
+    const u32 disp = (((word >> 20) & 0x1f) << 10) | (word & 0x3ffu);
+    d.imm = sign_extend(disp, 15);
+    d.uses_imm = true;
+    return d;
+  }
+  d.rd = static_cast<u8>((word >> 20) & 0x1f);
+  d.rs1 = static_cast<u8>((word >> 15) & 0x1f);
+  if ((word >> 25) & 1u) {
+    d.uses_imm = true;
+    d.imm = sign_extend(word & 0x1fffu, 13);
+  } else {
+    d.rs2 = static_cast<u8>((word >> 10) & 0x1f);
+  }
+  return d;
+}
+
+}  // namespace laec::isa

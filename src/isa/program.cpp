@@ -1,0 +1,26 @@
+#include "isa/program.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace laec::isa {
+
+Addr Program::symbol(const std::string& s) const {
+  auto it = symbols.find(s);
+  if (it == symbols.end()) {
+    throw std::out_of_range("Program::symbol: unknown symbol '" + s + "'");
+  }
+  return it->second;
+}
+
+bool Program::contains_pc(Addr pc) const {
+  return pc >= text_base && pc < text_base + 4 * text.size() &&
+         (pc & 3u) == 0;
+}
+
+DecodedInst Program::inst_at(Addr pc) const {
+  assert(contains_pc(pc));
+  return decode(text[(pc - text_base) / 4]);
+}
+
+}  // namespace laec::isa

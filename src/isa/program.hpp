@@ -1,0 +1,41 @@
+// A linked program image: text + data segments plus symbols, ready to be
+// loaded into simulated memory.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/isa.hpp"
+
+namespace laec::isa {
+
+/// Default memory map used by the assembler and the workloads. The simulated
+/// machine is single-address-space with no MMU, like the NGMP.
+inline constexpr Addr kDefaultTextBase = 0x0000'1000;
+inline constexpr Addr kDefaultDataBase = 0x0010'0000;
+inline constexpr Addr kDefaultStackTop = 0x0020'0000;
+
+class Program {
+ public:
+  Addr text_base = kDefaultTextBase;
+  Addr data_base = kDefaultDataBase;
+  Addr entry = kDefaultTextBase;
+
+  std::vector<u32> text;  ///< encoded instructions
+  std::vector<u8> data;   ///< initialized data segment
+
+  std::map<std::string, Addr> symbols;  ///< labels (text and data)
+
+  std::string name;  ///< human-readable program name (for reports)
+
+  [[nodiscard]] Addr symbol(const std::string& s) const;
+  [[nodiscard]] std::size_t num_instructions() const { return text.size(); }
+
+  /// Decoded view of instruction at `pc` (must lie in text).
+  [[nodiscard]] DecodedInst inst_at(Addr pc) const;
+  [[nodiscard]] bool contains_pc(Addr pc) const;
+};
+
+}  // namespace laec::isa

@@ -1,0 +1,90 @@
+#include "mem/bus.hpp"
+
+#include <cassert>
+
+namespace laec::mem {
+
+Bus::Bus(const BusParams& params, BusTarget& target, unsigned num_requesters)
+    : params_(params), target_(target), num_requesters_(num_requesters) {
+  queues_.resize(num_requesters);
+  n_transactions_ = &stats_.counter("transactions");
+  busy_cycles_ = &stats_.counter("busy_cycles");
+  wait_cycles_ = &stats_.counter("wait_cycles");
+}
+
+Bus::Token Bus::submit(BusTransaction t, Cycle now) {
+  assert(t.requester < num_requesters_);
+  t.submitted_at = now;
+  Token tok;
+  // Reuse a dead slot when available to bound memory in long runs.
+  for (tok = 0; tok < slots_.size(); ++tok) {
+    if (!slot_live_[static_cast<std::size_t>(tok)]) break;
+  }
+  if (tok == slots_.size()) {
+    slots_.push_back(std::move(t));
+    slot_live_.push_back(true);
+  } else {
+    slots_[static_cast<std::size_t>(tok)] = std::move(t);
+    slot_live_[static_cast<std::size_t>(tok)] = true;
+  }
+  queues_[slots_[static_cast<std::size_t>(tok)].requester].push_back(tok);
+  return tok;
+}
+
+bool Bus::done(Token token) const {
+  assert(slot_live_.at(static_cast<std::size_t>(token)));
+  return slots_[static_cast<std::size_t>(token)].done;
+}
+
+const BusTransaction& Bus::peek(Token token) const {
+  assert(slot_live_.at(static_cast<std::size_t>(token)));
+  return slots_[static_cast<std::size_t>(token)];
+}
+
+BusTransaction Bus::take(Token token) {
+  assert(slot_live_.at(static_cast<std::size_t>(token)));
+  assert(slots_[static_cast<std::size_t>(token)].done);
+  slot_live_[static_cast<std::size_t>(token)] = false;
+  return std::move(slots_[static_cast<std::size_t>(token)]);
+}
+
+void Bus::tick(Cycle now) {
+  if (active_ != kNoToken) {
+    ++*busy_cycles_;
+    BusTransaction& t = slots_[static_cast<std::size_t>(active_)];
+    if (now >= t.completes_at) {
+      t.done = true;
+      active_ = kNoToken;
+    } else {
+      return;
+    }
+  }
+  // Round-robin grant among requesters with pending work.
+  for (unsigned i = 0; i < num_requesters_; ++i) {
+    const unsigned r = (rr_next_ + i) % num_requesters_;
+    if (queues_[r].empty()) continue;
+    const Token tok = queues_[r].front();
+    queues_[r].pop_front();
+    rr_next_ = (r + 1) % num_requesters_;
+
+    BusTransaction& t = slots_[static_cast<std::size_t>(tok)];
+    t.granted_at = now;
+    *wait_cycles_ += now - t.submitted_at;
+    ++*n_transactions_;
+    stats_.counter(t.op == BusOp::kReadLine    ? "read_line"
+                   : t.op == BusOp::kWriteLine ? "write_line"
+                                               : "write_word")++;
+    // Data movement happens at grant time; the transaction then occupies
+    // the bus for its full latency. With blocking requesters this is
+    // indistinguishable from movement-at-completion.
+    const unsigned service = target_.service(t);
+    const unsigned total =
+        params_.request_cycles + service + params_.response_cycles;
+    t.completes_at = now + total;
+    active_ = tok;
+    ++*busy_cycles_;
+    return;
+  }
+}
+
+}  // namespace laec::mem

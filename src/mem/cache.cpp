@@ -1,0 +1,218 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/bitops.hpp"
+
+namespace laec::mem {
+
+SetAssocCache::SetAssocCache(const CacheConfig& cfg) : cfg_(cfg) {
+  assert(is_pow2(cfg_.size_bytes) && is_pow2(cfg_.line_bytes));
+  assert(cfg_.size_bytes % (cfg_.line_bytes * cfg_.ways) == 0);
+  assert(cfg_.line_bytes % 4 == 0);
+  ways_.resize(static_cast<std::size_t>(cfg_.num_sets()) * cfg_.ways);
+  for (Way& w : ways_) {
+    w.data.assign(cfg_.line_bytes, 0);
+    w.check.assign(cfg_.line_bytes / 4, 0);
+  }
+  n_read_ = &stats_.counter("reads");
+  n_write_ = &stats_.counter("writes");
+  n_fill_ = &stats_.counter("fills");
+  n_evict_dirty_ = &stats_.counter("dirty_evictions");
+  n_corrected_ = &stats_.counter("ecc_corrected");
+  n_detected_uncorrectable_ = &stats_.counter("ecc_detected_uncorrectable");
+}
+
+u32 SetAssocCache::set_index(Addr a) const {
+  return (a / cfg_.line_bytes) & (cfg_.num_sets() - 1);
+}
+
+SetAssocCache::Way* SetAssocCache::find(Addr a) {
+  const Addr base = line_base(a);
+  const u32 set = set_index(a);
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Way& way = ways_[static_cast<std::size_t>(set) * cfg_.ways + w];
+    if (way.valid && way.tag_addr == base) return &way;
+  }
+  return nullptr;
+}
+
+const SetAssocCache::Way* SetAssocCache::find(Addr a) const {
+  return const_cast<SetAssocCache*>(this)->find(a);
+}
+
+bool SetAssocCache::contains(Addr a) const { return find(a) != nullptr; }
+
+bool SetAssocCache::line_dirty(Addr a) const {
+  const Way* w = find(a);
+  return w != nullptr && w->dirty;
+}
+
+u64 SetAssocCache::word_key(const Way& way, u32 word_idx) const {
+  return (static_cast<u64>(way.tag_addr) / 4) + word_idx;
+}
+
+void SetAssocCache::recompute_check(Way& way, u32 word_idx) {
+  u32 v;
+  std::memcpy(&v, way.data.data() + word_idx * 4, 4);
+  switch (cfg_.codec) {
+    case ecc::CodecKind::kNone:
+      way.check[word_idx] = 0;
+      break;
+    case ecc::CodecKind::kParity:
+      way.check[word_idx] = static_cast<u16>(ecc::ParityCode(32).encode(v));
+      break;
+    case ecc::CodecKind::kSecded:
+      way.check[word_idx] = static_cast<u16>(ecc::secded32().encode(v));
+      break;
+  }
+}
+
+void SetAssocCache::inject_and_check(Way& way, u32 word_idx, WordRead& out) {
+  u32 stored;
+  std::memcpy(&stored, way.data.data() + word_idx * 4, 4);
+
+  if (injector_ != nullptr && injector_->enabled()) {
+    // Codeword layout for injection: bits [0,32) data, [32, 32+r) check.
+    const auto flips = injector_->flips_for_access(word_key(way, word_idx));
+    u32 check = way.check[word_idx];
+    for (unsigned b : flips) {
+      if (b < 32) {
+        stored = static_cast<u32>(flip_bit(stored, b));
+      } else {
+        check = static_cast<u32>(flip_bit(check, b - 32));
+      }
+    }
+    if (!flips.empty()) {
+      std::memcpy(way.data.data() + word_idx * 4, &stored, 4);
+      way.check[word_idx] = static_cast<u16>(check);
+    }
+  }
+
+  switch (cfg_.codec) {
+    case ecc::CodecKind::kNone:
+      out.value = stored;
+      out.check = ecc::CheckStatus::kOk;
+      return;
+    case ecc::CodecKind::kParity: {
+      const auto r = ecc::ParityCode(32).check(stored, way.check[word_idx]);
+      out.value = r.data;
+      out.check = r.status;
+      if (r.status == ecc::CheckStatus::kDetectedUncorrectable) {
+        ++*n_detected_uncorrectable_;
+      }
+      return;
+    }
+    case ecc::CodecKind::kSecded: {
+      const auto r = ecc::secded32().check(stored, way.check[word_idx]);
+      out.value = static_cast<u32>(r.data);
+      out.check = r.status;
+      if (r.status == ecc::CheckStatus::kCorrected) {
+        ++*n_corrected_;
+        if (cfg_.scrub_on_correct) {
+          const u32 fixed = static_cast<u32>(r.data);
+          std::memcpy(way.data.data() + word_idx * 4, &fixed, 4);
+          way.check[word_idx] = static_cast<u16>(r.check);
+        }
+      } else if (r.status == ecc::CheckStatus::kDetectedUncorrectable) {
+        ++*n_detected_uncorrectable_;
+      }
+      return;
+    }
+  }
+}
+
+WordRead SetAssocCache::read(Addr a, unsigned bytes) {
+  assert(bytes == 1 || bytes == 2 || bytes == 4);
+  assert((a & (bytes - 1)) == 0 && "misaligned access");
+  Way* way = find(a);
+  assert(way != nullptr && "read() requires a resident line");
+  ++*n_read_;
+  way->lru_stamp = lru_clock_++;
+
+  const u32 off = a & (cfg_.line_bytes - 1);
+  const u32 word_idx = off / 4;
+  WordRead word;
+  inject_and_check(*way, word_idx, word);
+
+  // Extract the addressed bytes from the (corrected) word.
+  const u32 shift = (off & 3u) * 8;
+  word.value = (word.value >> shift) & static_cast<u32>(low_mask(bytes * 8));
+  return word;
+}
+
+void SetAssocCache::write(Addr a, unsigned bytes, u32 value, bool mark_dirty) {
+  assert(bytes == 1 || bytes == 2 || bytes == 4);
+  assert((a & (bytes - 1)) == 0 && "misaligned access");
+  Way* way = find(a);
+  assert(way != nullptr && "write() requires a resident line");
+  ++*n_write_;
+  way->lru_stamp = lru_clock_++;
+
+  const u32 off = a & (cfg_.line_bytes - 1);
+  const u32 word_idx = off / 4;
+
+  // Sub-word writes are read-modify-write on the protected word (the check
+  // bits cover 32 bits, so hardware must merge before re-encoding).
+  u32 word;
+  std::memcpy(&word, way->data.data() + word_idx * 4, 4);
+  const u32 shift = (off & 3u) * 8;
+  const u32 mask = static_cast<u32>(low_mask(bytes * 8)) << shift;
+  word = (word & ~mask) | ((value << shift) & mask);
+  std::memcpy(way->data.data() + word_idx * 4, &word, 4);
+  recompute_check(*way, word_idx);
+  if (mark_dirty && cfg_.write_policy == WritePolicy::kWriteBack) {
+    way->dirty = true;
+  }
+}
+
+std::optional<Eviction> SetAssocCache::fill(Addr a, const u8* data,
+                                            bool dirty) {
+  const Addr base = line_base(a);
+  const u32 set = set_index(a);
+  ++*n_fill_;
+
+  Way* victim = nullptr;
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Way& way = ways_[static_cast<std::size_t>(set) * cfg_.ways + w];
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (victim == nullptr || way.lru_stamp < victim->lru_stamp) victim = &way;
+  }
+
+  std::optional<Eviction> ev;
+  if (victim->valid && victim->dirty) {
+    ev.emplace();
+    ev->line_addr = victim->tag_addr;
+    ev->dirty = true;
+    ev->data.assign(victim->data.begin(), victim->data.end());
+    ++*n_evict_dirty_;
+  }
+
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->tag_addr = base;
+  victim->lru_stamp = lru_clock_++;
+  std::memcpy(victim->data.data(), data, cfg_.line_bytes);
+  for (u32 w = 0; w < cfg_.line_bytes / 4; ++w) recompute_check(*victim, w);
+  return ev;
+}
+
+bool SetAssocCache::invalidate(Addr a) {
+  Way* way = find(a);
+  if (way == nullptr) return false;
+  way->valid = false;
+  way->dirty = false;
+  return true;
+}
+
+std::vector<u8> SetAssocCache::peek_line(Addr a) const {
+  const Way* way = find(a);
+  assert(way != nullptr);
+  return way->data;
+}
+
+}  // namespace laec::mem

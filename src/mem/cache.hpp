@@ -1,0 +1,152 @@
+// Generic set-associative cache array with per-word ECC side-arrays.
+//
+// One class backs all three simulated caches (L1I, DL1, L2). It stores real
+// data bytes and real check bits (parity or Hsiao SECDED at 32-bit word
+// granularity), runs the real codec on every word read, and applies injected
+// faults to the stored arrays — so a flipped bit persists until the word is
+// rewritten, exactly like a soft error in SRAM.
+//
+// Timing is *not* modeled here: the pipeline decides in which stage the data
+// read and the ECC check happen (that placement is the entire subject of the
+// paper). This class only answers "hit?", moves bytes, and reports per-word
+// check outcomes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "ecc/code.hpp"
+#include "ecc/injector.hpp"
+#include "ecc/parity.hpp"
+#include "ecc/secded.hpp"
+
+namespace laec::mem {
+
+enum class WritePolicy { kWriteBack, kWriteThrough };
+enum class AllocPolicy { kWriteAllocate, kNoWriteAllocate };
+
+struct CacheConfig {
+  std::string name = "cache";
+  u32 size_bytes = 16 * 1024;
+  u32 line_bytes = 32;
+  u32 ways = 4;
+  WritePolicy write_policy = WritePolicy::kWriteBack;
+  AllocPolicy alloc_policy = AllocPolicy::kWriteAllocate;
+  ecc::CodecKind codec = ecc::CodecKind::kNone;
+  /// Write the corrected word back into the array after a SECDED single-bit
+  /// correction (scrubbing); prevents a second strike from accumulating.
+  bool scrub_on_correct = true;
+
+  [[nodiscard]] u32 num_sets() const {
+    return size_bytes / (line_bytes * ways);
+  }
+};
+
+/// Outcome of reading one protected word from the array.
+struct WordRead {
+  u32 value = 0;
+  ecc::CheckStatus check = ecc::CheckStatus::kOk;
+};
+
+/// A line evicted by a fill.
+struct Eviction {
+  Addr line_addr = 0;
+  bool dirty = false;
+  std::vector<u8> data;  ///< line contents (corrected view)
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& cfg);
+
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+
+  /// Attach a fault injector (not owned). Pass nullptr to detach.
+  void set_injector(ecc::FaultInjector* inj) { injector_ = inj; }
+
+  // --- presence ------------------------------------------------------------
+  [[nodiscard]] bool contains(Addr a) const;
+  [[nodiscard]] bool line_dirty(Addr a) const;
+
+  // --- word access (address must be inside a resident line) ----------------
+  /// Read `bytes` (1/2/4, naturally aligned) at `a`. Runs fault injection
+  /// and the codec on the containing 32-bit word. Updates LRU.
+  WordRead read(Addr a, unsigned bytes);
+
+  /// Write `bytes` of `value` at `a`; recomputes the word's check bits.
+  /// Marks the line dirty under write-back policy. Updates LRU.
+  void write(Addr a, unsigned bytes, u32 value, bool mark_dirty);
+
+  // --- line management -------------------------------------------------------
+  /// Install the line containing `a` with `line_bytes()` bytes of data.
+  /// Returns the eviction (if a valid line was displaced).
+  std::optional<Eviction> fill(Addr a, const u8* data, bool dirty);
+
+  /// Invalidate the line containing `a` (no writeback). Used for parity
+  /// recovery-by-refetch. Returns true when a line was present.
+  bool invalidate(Addr a);
+
+  /// Read a whole resident line (corrected view; no LRU update, no
+  /// injection — used for writebacks and tests).
+  std::vector<u8> peek_line(Addr a) const;
+
+  /// Flush every dirty line through `sink(line_addr, data)`; leaves the
+  /// cache clean. Used at end-of-run to make memory architecturally final.
+  template <typename Sink>
+  void flush_dirty(Sink&& sink) {
+    for (u32 set = 0; set < cfg_.num_sets(); ++set) {
+      for (u32 w = 0; w < cfg_.ways; ++w) {
+        Way& way = ways_[set * cfg_.ways + w];
+        if (way.valid && way.dirty) {
+          sink(way.tag_addr, way.data.data());
+          way.dirty = false;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] StatSet& stats() { return stats_; }
+  [[nodiscard]] const StatSet& stats() const { return stats_; }
+
+  [[nodiscard]] u32 line_bytes() const { return cfg_.line_bytes; }
+  [[nodiscard]] Addr line_base(Addr a) const {
+    return a & ~static_cast<Addr>(cfg_.line_bytes - 1);
+  }
+
+ private:
+  struct Way {
+    bool valid = false;
+    bool dirty = false;
+    Addr tag_addr = 0;  ///< line base address
+    u64 lru_stamp = 0;
+    std::vector<u8> data;
+    std::vector<u16> check;  ///< per-32-bit-word check bits
+  };
+
+  [[nodiscard]] u32 set_index(Addr a) const;
+  [[nodiscard]] Way* find(Addr a);
+  [[nodiscard]] const Way* find(Addr a) const;
+  void recompute_check(Way& way, u32 word_idx);
+  /// Global word index used to key fault injection (unique per line-word).
+  [[nodiscard]] u64 word_key(const Way& way, u32 word_idx) const;
+  void inject_and_check(Way& way, u32 word_idx, WordRead& out);
+
+  CacheConfig cfg_;
+  std::vector<Way> ways_;
+  u64 lru_clock_ = 1;
+  ecc::FaultInjector* injector_ = nullptr;
+  StatSet stats_;
+
+  // Hot-path counters.
+  u64* n_read_ = nullptr;
+  u64* n_write_ = nullptr;
+  u64* n_fill_ = nullptr;
+  u64* n_evict_dirty_ = nullptr;
+  u64* n_corrected_ = nullptr;
+  u64* n_detected_uncorrectable_ = nullptr;
+};
+
+}  // namespace laec::mem

@@ -1,0 +1,92 @@
+#include "mem/hierarchy.hpp"
+
+#include <cassert>
+
+namespace laec::mem {
+
+MemorySystem::MemorySystem(const MemorySystemParams& params)
+    : params_(params), l2_(params.l2.cache) {
+  bus_ = std::make_unique<Bus>(params.bus, *this, params.num_requesters);
+}
+
+unsigned MemorySystem::ensure_l2_line(Addr a) {
+  if (l2_.contains(a)) return 0;
+  const Addr base = l2_.line_base(a);
+  std::vector<u8> line(l2_.line_bytes());
+  memory_.read_block(base, line.data(), l2_.line_bytes());
+  auto ev = l2_.fill(base, line.data(), /*dirty=*/false);
+  unsigned extra = params_.l2.memory_cycles + params_.l2.refill_cycles;
+  if (ev.has_value() && ev->dirty) {
+    memory_.write_block(ev->line_addr, ev->data.data(),
+                        static_cast<unsigned>(ev->data.size()));
+    // The dirty victim's writeback overlaps the refill on real systems;
+    // we charge the array write only.
+    extra += params_.l2.write_cycles;
+  }
+  return extra;
+}
+
+unsigned MemorySystem::service(BusTransaction& t) {
+  switch (t.op) {
+    case BusOp::kReadLine: {
+      // Serve the requester's line size (L1 lines may be smaller or larger
+      // than L2 lines); every spanned L2 line is made resident first.
+      unsigned lat = params_.l2.hit_cycles;
+      const u32 n = t.bytes >= 4 ? t.bytes : l2_.line_bytes();
+      t.line.resize(n);
+      // Read through the protected array word by word so L2 SECDED (and any
+      // injected L2 faults) take effect.
+      for (u32 off = 0; off < n; off += 4) {
+        lat += ensure_l2_line(t.addr + off);
+        const WordRead w = l2_.read(t.addr + off, 4);
+        t.line[off + 0] = static_cast<u8>(w.value & 0xff);
+        t.line[off + 1] = static_cast<u8>((w.value >> 8) & 0xff);
+        t.line[off + 2] = static_cast<u8>((w.value >> 16) & 0xff);
+        t.line[off + 3] = static_cast<u8>((w.value >> 24) & 0xff);
+      }
+      return lat;
+    }
+    case BusOp::kWriteLine: {
+      // Dirty L1 eviction. When the payload exactly covers an L2 line,
+      // write-validate: a full-line overwrite needs no memory fetch even
+      // on an L2 miss. Otherwise merge through resident lines.
+      unsigned lat = params_.l2.write_cycles;
+      const u32 n = static_cast<u32>(t.line.size());
+      if (n == l2_.line_bytes() && !l2_.contains(t.addr)) {
+        auto ev = l2_.fill(t.addr, t.line.data(), /*dirty=*/true);
+        if (ev.has_value() && ev->dirty) {
+          memory_.write_block(ev->line_addr, ev->data.data(),
+                              static_cast<unsigned>(ev->data.size()));
+          lat += params_.l2.write_cycles;
+        }
+        return lat;
+      }
+      for (u32 off = 0; off < n; off += 4) {
+        lat += ensure_l2_line(t.addr + off);
+        u32 v = static_cast<u32>(t.line[off]) |
+                (static_cast<u32>(t.line[off + 1]) << 8) |
+                (static_cast<u32>(t.line[off + 2]) << 16) |
+                (static_cast<u32>(t.line[off + 3]) << 24);
+        l2_.write(t.addr + off, 4, v, /*mark_dirty=*/true);
+      }
+      return lat;
+    }
+    case BusOp::kWriteWord: {
+      // Write-through store. The L2 is write-back write-allocate.
+      unsigned lat = params_.l2.write_cycles;
+      lat += ensure_l2_line(t.addr);
+      l2_.write(t.addr, t.bytes, t.value, /*mark_dirty=*/true);
+      return lat;
+    }
+  }
+  assert(false && "unreachable");
+  return 0;
+}
+
+void MemorySystem::flush_l2() {
+  l2_.flush_dirty([this](Addr base, const u8* data) {
+    memory_.write_block(base, data, l2_.line_bytes());
+  });
+}
+
+}  // namespace laec::mem

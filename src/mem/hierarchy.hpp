@@ -1,0 +1,71 @@
+// MemorySystem: the far side of the bus — shared write-back L2 (SECDED) plus
+// main memory — and the factory for the bus itself.
+//
+// Matches the NGMP arrangement the paper simulates: private L1s per core, a
+// shared bus, a shared L2, then off-chip memory (paper §III.B, §IV).
+#pragma once
+
+#include <memory>
+
+#include "mem/bus.hpp"
+#include "mem/cache.hpp"
+#include "mem/memory.hpp"
+
+namespace laec::mem {
+
+struct L2Params {
+  CacheConfig cache{
+      .name = "l2",
+      .size_bytes = 256 * 1024,
+      .line_bytes = 32,
+      .ways = 4,
+      .write_policy = WritePolicy::kWriteBack,
+      .alloc_policy = AllocPolicy::kWriteAllocate,
+      .codec = ecc::CodecKind::kSecded,
+      .scrub_on_correct = true,
+  };
+  /// Array access latency for a hit; the SECDED check latency is folded in,
+  /// which is cheap at L2 because overall miss latencies dominate (§II.A).
+  unsigned hit_cycles = 4;
+  unsigned write_cycles = 2;
+  /// Main-memory access on an L2 miss.
+  unsigned memory_cycles = 26;
+  /// Installing the refilled line into the L2 array.
+  unsigned refill_cycles = 2;
+};
+
+struct MemorySystemParams {
+  BusParams bus;
+  L2Params l2;
+  unsigned num_requesters = 4;
+};
+
+class MemorySystem final : public BusTarget {
+ public:
+  explicit MemorySystem(const MemorySystemParams& params);
+
+  [[nodiscard]] Bus& bus() { return *bus_; }
+  [[nodiscard]] MainMemory& memory() { return memory_; }
+  [[nodiscard]] SetAssocCache& l2() { return l2_; }
+
+  /// Advance one cycle (drives bus arbitration). Call after the cores.
+  void tick(Cycle now) { bus_->tick(now); }
+
+  /// Write every dirty L2 line back to memory (end-of-run finalization).
+  void flush_l2();
+
+  // BusTarget: execute a granted transaction, return service latency.
+  unsigned service(BusTransaction& t) override;
+
+ private:
+  /// Ensure the line containing `a` is resident in L2; returns the extra
+  /// latency incurred (0 when it already hit).
+  unsigned ensure_l2_line(Addr a);
+
+  MemorySystemParams params_;
+  MainMemory memory_;
+  SetAssocCache l2_;
+  std::unique_ptr<Bus> bus_;
+};
+
+}  // namespace laec::mem

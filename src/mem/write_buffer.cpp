@@ -1,0 +1,2 @@
+// WriteBuffer is header-only; this TU anchors the target.
+#include "mem/write_buffer.hpp"

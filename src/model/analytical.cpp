@@ -1,0 +1,23 @@
+#include "model/analytical.hpp"
+
+#include <algorithm>
+
+namespace laec::model {
+
+OverheadPrediction predict(const WorkloadParams& w, double ec_structural) {
+  OverheadPrediction p;
+  const double d1 = w.dep_frac * w.d1_share;
+  const double d2 = w.dep_frac * (1.0 - w.d1_share);
+  const double per_hit = w.load_frac * w.hit_frac / std::max(w.base_cpi, 1e-9);
+
+  const double delta_es = d1 + d2;
+  const double delta_ec = d1 + d2 + ec_structural;
+  const double delta_laec = w.addr_dep_frac * (d1 + d2);
+
+  p.extra_stage = per_hit * delta_es;
+  p.extra_cycle = per_hit * delta_ec;
+  p.laec = per_hit * delta_laec;
+  return p;
+}
+
+}  // namespace laec::model

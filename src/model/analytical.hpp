@@ -1,0 +1,51 @@
+// Closed-form overhead model.
+//
+// The paper's entire effect is load-use scheduling, so the execution-time
+// increase of each scheme can be predicted from the Table II
+// characterization alone:
+//
+//   f   loads per instruction
+//   h   DL1 load hit fraction
+//   d1  fraction of loads whose consumer retires at distance 1
+//   d2  ... at distance 2 (Table II reports d = d1 + d2)
+//   a   fraction of loads whose address producer is the immediately
+//       preceding instruction (not in Table II; the free parameter
+//       estimated from Fig. 8 — see EXPERIMENTS.md)
+//
+// Extra stall cycles per load hit relative to the unprotected design
+// (DESIGN.md §2 stall table: no-ECC already pays d1 * 1):
+//
+//   Extra Stage:  d1 + d2
+//   Extra Cycle:  d1 + d2 + s        (s = structural second-M-cycle factor:
+//                                      probability the *next* pipelined
+//                                      instruction is delayed by the busy M)
+//   LAEC:         a * (d1 + d2)      (anticipated loads behave like no-ECC)
+//
+// and execution-time increase = f * h * delta / CPI_base.
+//
+// Benchmark A2 (bench/ablation_analytical) compares these predictions with
+// full simulation.
+#pragma once
+
+namespace laec::model {
+
+struct WorkloadParams {
+  double load_frac = 0.25;   ///< f
+  double hit_frac = 0.89;    ///< h
+  double dep_frac = 0.60;    ///< d1 + d2
+  double d1_share = 2.0 / 3.0;  ///< d1 / (d1 + d2) split assumption
+  double addr_dep_frac = 0.39;  ///< a
+  double base_cpi = 1.33;       ///< CPI of the unprotected design
+};
+
+struct OverheadPrediction {
+  double extra_cycle = 0.0;  ///< predicted exec-time increase (e.g. 0.17)
+  double extra_stage = 0.0;
+  double laec = 0.0;
+};
+
+/// `ec_structural` is the s factor above (calibrated default 0.5).
+[[nodiscard]] OverheadPrediction predict(const WorkloadParams& w,
+                                         double ec_structural = 0.5);
+
+}  // namespace laec::model

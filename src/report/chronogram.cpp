@@ -1,0 +1,75 @@
+#include "report/chronogram.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace laec::report {
+
+void ChronogramRecorder::record(Seq seq, const std::string& label, Cycle cycle,
+                                const std::string& stage) {
+  if (!enabled_) return;
+  auto it = std::find_if(rows_.rbegin(), rows_.rend(),
+                         [&](const ChronoRow& r) { return r.seq == seq; });
+  if (it == rows_.rend()) {
+    rows_.push_back({seq, label, {{cycle, stage}}});
+  } else {
+    if (it->label == "(fetch)" && label != "(fetch)") it->label = label;
+    it->cells.emplace_back(cycle, stage);
+  }
+}
+
+void ChronogramRecorder::erase(Seq seq) {
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                             [&](const ChronoRow& r) { return r.seq == seq; }),
+              rows_.end());
+}
+
+std::string ChronogramRecorder::compact(Seq seq) const {
+  for (const ChronoRow& r : rows_) {
+    if (r.seq != seq) continue;
+    std::string out;
+    for (const auto& [cycle, stage] : r.cells) {
+      if (!out.empty()) out += " ";
+      out += stage;
+    }
+    return out;
+  }
+  return "";
+}
+
+std::string render_grid(const ChronogramRecorder& rec, unsigned label_width) {
+  Cycle min_c = kNeverCycle;
+  Cycle max_c = 0;
+  for (const ChronoRow& r : rec.rows()) {
+    for (const auto& [cycle, stage] : r.cells) {
+      min_c = std::min(min_c, cycle);
+      max_c = std::max(max_c, cycle);
+    }
+  }
+  if (rec.rows().empty() || min_c == kNeverCycle) return "";
+
+  constexpr unsigned kCellW = 4;  // "Exe " is the widest stage name
+  std::ostringstream os;
+  os << std::left << std::setw(static_cast<int>(label_width)) << "cycle";
+  for (Cycle c = min_c; c <= max_c; ++c) {
+    os << std::left << std::setw(kCellW) << (c - min_c + 1);
+  }
+  os << "\n";
+  for (const ChronoRow& r : rec.rows()) {
+    std::string label = r.label;
+    if (label.size() > label_width - 1) label.resize(label_width - 1);
+    os << std::left << std::setw(static_cast<int>(label_width)) << label;
+    std::vector<std::string> cells(static_cast<std::size_t>(max_c - min_c + 1));
+    for (const auto& [cycle, stage] : r.cells) {
+      cells[static_cast<std::size_t>(cycle - min_c)] = stage;
+    }
+    for (const auto& cell : cells) {
+      os << std::left << std::setw(kCellW) << (cell.empty() ? "." : cell);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace laec::report

@@ -1,0 +1,51 @@
+// Pipeline chronogram recording and paper-style rendering.
+//
+// The recorder is fed one (instruction, stage) cell per simulated cycle by
+// the pipeline; the renderer reproduces the figures of the paper (Figs. 2-5
+// and 7) either as the compact stage sequence ("F D RA Exe Exe M Exc WB") or
+// as a cycle-aligned grid.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace laec::report {
+
+struct ChronoRow {
+  Seq seq = 0;
+  std::string label;                                  ///< e.g. "r3 = load(r1+r2)"
+  std::vector<std::pair<Cycle, std::string>> cells;   ///< (cycle, stage name)
+};
+
+class ChronogramRecorder {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Record that instruction `seq` (described by `label` on first sighting)
+  /// occupied stage `stage` during `cycle`.
+  void record(Seq seq, const std::string& label, Cycle cycle,
+              const std::string& stage);
+
+  /// Drop rows of squashed (wrong-path) instructions.
+  void erase(Seq seq);
+
+  [[nodiscard]] const std::vector<ChronoRow>& rows() const { return rows_; }
+
+  /// Compact stage string of instruction `seq`, e.g. "F D RA Exe Exe M Exc WB".
+  [[nodiscard]] std::string compact(Seq seq) const;
+
+  void clear() { rows_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<ChronoRow> rows_;  // ordered by seq (appended in order)
+};
+
+/// Cycle-aligned grid rendering of all recorded rows (paper-figure style).
+[[nodiscard]] std::string render_grid(const ChronogramRecorder& rec,
+                                      unsigned label_width = 24);
+
+}  // namespace laec::report

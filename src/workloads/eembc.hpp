@@ -1,0 +1,71 @@
+// EEMBC-Automotive-like kernel suite.
+//
+// The real EEMBC suite is proprietary, so each benchmark is replaced by a
+// self-checking kernel written in our ISA that mirrors its computational
+// pattern (DESIGN.md §4): the FFT kernels do real fixed-point radix-2
+// butterflies, `pntrch` really chases pointers, `tblook` really interpolates
+// tables, and so on. Every kernel embeds its input data deterministically
+// and reports a list of (address, expected word) checks computed by a C++
+// reference implementation of the same algorithm — the integration tests
+// verify them under every ECC scheme.
+//
+// The Table II row transcribed from the paper accompanies each kernel so the
+// characterization harness can print paper-vs-measured side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace laec::workloads {
+
+/// A built kernel: the program image plus its self-check expectations.
+struct BuiltKernel {
+  isa::Program program;
+  /// Architecturally-final (address, expected word) pairs.
+  std::vector<std::pair<Addr, u32>> expected;
+};
+
+/// Paper Table II row (percentages as published).
+struct PaperRow {
+  int hit_pct = 0;   ///< % of loads that hit in DL1
+  int dep_pct = 0;   ///< % of loads with a consumer at distance 1-2
+  int load_pct = 0;  ///< loads as % of all instructions
+};
+
+struct KernelEntry {
+  const char* name;
+  const char* description;
+  BuiltKernel (*build)();
+  PaperRow paper;
+  /// Address-producer-at-distance-1 fraction used by the calibrated trace
+  /// generator (not in Table II; estimated from Fig. 8 — EXPERIMENTS.md).
+  double addr_dep_frac;
+};
+
+/// The 16 kernels in the paper's Table II order.
+[[nodiscard]] const std::vector<KernelEntry>& eembc_kernels();
+
+/// Find a kernel by name (throws std::out_of_range when unknown).
+[[nodiscard]] const KernelEntry& kernel_by_name(const std::string& name);
+
+// Individual builders (registered in eembc.cpp; exposed for targeted tests).
+BuiltKernel build_a2time();
+BuiltKernel build_aifftr();
+BuiltKernel build_aifirf();
+BuiltKernel build_aiifft();
+BuiltKernel build_basefp();
+BuiltKernel build_bitmnp();
+BuiltKernel build_cacheb();
+BuiltKernel build_canrdr();
+BuiltKernel build_idctrn();
+BuiltKernel build_iirflt();
+BuiltKernel build_matrix();
+BuiltKernel build_pntrch();
+BuiltKernel build_puwmod();
+BuiltKernel build_rspeed();
+BuiltKernel build_tblook();
+BuiltKernel build_ttsprk();
+
+}  // namespace laec::workloads

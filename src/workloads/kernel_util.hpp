@@ -1,0 +1,49 @@
+// Shared helpers for the EEMBC-like kernel builders.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+#include "workloads/eembc.hpp"
+
+namespace laec::workloads::detail {
+
+using isa::Assembler;
+using isa::R;
+
+/// Deterministic input data: n words uniform in [lo, hi].
+inline std::vector<u32> random_words(std::size_t n, u64 seed, i64 lo, i64 hi) {
+  Rng rng(seed);
+  std::vector<u32> v(n);
+  for (auto& w : v) w = static_cast<u32>(rng.range(lo, hi));
+  return v;
+}
+
+/// Q15 multiply exactly as the kernels compute it: low 32 bits of the
+/// product, then arithmetic shift right by 15. Operands must fit in the
+/// ranges the kernels use so the low-32 product is exact.
+inline i32 q15_mul(i32 a, i32 b) {
+  const u32 lo = static_cast<u32>(static_cast<i64>(a) * static_cast<i64>(b));
+  return static_cast<i32>(lo) >> 15;
+}
+
+/// Division with the ISA's semantics (divide by zero -> all-ones).
+inline i32 isa_div(i32 a, i32 b) {
+  if (b == 0) return -1;
+  return static_cast<i32>(static_cast<i64>(a) / static_cast<i64>(b));
+}
+
+/// Register expected words starting at `base`.
+inline void expect_words(BuiltKernel& k, Addr base,
+                         const std::vector<u32>& words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    k.expected.emplace_back(base + static_cast<Addr>(4 * i), words[i]);
+  }
+}
+
+inline void expect_word(BuiltKernel& k, Addr a, u32 w) {
+  k.expected.emplace_back(a, w);
+}
+
+}  // namespace laec::workloads::detail

@@ -1,0 +1,261 @@
+// Kernels: a2time, puwmod, rspeed, ttsprk.
+#include "workloads/kernel_util.hpp"
+
+namespace laec::workloads {
+
+using detail::expect_word;
+using detail::expect_words;
+using detail::isa_div;
+using isa::Assembler;
+using isa::R;
+
+// ---------------------------------------------------------------------------
+// a2time — angle-to-time conversion: per tooth event, compute the period
+// from successive timestamps, derive an rpm-like figure with a division and
+// look up the ignition advance from a table indexed by the period.
+// ---------------------------------------------------------------------------
+BuiltKernel build_a2time() {
+  constexpr int kEvents = 512, kTab = 64;
+  Assembler a("a2time");
+
+  Rng rng(0xd1);
+  std::vector<u32> stamps(kEvents + 1);
+  u32 t = 1000;
+  for (auto& s : stamps) {
+    t += 200 + static_cast<u32>(rng.below(800));
+    s = t;
+  }
+  const auto advance = detail::random_words(kTab, 0xd2, 0, 599);
+  const Addr aStamps = a.data_words(stamps);
+  const Addr aAdv = a.data_words(advance);
+  const Addr aOut = a.data_fill(2, 0);
+
+  constexpr i32 kClock = 6'000'000;
+  u32 sum_adv = 0, sum_rpm = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    const i32 dt = static_cast<i32>(stamps[i + 1] - stamps[i]);
+    const i32 rpm = isa_div(kClock, dt);
+    const u32 idx = (static_cast<u32>(rpm) >> 4) & (kTab - 1);
+    sum_rpm += static_cast<u32>(rpm);
+    sum_adv += advance[idx];
+  }
+
+  // r1=&stamps r2=count r3=sum_adv r4=sum_rpm r5=K r6=&advance
+  a.li(R{1}, aStamps).li(R{2}, kEvents).li(R{3}, 0).li(R{4}, 0);
+  a.li(R{5}, kClock).li(R{6}, aAdv);
+  a.label("ev");
+  a.lw(R{7}, R{1}, 0);           // t[i]
+  a.lw(R{8}, R{1}, 4);           // t[i+1], consumed at distance 1
+  a.sub(R{9}, R{8}, R{7});       // dt
+  a.div(R{10}, R{5}, R{9});      // rpm (iterative divide)
+  a.add(R{4}, R{4}, R{10});
+  a.srli(R{11}, R{10}, 4);
+  a.andi(R{11}, R{11}, kTab - 1);
+  a.slli(R{11}, R{11}, 2);       // table offset (address producer)
+  a.lw(R{12}, R{6}, R{11});      // advance[idx] (blocked look-ahead)
+  a.add(R{3}, R{3}, R{12});      // consumer at distance 1
+  a.addi(R{1}, R{1}, 4);
+  a.subi(R{2}, R{2}, 1);
+  a.bne(R{2}, R{0}, "ev");
+  a.li(R{20}, aOut);
+  a.sw(R{3}, R{20}, 0);
+  a.sw(R{4}, R{20}, 4);
+  a.halt();
+
+  BuiltKernel k{a.finish(), {}};
+  expect_word(k, aOut, sum_adv);
+  expect_word(k, aOut + 4, sum_rpm);
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// puwmod — pulse-width modulation: a software PWM state machine stepping a
+// counter against per-channel duty setpoints held in memory, emitting edge
+// events to an output ring. Load-heavy (31% of instructions) with plain
+// pointer addressing (LAEC anticipates nearly all of it).
+// ---------------------------------------------------------------------------
+BuiltKernel build_puwmod() {
+  constexpr int kSteps = 2048, kChannels = 4, kRing = 64;
+  Assembler a("puwmod");
+  const auto duty = detail::random_words(kChannels, 0xe1, 10, 240);
+  const Addr aDuty = a.data_words(duty);
+  const Addr aState = a.data_fill(kChannels, 0);  // previous output level
+  const Addr aRing = a.data_fill(kRing, 0);
+  const Addr aOut = a.data_fill(2, 0);
+
+  std::vector<u32> ring(kRing, 0);
+  std::vector<u32> state(kChannels, 0);
+  u32 edges = 0, high_cycles = 0;
+  for (int s = 0; s < kSteps; ++s) {
+    const u32 cnt = static_cast<u32>(s) & 0xff;
+    for (int c = 0; c < kChannels; ++c) {
+      const u32 level = cnt < duty[c] ? 1u : 0u;
+      high_cycles += level;
+      if (level != state[c]) {
+        ++edges;
+        ring[edges % kRing] = (static_cast<u32>(s) << 3) |
+                              (static_cast<u32>(c) << 1) | level;
+        state[c] = level;
+      }
+    }
+  }
+
+  // r1=step r2=&duty r3=&state r4=&ring r5=edges r6=high_cycles
+  a.li(R{1}, 0).li(R{2}, aDuty).li(R{3}, aState).li(R{4}, aRing);
+  a.li(R{5}, 0).li(R{6}, 0);
+  a.label("step");
+  a.andi(R{7}, R{1}, 0xff);      // cnt
+  a.li(R{8}, 0);                 // channel byte offset
+  a.label("chan");
+  a.lw(R{9}, R{2}, R{8});        // duty[c]
+  a.sltu(R{10}, R{7}, R{9});     // level, consumer at distance 1
+  a.add(R{6}, R{6}, R{10});
+  a.lw(R{11}, R{3}, R{8});       // state[c]
+  a.beq(R{11}, R{10}, "noedge"); // consumer at distance 1
+  a.addi(R{5}, R{5}, 1);
+  a.andi(R{12}, R{5}, kRing - 1);
+  a.slli(R{12}, R{12}, 2);
+  a.slli(R{13}, R{1}, 3);
+  a.srli(R{14}, R{8}, 2);
+  a.slli(R{14}, R{14}, 1);
+  a.or_(R{13}, R{13}, R{14});
+  a.or_(R{13}, R{13}, R{10});
+  a.sw(R{13}, R{4}, R{12});      // ring entry
+  a.sw(R{10}, R{3}, R{8});       // state[c] = level
+  a.label("noedge");
+  a.addi(R{8}, R{8}, 4);
+  a.slti(R{15}, R{8}, 4 * kChannels);
+  a.bne(R{15}, R{0}, "chan");
+  a.addi(R{1}, R{1}, 1);
+  a.slti(R{15}, R{1}, kSteps);
+  a.bne(R{15}, R{0}, "step");
+  a.li(R{20}, aOut);
+  a.sw(R{5}, R{20}, 0);
+  a.sw(R{6}, R{20}, 4);
+  a.halt();
+
+  BuiltKernel k{a.finish(), {}};
+  expect_word(k, aOut, edges);
+  expect_word(k, aOut + 4, high_cycles);
+  expect_words(k, aRing, ring);
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// rspeed — road speed: per wheel-sensor pulse pair, period -> speed via
+// division, exponential smoothing, and over-speed event counting.
+// ---------------------------------------------------------------------------
+BuiltKernel build_rspeed() {
+  constexpr int kPulses = 512;
+  Assembler a("rspeed");
+  Rng rng(0xf1);
+  std::vector<u32> periods(kPulses);
+  for (auto& p : periods) p = 400 + static_cast<u32>(rng.below(4000));
+  const Addr aPer = a.data_words(periods);
+  const Addr aOut = a.data_fill(3, 0);
+
+  constexpr i32 kScale = 9'000'000;
+  constexpr u32 kLimit = 11'000;
+  u32 avg = 0, overs = 0, last = 0;
+  for (int i = 0; i < kPulses; ++i) {
+    const i32 speed = isa_div(kScale, static_cast<i32>(periods[i]));
+    avg = (avg * 7 + static_cast<u32>(speed)) >> 3;
+    if (avg > kLimit) ++overs;
+    last = static_cast<u32>(speed);
+  }
+
+  // r1=&periods r2=count r3=avg r4=overs r5=K r6=limit
+  a.li(R{1}, aPer).li(R{2}, kPulses).li(R{3}, 0).li(R{4}, 0);
+  a.li(R{5}, kScale).li(R{6}, kLimit);
+  a.label("pulse");
+  a.lw(R{7}, R{1}, 0);           // period
+  a.div(R{8}, R{5}, R{7});       // speed, consumer at distance 1
+  a.muli(R{9}, R{3}, 7);
+  a.add(R{9}, R{9}, R{8});
+  a.srli(R{3}, R{9}, 3);         // avg
+  a.bgeu(R{6}, R{3}, "noover");
+  a.addi(R{4}, R{4}, 1);
+  a.label("noover");
+  a.addi(R{1}, R{1}, 4);
+  a.subi(R{2}, R{2}, 1);
+  a.bne(R{2}, R{0}, "pulse");
+  a.li(R{20}, aOut);
+  a.sw(R{3}, R{20}, 0);
+  a.sw(R{4}, R{20}, 4);
+  a.sw(R{8}, R{20}, 8);          // last speed
+  a.halt();
+
+  BuiltKernel k{a.finish(), {}};
+  expect_word(k, aOut, avg);
+  expect_word(k, aOut + 4, overs);
+  expect_word(k, aOut + 8, last);
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// ttsprk — tooth-to-spark: fuses a tooth-angle table with a dwell table,
+// scanning for the firing window per event and accumulating spark timing
+// corrections; branch- and load-heavy with simple addressing.
+// ---------------------------------------------------------------------------
+BuiltKernel build_ttsprk() {
+  constexpr int kEvents = 512, kTeeth = 36;
+  Assembler a("ttsprk");
+  Rng rng(0x101);
+  std::vector<u32> tooth_angle(kTeeth);
+  for (int i = 0; i < kTeeth; ++i) {
+    tooth_angle[static_cast<std::size_t>(i)] = static_cast<u32>(i * 10);
+  }
+  const auto dwell = detail::random_words(kTeeth, 0x102, 5, 95);
+  std::vector<u32> target(kEvents);
+  for (auto& tg : target) tg = static_cast<u32>(rng.below(360));
+  const Addr aAngle = a.data_words(tooth_angle);
+  const Addr aDwell = a.data_words(dwell);
+  const Addr aTgt = a.data_words(target);
+  const Addr aOut = a.data_fill(2, 0);
+
+  u32 sum_dwell = 0, sum_err = 0;
+  for (int e = 0; e < kEvents; ++e) {
+    const u32 tgt = target[static_cast<std::size_t>(e)];
+    int i = 0;
+    while (i < kTeeth - 1 &&
+           tooth_angle[static_cast<std::size_t>(i)] < tgt) {
+      ++i;
+    }
+    sum_dwell += dwell[static_cast<std::size_t>(i)];
+    sum_err += tooth_angle[static_cast<std::size_t>(i)] - tgt;
+  }
+
+  // r1=&target r2=count r3=sum_dwell r4=sum_err r5=&angle r6=&dwell
+  a.li(R{1}, aTgt).li(R{2}, kEvents).li(R{3}, 0).li(R{4}, 0);
+  a.li(R{5}, aAngle).li(R{6}, aDwell);
+  a.label("event");
+  a.lw(R{7}, R{1}, 0);           // target angle
+  a.li(R{8}, 0);                 // i*4
+  a.label("scan");
+  a.li(R{9}, (kTeeth - 1) * 4);
+  a.bge(R{8}, R{9}, "fire");
+  a.lw(R{9}, R{5}, R{8});        // tooth_angle[i]
+  a.bgeu(R{9}, R{7}, "fire");    // consumer at distance 1
+  a.addi(R{8}, R{8}, 4);
+  a.j("scan");
+  a.label("fire");
+  a.lw(R{10}, R{6}, R{8});       // dwell[i]
+  a.add(R{3}, R{3}, R{10});      // consumer at distance 1
+  a.lw(R{11}, R{5}, R{8});       // tooth_angle[i]
+  a.sub(R{12}, R{11}, R{7});
+  a.add(R{4}, R{4}, R{12});
+  a.addi(R{1}, R{1}, 4);
+  a.subi(R{2}, R{2}, 1);
+  a.bne(R{2}, R{0}, "event");
+  a.li(R{20}, aOut);
+  a.sw(R{3}, R{20}, 0);
+  a.sw(R{4}, R{20}, 4);
+  a.halt();
+
+  BuiltKernel k{a.finish(), {}};
+  expect_word(k, aOut, sum_dwell);
+  expect_word(k, aOut + 4, sum_err);
+  return k;
+}
+
+}  // namespace laec::workloads

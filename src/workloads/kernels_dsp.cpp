@@ -1,0 +1,325 @@
+// Kernels: aifftr, aiifft, aifirf, iirflt.
+#include <cmath>
+
+#include "workloads/kernel_util.hpp"
+
+namespace laec::workloads {
+
+using detail::expect_word;
+using detail::expect_words;
+using detail::q15_mul;
+using isa::Assembler;
+using isa::R;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared fixed-point radix-2 FFT builder (forward / inverse differ only in
+// the twiddle sign). N = 128, Q15 twiddles, per-stage >>1 scaling so values
+// never overflow the low-32 product window of q15_mul.
+//
+// Twiddle index generation (j << shift) lands immediately before the twiddle
+// loads — the address-producer pattern that blocks LAEC anticipation on
+// these benchmarks (Fig. 8: aifftr/aiifft show LAEC ~= Extra Stage).
+// ---------------------------------------------------------------------------
+constexpr int kFftN = 128;
+constexpr int kFftLogN = 7;
+
+BuiltKernel build_fft(const char* name, bool inverse, u64 seed) {
+  Assembler a(name);
+
+  // Input data and twiddle tables.
+  const auto re_in = detail::random_words(kFftN, seed, -1000, 1000);
+  const auto im_in = detail::random_words(kFftN, seed ^ 0xff, -1000, 1000);
+  std::vector<u32> wre(kFftN / 2), wim(kFftN / 2), revt(kFftN);
+  for (int j = 0; j < kFftN / 2; ++j) {
+    const double ang = 2.0 * 3.14159265358979323846 * j / kFftN;
+    const double s = inverse ? 1.0 : -1.0;
+    wre[j] = static_cast<u32>(static_cast<i32>(std::lround(32767 * std::cos(ang))));
+    wim[j] = static_cast<u32>(static_cast<i32>(std::lround(32767 * s * std::sin(ang))));
+  }
+  for (int i = 0; i < kFftN; ++i) {
+    u32 r = 0;
+    for (int b = 0; b < kFftLogN; ++b) {
+      r |= ((static_cast<u32>(i) >> b) & 1u) << (kFftLogN - 1 - b);
+    }
+    revt[i] = r * 4;  // byte offset
+  }
+  const Addr aRe = a.data_words(re_in);
+  const Addr aIm = a.data_words(im_in);
+  const Addr aWre = a.data_words(wre);
+  const Addr aWim = a.data_words(wim);
+  const Addr aRev = a.data_words(revt);
+
+  // --- C++ reference (mirrors the assembly op-for-op) ---------------------
+  std::vector<i32> re(kFftN), im(kFftN);
+  for (int i = 0; i < kFftN; ++i) {
+    re[i] = static_cast<i32>(re_in[i]);
+    im[i] = static_cast<i32>(im_in[i]);
+  }
+  for (int i = 0; i < kFftN; ++i) {
+    const int r = static_cast<int>(revt[i] / 4);
+    if (i < r) {
+      std::swap(re[i], re[r]);
+      std::swap(im[i], im[r]);
+    }
+  }
+  for (int len = 2; len <= kFftN; len <<= 1) {
+    const int half = len / 2;
+    const int shift = kFftLogN - static_cast<int>(std::log2(len));
+    for (int i = 0; i < kFftN; i += len) {
+      for (int j = 0; j < half; ++j) {
+        const int tw = j << shift;
+        const i32 wr = static_cast<i32>(wre[tw]);
+        const i32 wi = static_cast<i32>(wim[tw]);
+        const i32 br = re[i + j + half], bi = im[i + j + half];
+        const i32 ar = re[i + j], ai = im[i + j];
+        const i32 tr = q15_mul(wr, br) - q15_mul(wi, bi);
+        const i32 ti = q15_mul(wr, bi) + q15_mul(wi, br);
+        re[i + j] = (ar + tr) >> 1;
+        im[i + j] = (ai + ti) >> 1;
+        re[i + j + half] = (ar - tr) >> 1;
+        im[i + j + half] = (ai - ti) >> 1;
+      }
+    }
+  }
+
+  // --- assembly -------------------------------------------------------------
+  // Bit-reverse permutation: swap when i < rev[i].
+  // r1=&re r2=&im r3=&rev r4=i*4
+  a.li(R{1}, aRe).li(R{2}, aIm).li(R{3}, aRev).li(R{4}, 0);
+  a.label("rev");
+  a.add(R{5}, R{3}, R{4});       // &rev[i]  (address producer)
+  a.lw(R{6}, R{5}, 0);           // r = rev[i]*4
+  a.bge(R{4}, R{6}, "norev");    // consumer at distance 1
+  a.lw(R{7}, R{1}, R{4});        // re[i]
+  a.lw(R{8}, R{1}, R{6});        // re[r]
+  a.sw(R{8}, R{1}, R{4});
+  a.sw(R{7}, R{1}, R{6});
+  a.lw(R{7}, R{2}, R{4});
+  a.lw(R{8}, R{2}, R{6});
+  a.sw(R{8}, R{2}, R{4});
+  a.sw(R{7}, R{2}, R{6});
+  a.label("norev");
+  a.addi(R{4}, R{4}, 4);
+  a.slti(R{5}, R{4}, 4 * kFftN);
+  a.bne(R{5}, R{0}, "rev");
+
+  // Butterflies. r9=len*4, r10=half*4, r11=tw shift, r12=i*4, r13=j*4.
+  a.li(R{3}, aWre).li(R{4}, aWim);
+  a.li(R{9}, 8).li(R{11}, kFftLogN - 1);
+  a.label("stage");
+  a.srli(R{10}, R{9}, 1);        // half*4
+  a.li(R{12}, 0);
+  a.label("group");
+  a.li(R{13}, 0);
+  a.label("bfly");
+  a.add(R{14}, R{12}, R{13});    // a index bytes
+  a.add(R{15}, R{14}, R{10});    // b index bytes
+  a.lw(R{16}, R{1}, R{14});      // a_re
+  a.lw(R{17}, R{2}, R{14});      // a_im
+  a.lw(R{18}, R{1}, R{15});      // b_re
+  a.lw(R{19}, R{2}, R{15});      // b_im
+  a.sll(R{20}, R{13}, R{11});    // twiddle byte offset (address producer)
+  a.lw(R{21}, R{3}, R{20});      // w_re  <- blocked look-ahead
+  a.lw(R{22}, R{4}, R{20});      // w_im
+  a.mul(R{23}, R{21}, R{18});    // wr*br
+  a.srai(R{23}, R{23}, 15);
+  a.mul(R{24}, R{22}, R{19});    // wi*bi
+  a.srai(R{24}, R{24}, 15);
+  a.sub(R{23}, R{23}, R{24});    // t_re
+  a.mul(R{24}, R{21}, R{19});    // wr*bi
+  a.srai(R{24}, R{24}, 15);
+  a.mul(R{25}, R{22}, R{18});    // wi*br
+  a.srai(R{25}, R{25}, 15);
+  a.add(R{24}, R{24}, R{25});    // t_im
+  a.add(R{26}, R{16}, R{23});
+  a.srai(R{26}, R{26}, 1);
+  a.sw(R{26}, R{1}, R{14});      // re[a]
+  a.sub(R{26}, R{16}, R{23});
+  a.srai(R{26}, R{26}, 1);
+  a.sw(R{26}, R{1}, R{15});      // re[b]
+  a.add(R{26}, R{17}, R{24});
+  a.srai(R{26}, R{26}, 1);
+  a.sw(R{26}, R{2}, R{14});      // im[a]
+  a.sub(R{26}, R{17}, R{24});
+  a.srai(R{26}, R{26}, 1);
+  a.sw(R{26}, R{2}, R{15});      // im[b]
+  a.addi(R{13}, R{13}, 4);
+  a.blt(R{13}, R{10}, "bfly");
+  a.add(R{12}, R{12}, R{9});
+  a.slti(R{5}, R{12}, 4 * kFftN);
+  a.bne(R{5}, R{0}, "group");
+  a.slli(R{9}, R{9}, 1);
+  a.subi(R{11}, R{11}, 1);
+  a.slti(R{5}, R{9}, 4 * kFftN * 2);
+  a.bne(R{5}, R{0}, "stage");
+  a.halt();
+
+  BuiltKernel k{a.finish(), {}};
+  std::vector<u32> exp_re(kFftN), exp_im(kFftN);
+  for (int i = 0; i < kFftN; ++i) {
+    exp_re[i] = static_cast<u32>(re[i]);
+    exp_im[i] = static_cast<u32>(im[i]);
+  }
+  expect_words(k, aRe, exp_re);
+  expect_words(k, aIm, exp_im);
+  return k;
+}
+
+}  // namespace
+
+BuiltKernel build_aifftr() { return build_fft("aifftr", false, 0x61); }
+BuiltKernel build_aiifft() { return build_fft("aiifft", true, 0x62); }
+
+// ---------------------------------------------------------------------------
+// aifirf — 32-tap Q15 FIR filter over 256 samples.
+// One operand streams through a plain pointer (anticipatable), the other
+// through a computed address (producer at distance 1): a moderate
+// addr-dep mix, like the paper's aifirf.
+// ---------------------------------------------------------------------------
+BuiltKernel build_aifirf() {
+  constexpr int kTaps = 32, kOut = 256;
+  Assembler a("aifirf");
+  const auto x = detail::random_words(kOut + kTaps, 0x71, -8000, 8000);
+  const auto h = detail::random_words(kTaps, 0x72, -2000, 2000);
+  const Addr aX = a.data_words(x);
+  const Addr aH = a.data_words(h);
+  const Addr aY = a.data_fill(kOut, 0);
+
+  std::vector<u32> y(kOut);
+  for (int n = 0; n < kOut; ++n) {
+    i32 acc = 0;
+    for (int t = 0; t < kTaps; ++t) {
+      acc += q15_mul(static_cast<i32>(h[t]), static_cast<i32>(x[n + t]));
+    }
+    y[n] = static_cast<u32>(acc);
+  }
+
+  // r1=&x[n] r2=&h r3=&y r4=n r5=t*4 r6=acc
+  a.li(R{1}, aX).li(R{2}, aH).li(R{3}, aY).li(R{4}, kOut);
+  a.label("sample");
+  a.li(R{5}, 0).li(R{6}, 0);
+  a.label("tap");
+  a.lw(R{7}, R{2}, R{5});        // h[t] (plain stream)
+  a.add(R{8}, R{1}, R{5});       // &x[n+t] (address producer)
+  a.lw(R{9}, R{8}, 0);           // blocked look-ahead
+  a.mul(R{10}, R{7}, R{9});      // consumer at distance 1
+  a.srai(R{10}, R{10}, 15);
+  a.add(R{6}, R{6}, R{10});
+  a.addi(R{5}, R{5}, 4);
+  a.slti(R{11}, R{5}, 4 * kTaps);
+  a.bne(R{11}, R{0}, "tap");
+  a.sw(R{6}, R{3}, 0);
+  a.addi(R{1}, R{1}, 4);
+  a.addi(R{3}, R{3}, 4);
+  a.subi(R{4}, R{4}, 1);
+  a.bne(R{4}, R{0}, "sample");
+  a.halt();
+
+  BuiltKernel k{a.finish(), {}};
+  expect_words(k, aY, y);
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// iirflt — cascade of 4 biquad sections (memory-resident coefficients and
+// state, Q14 feed-forward, damped Q16 feedback so values stay bounded).
+// ---------------------------------------------------------------------------
+BuiltKernel build_iirflt() {
+  constexpr int kSections = 4, kSamples = 256;
+  Assembler a("iirflt");
+  const auto xin = detail::random_words(kSamples, 0x81, -2000, 2000);
+  const auto b0 = detail::random_words(kSections, 0x82, -12000, 12000);
+  const auto b1 = detail::random_words(kSections, 0x83, -12000, 12000);
+  const auto b2 = detail::random_words(kSections, 0x84, -12000, 12000);
+  const auto a1 = detail::random_words(kSections, 0x85, -4000, 4000);
+  const auto a2 = detail::random_words(kSections, 0x86, -4000, 4000);
+  const Addr aXin = a.data_words(xin);
+  // Coefficient block: per section [b0 b1 b2 a1 a2], then state [x1 x2 y1 y2].
+  std::vector<u32> coeff, state(4 * kSections, 0);
+  for (int s = 0; s < kSections; ++s) {
+    coeff.push_back(b0[s]);
+    coeff.push_back(b1[s]);
+    coeff.push_back(b2[s]);
+    coeff.push_back(a1[s]);
+    coeff.push_back(a2[s]);
+  }
+  const Addr aCoef = a.data_words(coeff);
+  const Addr aState = a.data_words(state);
+  const Addr aYout = a.data_fill(kSamples, 0);
+
+  // Reference.
+  std::vector<i32> st(4 * kSections, 0);
+  std::vector<u32> yout(kSamples);
+  for (int n = 0; n < kSamples; ++n) {
+    i32 v = static_cast<i32>(xin[n]);
+    for (int s = 0; s < kSections; ++s) {
+      i32* S = &st[4 * s];  // x1 x2 y1 y2
+      // Sums in u32 so any wraparound matches the machine's modular adds.
+      const auto m = [](u32 c, i32 x) {
+        return static_cast<u32>(static_cast<i32>(c) * x);
+      };
+      i32 acc = static_cast<i32>(m(b0[s], v) + m(b1[s], S[0]) +
+                                 m(b2[s], S[1]));
+      acc >>= 14;
+      i32 fb = static_cast<i32>(m(a1[s], S[2]) + m(a2[s], S[3]));
+      fb >>= 16;
+      const i32 y = acc + fb;
+      S[1] = S[0];
+      S[0] = v;
+      S[3] = S[2];
+      S[2] = y;
+      v = y;
+    }
+    yout[n] = static_cast<u32>(v);
+  }
+
+  // r1=&x r2=n r3=&y r4=&coef r5=&state r6=section r7=v
+  a.li(R{1}, aXin).li(R{2}, kSamples).li(R{3}, aYout);
+  a.label("sample");
+  a.lw(R{7}, R{1}, 0);           // v = x[n]
+  a.li(R{4}, aCoef).li(R{5}, aState).li(R{6}, kSections);
+  a.label("section");
+  a.lw(R{8}, R{4}, 0);           // b0
+  a.mul(R{15}, R{8}, R{7});      // b0*v
+  a.lw(R{9}, R{4}, 4);           // b1
+  a.lw(R{10}, R{5}, 0);          // x1
+  a.mul(R{16}, R{9}, R{10});     // consumer at distance 1
+  a.add(R{15}, R{15}, R{16});
+  a.lw(R{11}, R{4}, 8);          // b2
+  a.lw(R{12}, R{5}, 4);          // x2
+  a.mul(R{16}, R{11}, R{12});
+  a.add(R{15}, R{15}, R{16});
+  a.srai(R{15}, R{15}, 14);      // acc
+  a.lw(R{13}, R{4}, 12);         // a1c
+  a.lw(R{14}, R{5}, 8);          // y1
+  a.mul(R{16}, R{13}, R{14});
+  a.lw(R{17}, R{4}, 16);         // a2c
+  a.lw(R{18}, R{5}, 12);         // y2
+  a.mul(R{19}, R{17}, R{18});
+  a.add(R{16}, R{16}, R{19});
+  a.srai(R{16}, R{16}, 16);      // fb
+  a.add(R{15}, R{15}, R{16});    // y
+  a.sw(R{10}, R{5}, 4);          // x2 = x1
+  a.sw(R{7}, R{5}, 0);           // x1 = v
+  a.sw(R{14}, R{5}, 12);         // y2 = y1
+  a.sw(R{15}, R{5}, 8);          // y1 = y
+  a.mv(R{7}, R{15});             // v = y
+  a.addi(R{4}, R{4}, 20);
+  a.addi(R{5}, R{5}, 16);
+  a.subi(R{6}, R{6}, 1);
+  a.bne(R{6}, R{0}, "section");
+  a.sw(R{7}, R{3}, 0);
+  a.addi(R{1}, R{1}, 4);
+  a.addi(R{3}, R{3}, 4);
+  a.subi(R{2}, R{2}, 1);
+  a.bne(R{2}, R{0}, "sample");
+  a.halt();
+
+  BuiltKernel k{a.finish(), {}};
+  expect_words(k, aYout, yout);
+  return k;
+}
+
+}  // namespace laec::workloads

@@ -1,0 +1,287 @@
+// Kernels: matrix, idctrn, basefp, bitmnp.
+#include "workloads/kernel_util.hpp"
+
+namespace laec::workloads {
+
+using detail::expect_word;
+using detail::expect_words;
+using detail::isa_div;
+using isa::Assembler;
+using isa::R;
+
+// ---------------------------------------------------------------------------
+// matrix — dense 16x16 integer matrix multiply C = A*B.
+//
+// The inner loop computes both operand addresses with an explicit add right
+// before each load, the codegen shape that makes LAEC ~= Extra Stage on this
+// benchmark in Fig. 8 (address producer at distance 1).
+// ---------------------------------------------------------------------------
+BuiltKernel build_matrix() {
+  constexpr int N = 16;
+  Assembler a("matrix");
+  const auto av = detail::random_words(N * N, 0x11, -99, 99);
+  const auto bv = detail::random_words(N * N, 0x22, -99, 99);
+  const Addr aA = a.data_words(av);
+  const Addr aB = a.data_words(bv);
+  const Addr aC = a.data_fill(N * N, 0);
+
+  // Reference result.
+  std::vector<u32> cv(N * N, 0);
+  for (int i = 0; i < N; ++i) {
+    for (int j = 0; j < N; ++j) {
+      u32 acc = 0;
+      for (int k = 0; k < N; ++k) {
+        acc += av[i * N + k] * bv[k * N + j];
+      }
+      cv[i * N + j] = acc;
+    }
+  }
+
+  // r1=i*4N (row byte offset), r2=j*4, r3=k*4, r4=acc, r5..r10 temps,
+  // r11=&A, r12=&B, r13=&C, r14=k*4N (B row byte offset).
+  a.li(R{11}, aA).li(R{12}, aB).li(R{13}, aC);
+  a.li(R{1}, 0);
+  a.label("loop_i");
+  a.li(R{2}, 0);
+  a.label("loop_j");
+  a.li(R{3}, 0).li(R{4}, 0).li(R{14}, 0);
+  a.label("loop_k");
+  a.add(R{5}, R{11}, R{1});     // &A[i][0]
+  a.add(R{5}, R{5}, R{3});      // address producer ...
+  a.lw(R{6}, R{5}, 0);          // ... for this load (LAEC data hazard)
+  a.add(R{7}, R{12}, R{14});    // &B[k][0]
+  a.add(R{7}, R{7}, R{2});
+  a.lw(R{8}, R{7}, 0);
+  a.mul(R{9}, R{6}, R{8});      // consumer at distance 1
+  a.add(R{4}, R{4}, R{9});
+  a.addi(R{3}, R{3}, 4);
+  a.addi(R{14}, R{14}, 4 * N);
+  a.slti(R{10}, R{3}, 4 * N);
+  a.bne(R{10}, R{0}, "loop_k");
+  a.add(R{5}, R{13}, R{1});
+  a.add(R{5}, R{5}, R{2});
+  a.sw(R{4}, R{5}, 0);          // C[i][j]
+  a.addi(R{2}, R{2}, 4);
+  a.slti(R{10}, R{2}, 4 * N);
+  a.bne(R{10}, R{0}, "loop_j");
+  a.addi(R{1}, R{1}, 4 * N);
+  a.slti(R{10}, R{1}, 4 * N * N);
+  a.bne(R{10}, R{0}, "loop_i");
+  a.halt();
+
+  BuiltKernel k{a.finish(), {}};
+  expect_words(k, aC, cv);
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// idctrn — 2-D 8x8 inverse-DCT-like transform (fixed point, Q7 coefficients)
+// over a sequence of blocks: out = T * block, row pass then column pass.
+// ---------------------------------------------------------------------------
+BuiltKernel build_idctrn() {
+  constexpr int kBlocks = 12;
+  Assembler a("idctrn");
+  // Q7 "basis" matrix and input blocks.
+  const auto tv = detail::random_words(64, 0x31, -127, 127);
+  const auto blocks = detail::random_words(64 * kBlocks, 0x32, -255, 255);
+  const Addr aT = a.data_words(tv);
+  const Addr aIn = a.data_words(blocks);
+  const Addr aOut = a.data_fill(64 * kBlocks, 0);
+
+  // Reference: per block, out[i][j] = (sum_k T[i][k]*in[k][j]) >> 7.
+  std::vector<u32> ov(64 * kBlocks, 0);
+  for (int b = 0; b < kBlocks; ++b) {
+    for (int i = 0; i < 8; ++i) {
+      for (int j = 0; j < 8; ++j) {
+        i32 acc = 0;
+        for (int kk = 0; kk < 8; ++kk) {
+          acc += static_cast<i32>(tv[i * 8 + kk]) *
+                 static_cast<i32>(blocks[b * 64 + kk * 8 + j]);
+        }
+        ov[b * 64 + i * 8 + j] = static_cast<u32>(acc >> 7);
+      }
+    }
+  }
+
+  // r1=&T r2=&in(block) r3=&out(block) r4=block counter
+  // r5=i*32 r6=j*4 r7=k*32 r8=acc r9..r12 temps
+  a.li(R{1}, aT).li(R{2}, aIn).li(R{3}, aOut).li(R{4}, kBlocks);
+  a.label("blk");
+  a.li(R{5}, 0);
+  a.label("row");
+  a.li(R{6}, 0);
+  a.label("col");
+  a.li(R{7}, 0).li(R{8}, 0);
+  a.label("mac");
+  a.srli(R{9}, R{7}, 3);        // k*4
+  a.add(R{9}, R{5}, R{9});      // i*32 + k*4 (address producer)
+  a.add(R{9}, R{1}, R{9});
+  a.lw(R{10}, R{9}, 0);         // T[i][k]
+  a.add(R{11}, R{7}, R{6});     // k*32 + j*4
+  a.add(R{11}, R{2}, R{11});
+  a.lw(R{12}, R{11}, 0);        // in[k][j], consumer next
+  a.mul(R{12}, R{10}, R{12});
+  a.add(R{8}, R{8}, R{12});
+  a.addi(R{7}, R{7}, 32);
+  a.slti(R{9}, R{7}, 256);
+  a.bne(R{9}, R{0}, "mac");
+  a.srai(R{8}, R{8}, 7);
+  a.add(R{9}, R{5}, R{6});
+  a.add(R{9}, R{3}, R{9});
+  a.sw(R{8}, R{9}, 0);
+  a.addi(R{6}, R{6}, 4);
+  a.slti(R{9}, R{6}, 32);
+  a.bne(R{9}, R{0}, "col");
+  a.addi(R{5}, R{5}, 32);
+  a.slti(R{9}, R{5}, 256);
+  a.bne(R{9}, R{0}, "row");
+  a.addi(R{2}, R{2}, 256);
+  a.addi(R{3}, R{3}, 256);
+  a.subi(R{4}, R{4}, 1);
+  a.bne(R{4}, R{0}, "blk");
+  a.halt();
+
+  BuiltKernel k{a.finish(), {}};
+  expect_words(k, aOut, ov);
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// basefp — "basic floating point" substituted with Q16.16 fixed point
+// (DESIGN.md §4): element-wise a*b/c accumulation plus running min/max.
+// Loads walk pointers linearly (no address producers: LAEC anticipates
+// nearly everything, matching its <1% Fig. 8 overhead).
+// ---------------------------------------------------------------------------
+BuiltKernel build_basefp() {
+  constexpr int N = 1024;
+  Assembler a("basefp");
+  const auto xv = detail::random_words(N, 0x41, 1, 1 << 18);
+  const auto yv = detail::random_words(N, 0x42, 1, 1 << 14);
+  const auto zv = detail::random_words(N, 0x43, 1, 255);
+  const Addr aX = a.data_words(xv);
+  const Addr aY = a.data_words(yv);
+  const Addr aZ = a.data_words(zv);
+  const Addr aOut = a.data_fill(4, 0);
+
+  u32 acc = 0;
+  u32 mx = 0;
+  for (int i = 0; i < N; ++i) {
+    const i32 p = detail::isa_div(
+        static_cast<i32>(static_cast<u32>(
+            static_cast<i64>(xv[i]) * static_cast<i64>(yv[i]) >> 16)),
+        static_cast<i32>(zv[i]));
+    acc += static_cast<u32>(p);
+    if (static_cast<i32>(xv[i]) > static_cast<i32>(mx)) mx = xv[i];
+  }
+
+  // r1=&x r2=&y r3=&z r4=count r5=acc r6=max
+  a.li(R{1}, aX).li(R{2}, aY).li(R{3}, aZ).li(R{4}, N);
+  a.li(R{5}, 0).li(R{6}, 0);
+  a.label("loop");
+  a.lw(R{7}, R{1}, 0);
+  a.lw(R{8}, R{2}, 0);     // consumer of neither; r7 consumed at distance 2
+  a.mul(R{9}, R{7}, R{8});
+  a.mulh(R{10}, R{7}, R{8});
+  a.srli(R{9}, R{9}, 16);
+  a.slli(R{10}, R{10}, 16);
+  a.or_(R{9}, R{9}, R{10});    // (x*y) >> 16 in 32 bits
+  a.lw(R{11}, R{3}, 0);
+  a.div(R{12}, R{9}, R{11});   // consumer at distance 1 (div!)
+  a.add(R{5}, R{5}, R{12});
+  a.slt(R{13}, R{6}, R{7});
+  a.beq(R{13}, R{0}, "no_max");
+  a.mv(R{6}, R{7});
+  a.label("no_max");
+  a.addi(R{1}, R{1}, 4);
+  a.addi(R{2}, R{2}, 4);
+  a.addi(R{3}, R{3}, 4);
+  a.subi(R{4}, R{4}, 1);
+  a.bne(R{4}, R{0}, "loop");
+  a.li(R{20}, aOut);
+  a.sw(R{5}, R{20}, 0);
+  a.sw(R{6}, R{20}, 4);
+  a.halt();
+
+  BuiltKernel k{a.finish(), {}};
+  expect_word(k, aOut, acc);
+  expect_word(k, aOut + 4, mx);
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// bitmnp — bit manipulation: per word, reverse bits via table lookups of
+// nibbles and count set bits; indices are computed (shift+mask) immediately
+// before each table load (high address-producer fraction, like Fig. 8).
+// ---------------------------------------------------------------------------
+BuiltKernel build_bitmnp() {
+  constexpr int N = 1024;
+  Assembler a("bitmnp");
+  // 16-entry nibble-reverse and popcount tables.
+  std::vector<u32> rev16(16), pop16(16);
+  for (u32 i = 0; i < 16; ++i) {
+    rev16[i] = ((i & 1) << 3) | ((i & 2) << 1) | ((i & 4) >> 1) | (i >> 3);
+    pop16[i] = static_cast<u32>(__builtin_popcount(i));
+  }
+  const auto input = detail::random_words(N, 0x51, 0, 0xffff);
+  const Addr aRev = a.data_words(rev16);
+  const Addr aPop = a.data_words(pop16);
+  const Addr aIn = a.data_words(input);
+  const Addr aOut = a.data_fill(2, 0);
+
+  u32 acc_rev = 0, acc_pop = 0;
+  for (int i = 0; i < N; ++i) {
+    const u32 v = input[i];
+    const u32 lo = v & 0xf, hi = (v >> 4) & 0xf;
+    acc_rev += (rev16[lo] << 4) | rev16[hi];
+    acc_pop += pop16[lo] + pop16[hi] + pop16[(v >> 8) & 0xf];
+  }
+
+  // r1=&in r2=count r3=&rev r4=&pop r5=acc_rev r6=acc_pop
+  a.li(R{1}, aIn).li(R{2}, N).li(R{3}, aRev).li(R{4}, aPop);
+  a.li(R{5}, 0).li(R{6}, 0);
+  a.label("loop");
+  a.lw(R{7}, R{1}, 0);           // v
+  a.andi(R{8}, R{7}, 0xf);
+  a.slli(R{8}, R{8}, 2);
+  a.add(R{8}, R{3}, R{8});       // address producer
+  a.lw(R{9}, R{8}, 0);           // rev16[lo]
+  a.srli(R{10}, R{7}, 4);
+  a.andi(R{10}, R{10}, 0xf);
+  a.slli(R{10}, R{10}, 2);
+  a.add(R{10}, R{3}, R{10});
+  a.lw(R{11}, R{10}, 0);         // rev16[hi], consumed next
+  a.slli(R{12}, R{9}, 4);
+  a.or_(R{12}, R{12}, R{11});
+  a.add(R{5}, R{5}, R{12});
+  a.andi(R{13}, R{7}, 0xf);
+  a.slli(R{13}, R{13}, 2);
+  a.add(R{13}, R{4}, R{13});
+  a.lw(R{14}, R{13}, 0);         // pop16[lo]
+  a.srli(R{15}, R{7}, 4);
+  a.andi(R{15}, R{15}, 0xf);
+  a.slli(R{15}, R{15}, 2);
+  a.add(R{15}, R{4}, R{15});
+  a.lw(R{16}, R{15}, 0);         // pop16[hi]
+  a.add(R{14}, R{14}, R{16});
+  a.srli(R{17}, R{7}, 8);
+  a.andi(R{17}, R{17}, 0xf);
+  a.slli(R{17}, R{17}, 2);
+  a.add(R{17}, R{4}, R{17});
+  a.lw(R{18}, R{17}, 0);         // pop16[mid]
+  a.add(R{14}, R{14}, R{18});
+  a.add(R{6}, R{6}, R{14});
+  a.addi(R{1}, R{1}, 4);
+  a.subi(R{2}, R{2}, 1);
+  a.bne(R{2}, R{0}, "loop");
+  a.li(R{20}, aOut);
+  a.sw(R{5}, R{20}, 0);
+  a.sw(R{6}, R{20}, 4);
+  a.halt();
+
+  BuiltKernel k{a.finish(), {}};
+  expect_word(k, aOut, acc_rev);
+  expect_word(k, aOut + 4, acc_pop);
+  return k;
+}
+
+}  // namespace laec::workloads

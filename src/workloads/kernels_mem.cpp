@@ -1,0 +1,308 @@
+// Kernels: cacheb, pntrch, tblook, canrdr.
+#include "workloads/kernel_util.hpp"
+
+namespace laec::workloads {
+
+using detail::expect_word;
+using detail::expect_words;
+using detail::isa_div;
+using isa::Assembler;
+using isa::R;
+
+// ---------------------------------------------------------------------------
+// cacheb — cache buster: a line-stride streaming pass over a 64 KB buffer
+// (every streaming load misses the 16 KB DL1) interleaved with hits into a
+// small resident buffer. Very few loads have nearby consumers — the paper's
+// outlier benchmark (dep = 13%), which is why Extra Stage costs it almost
+// nothing (Fig. 8).
+// ---------------------------------------------------------------------------
+BuiltKernel build_cacheb() {
+  constexpr u32 kBig = 64 * 1024;      // streamed footprint (bytes)
+  constexpr u32 kStride = 32;          // one DL1 line
+  constexpr int kLocal = 64;           // resident words
+  Assembler a("cacheb");
+  const auto big = detail::random_words(kBig / 4, 0x91, 0, 0xffff);
+  const auto local = detail::random_words(kLocal, 0x92, 0, 0xffff);
+  const Addr aBig = a.data_words(big);
+  const Addr aLoc = a.data_words(local);
+  const Addr aOut = a.data_fill(2, 0);
+
+  u32 acc = 0, lacc = 0;
+  for (u32 off = 0; off < kBig; off += kStride) {
+    acc += big[off / 4];
+    const u32 li = (off / kStride) % kLocal;
+    // Three independent local reads; results folded in much later.
+    lacc += local[li] ^ local[(li + 7) % kLocal] ^ local[(li + 13) % kLocal];
+  }
+
+  // r1=&big r2=offset r3=&local r4=acc r5=lacc
+  a.li(R{1}, aBig).li(R{2}, 0).li(R{3}, aLoc);
+  a.li(R{4}, 0).li(R{5}, 0);
+  a.label("loop");
+  a.lw(R{6}, R{1}, R{2});        // streaming load (miss); no nearby consumer
+  a.srli(R{7}, R{2}, 5);         // line index
+  a.andi(R{7}, R{7}, kLocal - 1);
+  a.slli(R{7}, R{7}, 2);
+  a.lw(R{8}, R{3}, R{7});        // local[li]
+  a.addi(R{9}, R{7}, 28);
+  a.andi(R{9}, R{9}, (kLocal - 1) * 4);
+  a.lw(R{10}, R{3}, R{9});       // local[(li+7)%64]
+  a.addi(R{11}, R{7}, 52);
+  a.andi(R{11}, R{11}, (kLocal - 1) * 4);
+  a.lw(R{12}, R{3}, R{11});      // local[(li+13)%64]
+  a.add(R{4}, R{4}, R{6});       // the streaming value, distance 6
+  a.xor_(R{13}, R{8}, R{10});
+  a.xor_(R{13}, R{13}, R{12});
+  a.add(R{5}, R{5}, R{13});
+  a.addi(R{2}, R{2}, kStride);
+  a.li(R{14}, kBig);
+  a.bltu(R{2}, R{14}, "loop");
+  a.li(R{20}, aOut);
+  a.sw(R{4}, R{20}, 0);
+  a.sw(R{5}, R{20}, 4);
+  a.halt();
+
+  BuiltKernel k{a.finish(), {}};
+  expect_word(k, aOut, acc);
+  expect_word(k, aOut + 4, lacc);
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// pntrch — pointer chase through a shuffled singly-linked ring of 512
+// 8-byte nodes {next, value}; three full traversals accumulating values and
+// tracking the maximum.
+// ---------------------------------------------------------------------------
+BuiltKernel build_pntrch() {
+  constexpr int kNodes = 512;
+  Assembler a("pntrch");
+
+  // Build a random ring permutation.
+  Rng rng(0xa1);
+  std::vector<u32> order(kNodes);
+  for (int i = 0; i < kNodes; ++i) order[static_cast<std::size_t>(i)] = static_cast<u32>(i);
+  for (std::size_t i = kNodes; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  const auto values = detail::random_words(kNodes, 0xa2, 0, 100000);
+
+  // Nodes at aNodes + 8*i : word0 = address of next node, word1 = value.
+  std::vector<u32> nodes(2 * kNodes, 0);
+  const Addr aNodes = a.data_cursor();
+  for (int i = 0; i < kNodes; ++i) {
+    const u32 cur = order[static_cast<std::size_t>(i)];
+    const u32 nxt = order[static_cast<std::size_t>((i + 1) % kNodes)];
+    nodes[2 * cur] = aNodes + 8 * nxt;
+    nodes[2 * cur + 1] = values[cur];
+  }
+  a.data_words(nodes);
+  const Addr aOut = a.data_fill(2, 0);
+
+  u32 acc = 0, mx = 0;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int i = 0; i < kNodes; ++i) {
+      acc += values[static_cast<std::size_t>(i)];
+      if (values[static_cast<std::size_t>(i)] > mx) mx = values[static_cast<std::size_t>(i)];
+    }
+  }
+
+  // r1=ptr r2=remaining r3=acc r4=max
+  a.li(R{1}, aNodes + 8 * order[0]);
+  a.li(R{2}, 3 * kNodes).li(R{3}, 0).li(R{4}, 0);
+  a.label("walk");
+  a.lw(R{5}, R{1}, 4);           // value
+  a.add(R{3}, R{3}, R{5});       // consumer at distance 1
+  a.lw(R{1}, R{1}, 0);           // ptr = ptr->next (serialising load)
+  a.bltu(R{4}, R{5}, "newmax");
+  a.j("cont");
+  a.label("newmax");
+  a.mv(R{4}, R{5});
+  a.label("cont");
+  a.subi(R{2}, R{2}, 1);
+  a.bne(R{2}, R{0}, "walk");
+  a.li(R{20}, aOut);
+  a.sw(R{3}, R{20}, 0);
+  a.sw(R{4}, R{20}, 4);
+  a.halt();
+
+  BuiltKernel k{a.finish(), {}};
+  expect_word(k, aOut, acc);
+  expect_word(k, aOut + 4, mx);
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// tblook — table lookup with linear interpolation: 256 probes into a sorted
+// 64-entry (x, y) curve; the scan's comparison consumes each loaded x at
+// distance 1, and the interpolation divides (multi-cycle EX).
+// ---------------------------------------------------------------------------
+BuiltKernel build_tblook() {
+  constexpr int kEntries = 64, kProbes = 256;
+  Assembler a("tblook");
+
+  std::vector<u32> xs(kEntries), ys(kEntries);
+  Rng rng(0xb1);
+  u32 x = 100;
+  for (int i = 0; i < kEntries; ++i) {
+    x += 50 + static_cast<u32>(rng.below(200));
+    xs[static_cast<std::size_t>(i)] = x;
+    ys[static_cast<std::size_t>(i)] = static_cast<u32>(rng.below(50000));
+  }
+  std::vector<u32> keys(kProbes);
+  for (auto& kv : keys) {
+    kv = 150 + static_cast<u32>(rng.below(x));  // spread over the table
+  }
+  const Addr aXs = a.data_words(xs);
+  const Addr aYs = a.data_words(ys);
+  const Addr aKeys = a.data_words(keys);
+  const Addr aOut = a.data_fill(kProbes, 0);
+
+  // Reference: first i with xs[i] >= key (clamped), then interpolate
+  // between i-1 and i.
+  std::vector<u32> out(kProbes);
+  for (int p = 0; p < kProbes; ++p) {
+    const u32 key = keys[static_cast<std::size_t>(p)];
+    int i = 0;
+    while (i < kEntries - 1 &&
+           xs[static_cast<std::size_t>(i)] < key) {
+      ++i;
+    }
+    if (i == 0) {
+      out[static_cast<std::size_t>(p)] = ys[0];
+    } else {
+      const i32 x0 = static_cast<i32>(xs[static_cast<std::size_t>(i - 1)]);
+      const i32 x1 = static_cast<i32>(xs[static_cast<std::size_t>(i)]);
+      const i32 y0 = static_cast<i32>(ys[static_cast<std::size_t>(i - 1)]);
+      const i32 y1 = static_cast<i32>(ys[static_cast<std::size_t>(i)]);
+      const i32 num = (y1 - y0) * (static_cast<i32>(key) - x0);
+      out[static_cast<std::size_t>(p)] =
+          static_cast<u32>(y0 + isa_div(num, x1 - x0));
+    }
+  }
+
+  // r1=&keys r2=probe count r3=&out
+  a.li(R{1}, aKeys).li(R{2}, kProbes).li(R{3}, aOut);
+  a.li(R{10}, aXs).li(R{11}, aYs);
+  a.label("probe");
+  a.lw(R{4}, R{1}, 0);           // key
+  a.li(R{5}, 0);                 // i*4
+  a.label("scan");
+  a.li(R{6}, (kEntries - 1) * 4);
+  a.bge(R{5}, R{6}, "found");
+  a.lw(R{6}, R{10}, R{5});       // xs[i]
+  a.bgeu(R{6}, R{4}, "found");   // consumer at distance 1
+  a.addi(R{5}, R{5}, 4);
+  a.j("scan");
+  a.label("found");
+  a.bne(R{5}, R{0}, "interp");
+  a.lw(R{7}, R{11}, 0);          // ys[0]
+  a.j("emit");
+  a.label("interp");
+  a.subi(R{8}, R{5}, 4);         // (i-1)*4
+  a.lw(R{12}, R{10}, R{8});      // x0
+  a.lw(R{13}, R{10}, R{5});      // x1
+  a.lw(R{14}, R{11}, R{8});      // y0
+  a.lw(R{15}, R{11}, R{5});      // y1
+  a.sub(R{16}, R{15}, R{14});    // y1-y0 (consumer at distance 1)
+  a.sub(R{17}, R{4}, R{12});     // key-x0
+  a.mul(R{16}, R{16}, R{17});
+  a.sub(R{18}, R{13}, R{12});    // x1-x0
+  a.div(R{16}, R{16}, R{18});
+  a.add(R{7}, R{14}, R{16});
+  a.label("emit");
+  a.sw(R{7}, R{3}, 0);
+  a.addi(R{1}, R{1}, 4);
+  a.addi(R{3}, R{3}, 4);
+  a.subi(R{2}, R{2}, 1);
+  a.bne(R{2}, R{0}, "probe");
+  a.halt();
+
+  BuiltKernel k{a.finish(), {}};
+  expect_words(k, aOut, out);
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// canrdr — CAN remote-data-request handling: parse 256 16-byte frames
+// (id/flags word, DLC, 8 payload bytes), answer matching remote requests and
+// checksum payloads with byte loads.
+// ---------------------------------------------------------------------------
+BuiltKernel build_canrdr() {
+  constexpr int kFrames = 256;
+  constexpr u32 kMyId = 0x2a5;
+  Assembler a("canrdr");
+
+  Rng rng(0xc1);
+  std::vector<u32> frames;  // per frame: [id|rtr<<11? packed], dlc, 8 bytes in 2 words
+  std::vector<u8> payload_bytes;
+  for (int f = 0; f < kFrames; ++f) {
+    const u32 id = (f % 7 == 0) ? kMyId : static_cast<u32>(rng.below(0x7ff));
+    const u32 rtr = rng.chance(0.3) ? 1 : 0;
+    const u32 dlc = static_cast<u32>(rng.below(9));
+    frames.push_back(id | (rtr << 16));
+    frames.push_back(dlc);
+    u32 w0 = 0, w1 = 0;
+    for (int b = 0; b < 4; ++b) w0 |= static_cast<u32>(rng.below(256)) << (8 * b);
+    for (int b = 0; b < 4; ++b) w1 |= static_cast<u32>(rng.below(256)) << (8 * b);
+    frames.push_back(w0);
+    frames.push_back(w1);
+  }
+  (void)payload_bytes;
+  const Addr aFrames = a.data_words(frames);
+  const Addr aOut = a.data_fill(3, 0);
+
+  u32 matches = 0, rtr_answers = 0, checksum = 0;
+  for (int f = 0; f < kFrames; ++f) {
+    const u32 idw = frames[static_cast<std::size_t>(4 * f)];
+    const u32 dlc = frames[static_cast<std::size_t>(4 * f + 1)];
+    if ((idw & 0x7ff) == kMyId) {
+      ++matches;
+      if ((idw >> 16) & 1) ++rtr_answers;
+    }
+    for (u32 b = 0; b < dlc; ++b) {
+      const u32 w = frames[static_cast<std::size_t>(4 * f + 2 + b / 4)];
+      checksum += (w >> (8 * (b % 4))) & 0xff;
+    }
+  }
+
+  // r1=&frame r2=count r4=matches r5=rtr r6=checksum r15=kMyId
+  a.li(R{1}, aFrames).li(R{2}, kFrames);
+  a.li(R{4}, 0).li(R{5}, 0).li(R{6}, 0);
+  a.li(R{15}, kMyId);
+  a.label("frame");
+  a.lw(R{7}, R{1}, 0);           // id word
+  a.andi(R{8}, R{7}, 0x7ff);     // consumer at distance 1
+  a.bne(R{8}, R{15}, "noid");
+  a.addi(R{4}, R{4}, 1);
+  a.srli(R{9}, R{7}, 16);
+  a.andi(R{9}, R{9}, 1);
+  a.beq(R{9}, R{0}, "noid");
+  a.addi(R{5}, R{5}, 1);
+  a.label("noid");
+  a.lw(R{10}, R{1}, 4);          // dlc
+  a.li(R{11}, 0);                // byte index
+  a.label("byte");
+  a.bge(R{11}, R{10}, "done_bytes");
+  a.addi(R{12}, R{1}, 8);        // payload base (address producer)
+  a.lbu(R{13}, R{12}, R{11});    // payload byte (blocked look-ahead)
+  a.add(R{6}, R{6}, R{13});      // consumer at distance 1
+  a.addi(R{11}, R{11}, 1);
+  a.j("byte");
+  a.label("done_bytes");
+  a.addi(R{1}, R{1}, 16);
+  a.subi(R{2}, R{2}, 1);
+  a.bne(R{2}, R{0}, "frame");
+  a.li(R{20}, aOut);
+  a.sw(R{4}, R{20}, 0);
+  a.sw(R{5}, R{20}, 4);
+  a.sw(R{6}, R{20}, 8);
+  a.halt();
+
+  BuiltKernel k{a.finish(), {}};
+  expect_word(k, aOut, matches);
+  expect_word(k, aOut + 4, rtr_answers);
+  expect_word(k, aOut + 8, checksum);
+  return k;
+}
+
+}  // namespace laec::workloads

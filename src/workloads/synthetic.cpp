@@ -1,0 +1,232 @@
+#include "workloads/synthetic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace laec::workloads {
+
+namespace {
+
+constexpr unsigned kColdBase = 1, kColdCount = 7;
+constexpr unsigned kDestBase = 8, kDestCount = 16;
+constexpr unsigned kAddrBase = 24, kAddrCount = 4;
+constexpr std::size_t kBlock = 512;
+
+enum class Kind : u8 { kAlu, kLoad, kStore, kBranch };
+
+template <typename T>
+void shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[rng.below(i)]);
+  }
+}
+
+}  // namespace
+
+SyntheticParams SyntheticParams::from_kernel(const KernelEntry& k,
+                                             u64 num_ops) {
+  SyntheticParams p;
+  p.load_frac = k.paper.load_pct / 100.0;
+  p.hit_frac = k.paper.hit_pct / 100.0;
+  p.dep_frac = k.paper.dep_pct / 100.0;
+  p.addr_dep_frac = k.addr_dep_frac;
+  p.num_ops = num_ops;
+  // Distinct deterministic seed per benchmark row.
+  p.seed = 0x1000 + static_cast<u64>(k.paper.hit_pct) * 131 +
+           static_cast<u64>(k.paper.dep_pct) * 17 +
+           static_cast<u64>(k.paper.load_pct);
+  return p;
+}
+
+SyntheticTrace::SyntheticTrace(const SyntheticParams& p)
+    : params_(p), rng_(p.seed), remaining_(p.num_ops) {}
+
+std::optional<cpu::TraceOp> SyntheticTrace::next() {
+  if (q_.empty()) {
+    if (remaining_ == 0) return std::nullopt;
+    refill_block();
+  }
+  cpu::TraceOp op = q_.front();
+  q_.pop_front();
+  return op;
+}
+
+void SyntheticTrace::refill_block() {
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<u64>(kBlock, remaining_));
+  remaining_ -= n;
+
+  // 1. Exact-count instruction mix, shuffled.
+  std::vector<Kind> kinds;
+  const auto count = [&](double f) {
+    return static_cast<std::size_t>(f * static_cast<double>(n) + 0.5);
+  };
+  const std::size_t n_load = count(params_.load_frac);
+  const std::size_t n_store = count(params_.store_frac);
+  const std::size_t n_branch = count(params_.branch_frac);
+  for (std::size_t i = 0; i < n_load; ++i) kinds.push_back(Kind::kLoad);
+  for (std::size_t i = 0; i < n_store && kinds.size() < n; ++i) {
+    kinds.push_back(Kind::kStore);
+  }
+  for (std::size_t i = 0; i < n_branch && kinds.size() < n; ++i) {
+    kinds.push_back(Kind::kBranch);
+  }
+  while (kinds.size() < n) kinds.push_back(Kind::kAlu);
+  shuffle(kinds, rng_);
+
+  // 2. Materialize default ops: cold sources, round-robin destinations.
+  struct Pending {
+    cpu::TraceOp op;
+    bool rs1_taken = false;   // sources already claimed by a dependence
+    bool rs2_taken = false;
+    bool rd_taken = false;    // store-data slot claimed
+    bool dest_repurposed = false;  // ALU turned into an address producer
+  };
+  std::vector<Pending> block(n);
+
+  auto cold = [&] {
+    return static_cast<u8>(kColdBase + rng_.below(kColdCount));
+  };
+  auto next_dest = [&] {
+    const u8 r = static_cast<u8>(kDestBase + dest_rr_);
+    dest_rr_ = (dest_rr_ + 1) % kDestCount;
+    return r;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    isa::DecodedInst& d = block[i].op.inst;
+    switch (kinds[i]) {
+      case Kind::kAlu:
+        d.op = isa::Op::kAdd;
+        d.rd = next_dest();
+        d.rs1 = cold();
+        if (rng_.chance(0.5)) {
+          d.uses_imm = true;
+          d.imm = static_cast<i32>(rng_.below(256));
+        } else {
+          d.rs2 = cold();
+        }
+        break;
+      case Kind::kLoad:
+        d.op = isa::Op::kLw;
+        d.rd = next_dest();
+        d.rs1 = cold();
+        d.uses_imm = true;
+        d.imm = 0;
+        block[i].op.forced_mem = true;
+        block[i].op.forced_hit = false;  // hit set selectively below
+        block[i].op.eff_addr = addr_cursor_;
+        addr_cursor_ += 4;
+        break;
+      case Kind::kStore:
+        d.op = isa::Op::kSw;
+        d.rd = cold();  // store data (SPARC convention)
+        d.rs1 = cold();
+        d.uses_imm = true;
+        d.imm = 0;
+        block[i].op.forced_mem = true;
+        block[i].op.forced_hit = rng_.chance(params_.store_hit_frac);
+        block[i].op.eff_addr = addr_cursor_;
+        addr_cursor_ += 4;
+        break;
+      case Kind::kBranch:
+        // kBne over cold registers (all zero): never taken, so the trace
+        // stays linear while still exercising branch operand hazards.
+        d.op = isa::Op::kBne;
+        d.rs1 = cold();
+        d.rs2 = cold();
+        d.uses_imm = true;
+        d.imm = 4;
+        break;
+    }
+  }
+
+  // 3. Pick which loads get hits / consumers / address producers.
+  std::vector<std::size_t> load_idx;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (kinds[i] == Kind::kLoad) load_idx.push_back(i);
+  }
+  const auto pick = [&](double frac) {
+    std::vector<std::size_t> v = load_idx;
+    shuffle(v, rng_);
+    v.resize(static_cast<std::size_t>(
+        frac * static_cast<double>(load_idx.size()) + 0.5));
+    return v;
+  };
+
+  for (std::size_t i : pick(params_.hit_frac)) {
+    block[i].op.forced_hit = true;
+  }
+
+  // Consumers at distance 1 or 2. Walk a shuffled load order and keep
+  // placing until the exact target count is reached — some candidates are
+  // unusable (block edge, neighbouring load, operand slots taken), so a
+  // fixed pre-selection would systematically undershoot the Table II rate.
+  {
+    std::vector<std::size_t> order = load_idx;
+    shuffle(order, rng_);
+    std::size_t target = static_cast<std::size_t>(
+        params_.dep_frac * static_cast<double>(load_idx.size()) + 0.5);
+    for (std::size_t i : order) {
+      if (target == 0) break;
+      const std::size_t d_first = rng_.chance(params_.d1_share) ? 1 : 2;
+      bool placed = false;
+      for (std::size_t attempt = 0; attempt < 2 && !placed; ++attempt) {
+        const std::size_t dist = attempt == 0 ? d_first : 3 - d_first;
+        const std::size_t j = i + dist;
+        if (j >= n) continue;
+        Pending& c = block[j];
+        const u8 dest = block[i].op.inst.rd;
+        switch (kinds[j]) {
+          case Kind::kAlu:
+            if (!c.dest_repurposed && !c.rs1_taken) {
+              c.op.inst.rs1 = dest;
+              c.rs1_taken = true;
+              placed = true;
+            } else if (!c.dest_repurposed && !c.op.inst.uses_imm &&
+                       !c.rs2_taken) {
+              c.op.inst.rs2 = dest;
+              c.rs2_taken = true;
+              placed = true;
+            }
+            break;
+          case Kind::kStore:
+            if (!c.rd_taken) {
+              c.op.inst.rd = dest;  // store data source
+              c.rd_taken = true;
+              placed = true;
+            }
+            break;
+          case Kind::kBranch:
+            // Loaded values are zero in oracle mode: bne stays not-taken.
+            if (!c.rs1_taken) {
+              c.op.inst.rs1 = dest;
+              c.rs1_taken = true;
+              placed = true;
+            }
+            break;
+          case Kind::kLoad:
+            break;  // would turn the consumer into an address dependence
+        }
+      }
+      if (placed) --target;
+    }
+  }
+
+  // Address producers at distance 1 (the LAEC data hazard).
+  for (std::size_t i : pick(params_.addr_dep_frac)) {
+    if (i == 0) continue;
+    Pending& p = block[i - 1];
+    if (kinds[i - 1] != Kind::kAlu) continue;
+    const u8 r = static_cast<u8>(kAddrBase + addr_rr_);
+    addr_rr_ = (addr_rr_ + 1) % kAddrCount;
+    p.op.inst.rd = r;
+    p.dest_repurposed = true;
+    block[i].op.inst.rs1 = r;
+  }
+
+  for (Pending& p : block) q_.push_back(p.op);
+}
+
+}  // namespace laec::workloads

@@ -1,0 +1,61 @@
+// Calibrated synthetic trace generator.
+//
+// Produces an instruction stream whose Table II characterization matches a
+// requested parameter set *by construction*: instruction-kind mix, DL1 load
+// hit ratio (oracle-classified), consumer-at-distance-1/2 fraction, and
+// address-producer-at-distance-1 fraction (the LAEC blocker). Dependences
+// are realized through real register assignments, so the pipeline's hazard
+// logic — not the generator — produces the stalls.
+//
+// Register discipline (so no accidental dependences arise):
+//   r1..r7    "cold" sources: never written, always ready
+//   r8..r23   destination pool, round-robin (redefinition distance 16)
+//   r24..r27  address-producer pool for addr-dep pairs
+#pragma once
+
+#include <deque>
+
+#include "common/rng.hpp"
+#include "cpu/trace_source.hpp"
+#include "workloads/eembc.hpp"
+
+namespace laec::workloads {
+
+struct SyntheticParams {
+  double load_frac = 0.25;
+  double store_frac = 0.08;
+  double branch_frac = 0.10;
+  double hit_frac = 0.89;        ///< load hits (stores use store_hit_frac)
+  double store_hit_frac = 0.90;
+  double dep_frac = 0.60;        ///< consumer at distance 1 or 2
+  double d1_share = 2.0 / 3.0;   ///< of dependent loads, share at distance 1
+  double addr_dep_frac = 0.39;   ///< producer of the base register at distance 1
+  u64 num_ops = 200'000;
+  u64 seed = 0xeeb;
+
+  /// Derive parameters from a kernel's Table II row.
+  [[nodiscard]] static SyntheticParams from_kernel(const KernelEntry& k,
+                                                   u64 num_ops = 200'000);
+};
+
+class SyntheticTrace final : public cpu::TraceSource {
+ public:
+  explicit SyntheticTrace(const SyntheticParams& p);
+
+  std::optional<cpu::TraceOp> next() override;
+
+  [[nodiscard]] const SyntheticParams& params() const { return params_; }
+
+ private:
+  void refill_block();
+
+  SyntheticParams params_;
+  Rng rng_;
+  u64 remaining_;
+  std::deque<cpu::TraceOp> q_;
+  unsigned dest_rr_ = 0;  // round-robin cursor into the destination pool
+  unsigned addr_rr_ = 0;  // round-robin cursor into the address pool
+  Addr addr_cursor_ = 0x0020'0000;
+};
+
+}  // namespace laec::workloads

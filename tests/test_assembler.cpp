@@ -1,0 +1,113 @@
+#include "isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace laec::isa {
+namespace {
+
+TEST(Assembler, EmitsAndResolvesForwardLabels) {
+  Assembler a("t");
+  a.addi(R{1}, R{0}, 1);
+  a.beq(R{1}, R{0}, "skip");  // forward reference
+  a.addi(R{2}, R{0}, 2);
+  a.label("skip");
+  a.halt();
+  const Program p = a.finish();
+  ASSERT_EQ(p.num_instructions(), 4u);
+  const DecodedInst b = decode(p.text[1]);
+  EXPECT_EQ(b.op, Op::kBeq);
+  EXPECT_EQ(b.imm, 2);  // two instructions forward
+}
+
+TEST(Assembler, BackwardBranch) {
+  Assembler a("t");
+  a.label("top");
+  a.addi(R{1}, R{1}, 1);
+  a.bne(R{1}, R{2}, "top");
+  a.halt();
+  const Program p = a.finish();
+  EXPECT_EQ(decode(p.text[1]).imm, -1);
+}
+
+TEST(Assembler, UndefinedLabelThrows) {
+  Assembler a("t");
+  a.j("nowhere");
+  EXPECT_THROW(a.finish(), std::runtime_error);
+}
+
+TEST(Assembler, DuplicateLabelThrows) {
+  Assembler a("t");
+  a.label("x");
+  EXPECT_THROW(a.label("x"), std::runtime_error);
+}
+
+TEST(Assembler, ImmediateRangeChecked) {
+  Assembler a("t");
+  EXPECT_THROW(a.addi(R{1}, R{0}, 100000), std::runtime_error);
+}
+
+TEST(Assembler, LiSmallUsesSingleInstruction) {
+  Assembler a("t");
+  a.li(R{1}, 42);
+  a.halt();
+  const Program p = a.finish();
+  EXPECT_EQ(p.num_instructions(), 2u);
+  EXPECT_EQ(decode(p.text[0]).imm, 42);
+}
+
+TEST(Assembler, LiLargeExpandsToLuiOri) {
+  Assembler a("t");
+  a.li(R{1}, 0x12345678u);
+  a.halt();
+  const Program p = a.finish();
+  ASSERT_EQ(p.num_instructions(), 3u);
+  EXPECT_EQ(decode(p.text[0]).op, Op::kLui);
+  EXPECT_EQ(decode(p.text[1]).op, Op::kOr);
+}
+
+TEST(Assembler, DataSegmentLayout) {
+  Assembler a("t");
+  const Addr w0 = a.data_word(0xdeadbeef);
+  const Addr w1 = a.data_word(0x12345678);
+  EXPECT_EQ(w1, w0 + 4);
+  a.data_label("tbl");
+  const Addr blk = a.data_words({1, 2, 3});
+  a.halt();
+  const Program p = a.finish();
+  EXPECT_EQ(p.symbol("tbl"), blk);
+  // Little-endian bytes of the first word.
+  EXPECT_EQ(p.data[0], 0xef);
+  EXPECT_EQ(p.data[3], 0xde);
+}
+
+TEST(Assembler, DataAlign) {
+  Assembler a("t");
+  a.data_bytes({1, 2, 3});
+  const Addr aligned = a.data_align(16);
+  EXPECT_EQ(aligned % 16, 0u);
+}
+
+TEST(Assembler, FinishTwiceThrows) {
+  Assembler a("t");
+  a.halt();
+  a.finish();
+  EXPECT_THROW(a.finish(), std::runtime_error);
+}
+
+TEST(Assembler, ProgramSymbolAndPcHelpers) {
+  Assembler a("t");
+  a.label("entry");
+  a.nop();
+  a.halt();
+  const Program p = a.finish();
+  EXPECT_EQ(p.symbol("entry"), p.text_base);
+  EXPECT_TRUE(p.contains_pc(p.text_base));
+  EXPECT_TRUE(p.contains_pc(p.text_base + 4));
+  EXPECT_FALSE(p.contains_pc(p.text_base + 8));
+  EXPECT_FALSE(p.contains_pc(p.text_base + 1));
+  EXPECT_EQ(p.inst_at(p.text_base).op, Op::kNop);
+  EXPECT_THROW(p.symbol("missing"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace laec::isa

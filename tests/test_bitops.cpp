@@ -1,0 +1,73 @@
+#include "common/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace laec {
+namespace {
+
+TEST(Bitops, Popcount) {
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(1), 1);
+  EXPECT_EQ(popcount64(0xff), 8);
+  EXPECT_EQ(popcount64(~u64{0}), 64);
+}
+
+TEST(Bitops, Parity) {
+  EXPECT_EQ(parity64(0), 0u);
+  EXPECT_EQ(parity64(1), 1u);
+  EXPECT_EQ(parity64(3), 0u);
+  EXPECT_EQ(parity64(7), 1u);
+  EXPECT_EQ(parity64(~u64{0}), 0u);
+}
+
+TEST(Bitops, GetSetFlip) {
+  u64 v = 0;
+  v = set_bit(v, 5, 1);
+  EXPECT_EQ(get_bit(v, 5), 1u);
+  EXPECT_EQ(get_bit(v, 4), 0u);
+  v = flip_bit(v, 5);
+  EXPECT_EQ(v, 0u);
+  v = set_bit(v, 63, 1);
+  EXPECT_EQ(get_bit(v, 63), 1u);
+  EXPECT_EQ(set_bit(v, 63, 0), 0u);
+}
+
+TEST(Bitops, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(32), 0xffffffffull);
+  EXPECT_EQ(low_mask(64), ~u64{0});
+}
+
+TEST(Bitops, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(log2_pow2(1), 0u);
+  EXPECT_EQ(log2_pow2(4096), 12u);
+}
+
+TEST(Bitops, SignExtend) {
+  EXPECT_EQ(sign_extend(0xfff, 12), -1);
+  EXPECT_EQ(sign_extend(0x7ff, 12), 2047);
+  EXPECT_EQ(sign_extend(0x800, 12), -2048);
+  EXPECT_EQ(sign_extend(0x1, 1), -1);
+  EXPECT_EQ(sign_extend(0xffffffffu, 32), -1);
+}
+
+class SignExtendSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SignExtendSweep, RoundTripsThroughMask) {
+  const unsigned bits = GetParam();
+  for (i32 v : {-(1 << (bits - 1)), -1, 0, 1, (1 << (bits - 1)) - 1}) {
+    const u32 enc = static_cast<u32>(v) & static_cast<u32>(low_mask(bits));
+    EXPECT_EQ(sign_extend(enc, bits), v) << "bits=" << bits << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SignExtendSweep,
+                         ::testing::Values(2u, 8u, 13u, 15u, 20u, 31u));
+
+}  // namespace
+}  // namespace laec

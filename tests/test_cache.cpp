@@ -1,0 +1,185 @@
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace laec::mem {
+namespace {
+
+CacheConfig small_cfg(ecc::CodecKind codec = ecc::CodecKind::kNone) {
+  CacheConfig c;
+  c.name = "t";
+  c.size_bytes = 1024;
+  c.line_bytes = 32;
+  c.ways = 2;
+  c.codec = codec;
+  return c;
+}
+
+std::vector<u8> line_of(u32 seed) {
+  std::vector<u8> v(32);
+  for (int i = 0; i < 32; ++i) v[static_cast<std::size_t>(i)] = static_cast<u8>(seed + i);
+  return v;
+}
+
+TEST(Cache, FillThenHit) {
+  SetAssocCache c(small_cfg());
+  EXPECT_FALSE(c.contains(0x100));
+  const auto data = line_of(5);
+  c.fill(0x100, data.data(), false);
+  EXPECT_TRUE(c.contains(0x100));
+  EXPECT_TRUE(c.contains(0x11f));   // same line
+  EXPECT_FALSE(c.contains(0x120));  // next line
+}
+
+TEST(Cache, ReadExtractsBytes) {
+  SetAssocCache c(small_cfg());
+  std::vector<u8> data(32, 0);
+  const u32 word = 0xa1b2c3d4;
+  std::memcpy(data.data() + 8, &word, 4);
+  c.fill(0x200, data.data(), false);
+  EXPECT_EQ(c.read(0x208, 4).value, 0xa1b2c3d4u);
+  EXPECT_EQ(c.read(0x208, 2).value, 0xc3d4u);
+  EXPECT_EQ(c.read(0x20a, 2).value, 0xa1b2u);
+  EXPECT_EQ(c.read(0x20b, 1).value, 0xa1u);
+}
+
+TEST(Cache, SubWordWriteMerges) {
+  SetAssocCache c(small_cfg(ecc::CodecKind::kSecded));
+  std::vector<u8> data(32, 0);
+  c.fill(0x300, data.data(), false);
+  c.write(0x308, 4, 0x11223344, true);
+  c.write(0x309, 1, 0xaa, true);
+  EXPECT_EQ(c.read(0x308, 4).value, 0x1122aa44u);
+  EXPECT_EQ(c.read(0x308, 4).check, ecc::CheckStatus::kOk);
+}
+
+TEST(Cache, DirtyTrackingWriteBack) {
+  SetAssocCache c(small_cfg());
+  const auto data = line_of(1);
+  c.fill(0x400, data.data(), false);
+  EXPECT_FALSE(c.line_dirty(0x400));
+  c.write(0x400, 4, 1, true);
+  EXPECT_TRUE(c.line_dirty(0x400));
+}
+
+TEST(Cache, WriteThroughNeverDirty) {
+  auto cfg = small_cfg();
+  cfg.write_policy = WritePolicy::kWriteThrough;
+  SetAssocCache c(cfg);
+  const auto data = line_of(1);
+  c.fill(0x400, data.data(), false);
+  c.write(0x400, 4, 1, true);
+  EXPECT_FALSE(c.line_dirty(0x400));
+}
+
+TEST(Cache, LruEviction) {
+  SetAssocCache c(small_cfg());  // 2 ways, 16 sets, 32B lines
+  const auto d = line_of(0);
+  // Three lines mapping to set 0 (stride = 16 sets * 32 B = 512).
+  c.fill(0x0000, d.data(), false);
+  c.fill(0x0200, d.data(), false);
+  c.read(0x0000, 4);  // touch line 0 -> line at 0x200 becomes LRU
+  const auto ev = c.fill(0x0400, d.data(), false);
+  EXPECT_FALSE(ev.has_value());  // victim was clean
+  EXPECT_TRUE(c.contains(0x0000));
+  EXPECT_FALSE(c.contains(0x0200));
+  EXPECT_TRUE(c.contains(0x0400));
+}
+
+TEST(Cache, DirtyEvictionReturnsData) {
+  SetAssocCache c(small_cfg());
+  const auto d = line_of(9);
+  c.fill(0x0000, d.data(), false);
+  c.write(0x0004, 4, 0xfeedface, true);
+  c.fill(0x0200, d.data(), false);
+  const auto ev = c.fill(0x0400, d.data(), false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 0x0000u);
+  u32 w;
+  std::memcpy(&w, ev->data.data() + 4, 4);
+  EXPECT_EQ(w, 0xfeedfaceu);
+}
+
+TEST(Cache, SecdedCorrectsInjectedSingleBit) {
+  SetAssocCache c(small_cfg(ecc::CodecKind::kSecded));
+  ecc::FaultInjector inj;
+  c.set_injector(&inj);
+  std::vector<u8> data(32, 0);
+  const u32 word = 0x5555aaaa;
+  std::memcpy(data.data(), &word, 4);
+  c.fill(0x500, data.data(), false);
+  // Flip data bit 3 of the first word of the line.
+  inj.script_flip((0x500 / 4) + 0, 3);
+  const auto r = c.read(0x500, 4);
+  EXPECT_EQ(r.check, ecc::CheckStatus::kCorrected);
+  EXPECT_EQ(r.value, 0x5555aaaau);
+  // Scrubbing repaired the array: the next read is clean.
+  EXPECT_EQ(c.read(0x500, 4).check, ecc::CheckStatus::kOk);
+  EXPECT_EQ(c.stats().value("ecc_corrected"), 1u);
+}
+
+TEST(Cache, SecdedDetectsDoubleBit) {
+  SetAssocCache c(small_cfg(ecc::CodecKind::kSecded));
+  ecc::FaultInjector inj;
+  c.set_injector(&inj);
+  std::vector<u8> data(32, 0x77);
+  c.fill(0x600, data.data(), false);
+  inj.script_flip(0x600 / 4, 2);
+  inj.script_flip(0x600 / 4, 17);
+  EXPECT_EQ(c.read(0x600, 4).check,
+            ecc::CheckStatus::kDetectedUncorrectable);
+  EXPECT_EQ(c.stats().value("ecc_detected_uncorrectable"), 1u);
+}
+
+TEST(Cache, ParityDetectsSingleBit) {
+  SetAssocCache c(small_cfg(ecc::CodecKind::kParity));
+  ecc::FaultInjector inj;
+  c.set_injector(&inj);
+  std::vector<u8> data(32, 0x10);
+  c.fill(0x700, data.data(), false);
+  inj.script_flip(0x700 / 4, 12);
+  EXPECT_EQ(c.read(0x700, 4).check,
+            ecc::CheckStatus::kDetectedUncorrectable);
+}
+
+TEST(Cache, CheckBitFlipAlsoCorrected) {
+  SetAssocCache c(small_cfg(ecc::CodecKind::kSecded));
+  ecc::FaultInjector inj;
+  c.set_injector(&inj);
+  std::vector<u8> data(32, 0x42);
+  c.fill(0x800, data.data(), false);
+  inj.script_flip(0x800 / 4, 32 + 3);  // a check bit
+  const auto r = c.read(0x800, 4);
+  EXPECT_EQ(r.check, ecc::CheckStatus::kCorrected);
+  EXPECT_EQ(r.value, 0x42424242u);
+}
+
+TEST(Cache, InvalidateAndPeek) {
+  SetAssocCache c(small_cfg());
+  const auto d = line_of(3);
+  c.fill(0x900, d.data(), false);
+  EXPECT_EQ(c.peek_line(0x900), d);
+  EXPECT_TRUE(c.invalidate(0x900));
+  EXPECT_FALSE(c.contains(0x900));
+  EXPECT_FALSE(c.invalidate(0x900));
+}
+
+TEST(Cache, FlushDirtyVisitsDirtyLinesOnly) {
+  SetAssocCache c(small_cfg());
+  const auto d = line_of(1);
+  c.fill(0x000, d.data(), false);
+  c.fill(0x020, d.data(), false);
+  c.write(0x020, 4, 0x99, true);
+  int visited = 0;
+  c.flush_dirty([&](Addr a, const u8*) {
+    ++visited;
+    EXPECT_EQ(a, 0x020u);
+  });
+  EXPECT_EQ(visited, 1);
+  EXPECT_FALSE(c.line_dirty(0x020));
+}
+
+}  // namespace
+}  // namespace laec::mem

@@ -1,0 +1,186 @@
+// Chronogram scenarios beyond the paper's figures: misses, write-buffer
+// interaction, structural hazards — pinning the pipeline's visual/timing
+// behaviour in corner cases the figures don't show.
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hpp"
+
+namespace laec::cpu {
+namespace {
+
+using isa::Assembler;
+using isa::R;
+
+struct Harness {
+  std::unique_ptr<sim::System> system;
+  const report::ChronogramRecorder* chrono = nullptr;
+  std::string row(Seq s) const { return chrono->compact(s); }
+  const StatSet& stats() const {
+    return system->core(0).pipeline().stats();
+  }
+};
+
+Harness run(EccPolicy ecc, const isa::Program& p,
+            const std::vector<Addr>& warm_lines, int max_cycles = 400) {
+  core::SimConfig cfg = test::test_config(ecc);
+  cfg.record_chronogram = true;
+  Harness h;
+  h.system = std::make_unique<sim::System>(core::make_system_config(cfg));
+  h.system->load_program(p);
+  test::prefill_icache(*h.system, p);
+  for (Addr a : warm_lines) test::prefill_dl1(*h.system, a);
+  auto& pipe = h.system->core(0).pipeline();
+  pipe.set_reg(1, p.data_base);
+  pipe.set_reg(2, 0);
+  for (int i = 0; i < max_cycles && !h.system->core(0).halted(); ++i) {
+    h.system->tick();
+  }
+  EXPECT_TRUE(h.system->core(0).halted());
+  h.chrono = &pipe.chronogram();
+  return h;
+}
+
+TEST(ChronogramScenarios, ColdLoadShowsRepeatedM) {
+  // A DL1 miss holds the Memory stage for the whole refill.
+  Assembler a("miss");
+  a.data_words({1, 2, 3, 4});
+  a.lw(R{3}, R{1}, R{2});
+  a.halt();
+  const auto h = run(EccPolicy::kNoEcc, a.finish(), /*warm=*/{});
+  const std::string r = h.row(0);
+  // F D RA Exe M M M ... M Exc WB — more than 10 M cells for a memory trip.
+  EXPECT_NE(r.find("M M M"), std::string::npos);
+  EXPECT_EQ(r.substr(0, 12), "F D RA Exe M");
+  EXPECT_EQ(r.substr(r.size() - 8), "M Exc WB");
+}
+
+TEST(ChronogramScenarios, BackToBackLoadHitsStallUnderExtraCycle) {
+  // "such a solution virtually doubles the time utilization of the DL1"
+  // (§II.B): the second load waits an extra Exe cycle even with no data
+  // dependence at all.
+  Assembler a("b2b");
+  a.data_words({1, 2, 3, 4, 5, 6, 7, 8});
+  a.lw(R{3}, R{1}, 0);
+  a.lw(R{4}, R{1}, 4);
+  a.halt();
+  const auto p = a.finish();
+  const auto h = run(EccPolicy::kExtraCycle, p, {p.data_base});
+  EXPECT_EQ(h.row(0), "F D RA Exe M M Exc WB");
+  EXPECT_EQ(h.row(1), "F D RA Exe Exe M M Exc WB");
+
+  // Under Extra Stage the same pair is fully pipelined.
+  const auto h2 = run(EccPolicy::kExtraStage, p, {p.data_base});
+  EXPECT_EQ(h2.row(0), "F D RA Exe M ECC Exc WB");
+  EXPECT_EQ(h2.row(1), "F D RA Exe M ECC Exc WB");
+}
+
+TEST(ChronogramScenarios, LoadAfterStoreWaitsForDrain) {
+  // §III.B: "All loads stall the memory stage until the write buffer is
+  // empty". A store that *hits* drains in the port-idle cycle right after
+  // its M stage, so a following load pays nothing; a store that *misses*
+  // keeps the buffer busy for a whole write-allocate refill, and the load
+  // visibly stalls in M.
+  Assembler a("st_ld");
+  a.data_fill(8, 0);              // warmed line (the load's target)
+  const Addr cold = a.data_fill(64, 0) + 128;  // beyond the warmed line
+  a.sw(R{5}, R{1}, static_cast<i32>(cold - isa::kDefaultDataBase));
+  a.lw(R{3}, R{1}, 4);
+  a.halt();
+  const auto p = a.finish();
+  const auto h = run(EccPolicy::kNoEcc, p, {p.data_base});
+  // The store itself flows freely (the write buffer absorbs it)...
+  EXPECT_EQ(h.row(0), "F D RA Exe M Exc WB");
+  // ...the load pays M-stalls while the missing store drains.
+  EXPECT_NE(h.row(1).find("M M"), std::string::npos);
+  EXPECT_GT(h.stats().value("stall_wb_drain"), 0u);
+}
+
+TEST(ChronogramScenarios, AnticipatedLoadBehindStoreFallsBack) {
+  // LAEC: the write buffer is not empty when the load reaches EX, so the
+  // anticipated access falls back dynamically — still correct, and never
+  // slower than Extra Stage's handling of the same sequence.
+  Assembler a("st_la");
+  a.data_words({7, 7, 7, 7, 7, 7, 7, 7});
+  a.sw(R{5}, R{1}, 0);
+  a.lw(R{3}, R{1}, 4);
+  a.add(R{6}, R{3}, R{5});
+  a.halt();
+  const auto p = a.finish();
+  const auto laec = run(EccPolicy::kLaec, p, {p.data_base});
+  EXPECT_EQ(laec.stats().value("laec_dynamic_fallback") +
+                laec.stats().value("laec_anticipated"),
+            1u);
+
+  Assembler b("st_es");
+  b.data_words({7, 7, 7, 7, 7, 7, 7, 7});
+  b.sw(R{5}, R{1}, 0);
+  b.lw(R{3}, R{1}, 4);
+  b.add(R{6}, R{3}, R{5});
+  b.halt();
+  const auto pb = b.finish();
+  const auto es = run(EccPolicy::kExtraStage, pb, {pb.data_base});
+  EXPECT_LE(laec.stats().value("cycles"), es.stats().value("cycles"));
+}
+
+TEST(ChronogramScenarios, TakenBranchSquashesWrongPath) {
+  Assembler a("br");
+  a.data_words({1, 2, 3, 4});
+  a.li(R{4}, 1);
+  a.bne(R{4}, R{0}, "target");   // always taken
+  a.addi(R{9}, R{9}, 1);         // wrong path — must vanish
+  a.addi(R{9}, R{9}, 1);
+  a.label("target");
+  a.addi(R{10}, R{10}, 1);
+  a.halt();
+  const auto p = a.finish();
+  const auto h = run(EccPolicy::kNoEcc, p, {});
+  EXPECT_GT(h.stats().value("squashed"), 0u);
+  // Wrong-path rows were erased from the chronogram.
+  EXPECT_EQ(h.row(2), "");
+  // The target instruction appears after the squash bubble.
+  EXPECT_FALSE(h.row(4).empty());
+  EXPECT_EQ(h.system->core(0).pipeline().reg(9), 0u);
+  EXPECT_EQ(h.system->core(0).pipeline().reg(10), 1u);
+}
+
+TEST(ChronogramScenarios, LaecStreamOfAnticipatedLoadsIsFullyPipelined) {
+  // Consecutive anticipated loads use the DL1 port on consecutive EX
+  // cycles — no resource hazard between anticipated loads (§III.A).
+  Assembler a("stream");
+  a.data_words({1, 2, 3, 4, 5, 6, 7, 8});
+  a.lw(R{3}, R{1}, 0);
+  a.lw(R{4}, R{1}, 4);
+  a.lw(R{5}, R{1}, 8);
+  a.halt();
+  const auto p = a.finish();
+  const auto h = run(EccPolicy::kLaec, p, {p.data_base});
+  EXPECT_EQ(h.stats().value("laec_anticipated"), 3u);
+  EXPECT_EQ(h.row(0), "F D RA Exe M ECC Exc WB");
+  EXPECT_EQ(h.row(1), "F D RA Exe M ECC Exc WB");
+  EXPECT_EQ(h.row(2), "F D RA Exe M ECC Exc WB");
+}
+
+TEST(ChronogramScenarios, DivOccupiesExeVisibly) {
+  Assembler a("div");
+  a.data_words({1});
+  a.li(R{4}, 100);
+  a.li(R{5}, 7);
+  a.div(R{6}, R{4}, R{5});
+  a.halt();
+  core::SimConfig cfg = test::test_config(EccPolicy::kNoEcc);
+  cfg.record_chronogram = true;
+  cfg.div_latency = 4;
+  Harness h;
+  h.system = std::make_unique<sim::System>(core::make_system_config(cfg));
+  const auto p = a.finish();
+  h.system->load_program(p);
+  test::prefill_icache(*h.system, p);
+  for (int i = 0; i < 100 && !h.system->core(0).halted(); ++i) {
+    h.system->tick();
+  }
+  h.chrono = &h.system->core(0).pipeline().chronogram();
+  EXPECT_EQ(h.row(2), "F D RA Exe Exe Exe Exe M Exc WB");
+}
+
+}  // namespace
+}  // namespace laec::cpu

@@ -1,0 +1,75 @@
+#include "isa/disasm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace laec::isa {
+namespace {
+
+DecodedInst load_rr(u8 rd, u8 rs1, u8 rs2) {
+  DecodedInst d;
+  d.op = Op::kLw;
+  d.rd = rd;
+  d.rs1 = rs1;
+  d.rs2 = rs2;
+  return d;
+}
+
+TEST(Disasm, PaperStyleLoad) {
+  EXPECT_EQ(paper_style(load_rr(3, 1, 2)), "r3 = load(r1+r2)");
+}
+
+TEST(Disasm, PaperStyleLoadImmediate) {
+  DecodedInst d = load_rr(3, 1, 0);
+  d.uses_imm = true;
+  d.imm = 8;
+  EXPECT_EQ(paper_style(d), "r3 = load(r1+8)");
+}
+
+TEST(Disasm, PaperStyleAdd) {
+  DecodedInst d;
+  d.op = Op::kAdd;
+  d.rd = 5;
+  d.rs1 = 3;
+  d.rs2 = 4;
+  EXPECT_EQ(paper_style(d), "r5 = r3 + r4");
+}
+
+TEST(Disasm, PaperStyleStore) {
+  DecodedInst d;
+  d.op = Op::kSw;
+  d.rd = 7;
+  d.rs1 = 1;
+  d.rs2 = 2;
+  EXPECT_EQ(paper_style(d), "store(r1+r2) = r7");
+}
+
+TEST(Disasm, ConventionalForms) {
+  EXPECT_EQ(disassemble(load_rr(3, 1, 2)), "lw r3, [r1+r2]");
+  DecodedInst d;
+  d.op = Op::kSub;
+  d.rd = 9;
+  d.rs1 = 8;
+  d.uses_imm = true;
+  d.imm = -4;
+  EXPECT_EQ(disassemble(d), "subi r9, r8, -4");
+  DecodedInst b;
+  b.op = Op::kBne;
+  b.rs1 = 1;
+  b.rs2 = 0;
+  b.uses_imm = true;
+  b.imm = -3;
+  EXPECT_EQ(disassemble(b), "bne r1, r0, -3");
+  DecodedInst h;
+  h.op = Op::kHalt;
+  EXPECT_EQ(disassemble(h), "halt");
+}
+
+TEST(Disasm, NegativeOffsetRendering) {
+  DecodedInst d = load_rr(3, 1, 0);
+  d.uses_imm = true;
+  d.imm = -12;
+  EXPECT_EQ(paper_style(d), "r3 = load(r1-12)");
+}
+
+}  // namespace
+}  // namespace laec::isa

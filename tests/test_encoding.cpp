@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/isa.hpp"
+
+namespace laec::isa {
+namespace {
+
+TEST(Encoding, AluRegRegRoundTrip) {
+  DecodedInst d;
+  d.op = Op::kAdd;
+  d.rd = 5;
+  d.rs1 = 3;
+  d.rs2 = 4;
+  EXPECT_EQ(decode(encode(d)), d);
+}
+
+TEST(Encoding, AluImmRoundTrip) {
+  DecodedInst d;
+  d.op = Op::kXor;
+  d.rd = 31;
+  d.rs1 = 1;
+  d.uses_imm = true;
+  for (i32 imm : {kImmMin, -1, 0, 1, 1000, kImmMax}) {
+    d.imm = imm;
+    EXPECT_EQ(decode(encode(d)), d) << "imm=" << imm;
+  }
+}
+
+TEST(Encoding, LoadStoreBothForms) {
+  for (Op op : {Op::kLw, Op::kLh, Op::kLhu, Op::kLb, Op::kLbu, Op::kSw,
+                Op::kSh, Op::kSb}) {
+    DecodedInst rr;
+    rr.op = op;
+    rr.rd = 7;
+    rr.rs1 = 8;
+    rr.rs2 = 9;
+    EXPECT_EQ(decode(encode(rr)), rr);
+    DecodedInst ri = rr;
+    ri.rs2 = 0;
+    ri.uses_imm = true;
+    ri.imm = -64;
+    EXPECT_EQ(decode(encode(ri)), ri);
+  }
+}
+
+TEST(Encoding, BranchDisplacementRange) {
+  DecodedInst d;
+  d.op = Op::kBne;
+  d.rs1 = 2;
+  d.rs2 = 3;
+  d.uses_imm = true;
+  for (i32 disp : {kBranchDispMin, -1, 1, kBranchDispMax}) {
+    d.imm = disp;
+    EXPECT_EQ(decode(encode(d)), d) << "disp=" << disp;
+  }
+}
+
+TEST(Encoding, JalAndLui20BitImmediates) {
+  for (Op op : {Op::kJal, Op::kLui}) {
+    DecodedInst d;
+    d.op = op;
+    d.rd = 1;
+    d.uses_imm = true;
+    for (i32 imm : {kImm20Min, -1, 0, 12345, kImm20Max}) {
+      d.imm = imm;
+      EXPECT_EQ(decode(encode(d)), d);
+    }
+  }
+}
+
+TEST(Encoding, UnknownOpcodeDecodesToHalt) {
+  EXPECT_EQ(decode(0xffffffffu).op, Op::kHalt);
+}
+
+TEST(Encoding, OpClassification) {
+  EXPECT_EQ(op_class(Op::kLw), OpClass::kLoad);
+  EXPECT_EQ(op_class(Op::kSb), OpClass::kStore);
+  EXPECT_EQ(op_class(Op::kBgeu), OpClass::kBranch);
+  EXPECT_EQ(op_class(Op::kJalr), OpClass::kJump);
+  EXPECT_EQ(op_class(Op::kMulh), OpClass::kAlu);
+  EXPECT_EQ(op_class(Op::kNop), OpClass::kNop);
+}
+
+TEST(Encoding, SourceAndDestQueries) {
+  DecodedInst ld;
+  ld.op = Op::kLw;
+  ld.rd = 3;
+  ld.rs1 = 1;
+  ld.rs2 = 2;
+  EXPECT_EQ(ld.dest(), std::optional<u8>(3));
+  EXPECT_EQ(ld.exec_srcs()[0], std::optional<u8>(1));
+  EXPECT_EQ(ld.exec_srcs()[1], std::optional<u8>(2));
+  EXPECT_FALSE(ld.store_data_src().has_value());
+
+  DecodedInst st;
+  st.op = Op::kSw;
+  st.rd = 3;  // data
+  st.rs1 = 1;
+  st.uses_imm = true;
+  EXPECT_FALSE(st.dest().has_value());
+  EXPECT_EQ(st.store_data_src(), std::optional<u8>(3));
+  EXPECT_EQ(st.exec_srcs()[0], std::optional<u8>(1));
+  EXPECT_FALSE(st.exec_srcs()[1].has_value());
+
+  DecodedInst zero;
+  zero.op = Op::kAdd;
+  zero.rd = 0;  // writes to r0 are discarded
+  EXPECT_FALSE(zero.dest().has_value());
+}
+
+TEST(Encoding, MemAccessBytes) {
+  EXPECT_EQ(mem_access_bytes(Op::kLw), 4u);
+  EXPECT_EQ(mem_access_bytes(Op::kSh), 2u);
+  EXPECT_EQ(mem_access_bytes(Op::kLbu), 1u);
+  EXPECT_EQ(mem_access_bytes(Op::kAdd), 0u);
+}
+
+TEST(Encoding, RandomRoundTripSweep) {
+  Rng rng(1234);
+  for (int i = 0; i < 5000; ++i) {
+    DecodedInst d;
+    d.op = static_cast<Op>(rng.below(static_cast<u64>(Op::kOpCount)));
+    const OpClass cls = op_class(d.op);
+    if (d.op == Op::kLui || d.op == Op::kJal) {
+      d.rd = static_cast<u8>(rng.below(32));
+      d.uses_imm = true;
+      d.imm = static_cast<i32>(rng.range(kImm20Min, kImm20Max));
+    } else if (cls == OpClass::kBranch) {
+      d.rs1 = static_cast<u8>(rng.below(32));
+      d.rs2 = static_cast<u8>(rng.below(32));
+      d.uses_imm = true;
+      d.imm = static_cast<i32>(rng.range(kBranchDispMin, kBranchDispMax));
+    } else if (cls == OpClass::kNop || cls == OpClass::kHalt) {
+      // no operands
+    } else {
+      d.rd = static_cast<u8>(rng.below(32));
+      d.rs1 = static_cast<u8>(rng.below(32));
+      if (rng.chance(0.5)) {
+        d.uses_imm = true;
+        d.imm = static_cast<i32>(rng.range(kImmMin, kImmMax));
+      } else {
+        d.rs2 = static_cast<u8>(rng.below(32));
+      }
+    }
+    EXPECT_EQ(decode(encode(d)), d);
+  }
+}
+
+}  // namespace
+}  // namespace laec::isa

@@ -1,0 +1,65 @@
+#include "energy/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace laec::energy {
+namespace {
+
+core::RunStats fake_stats(u64 cycles, u64 insts, u64 loads, u64 stores,
+                          u64 anticipated) {
+  core::RunStats s;
+  s.cycles = cycles;
+  s.instructions = insts;
+  s.loads = loads;
+  s.stores = stores;
+  s.laec_anticipated = anticipated;
+  return s;
+}
+
+TEST(Energy, LeakageProportionalToCycles) {
+  EnergyParams p;
+  const auto a = compute(p, fake_stats(1'000'000, 700'000, 170'000, 50'000, 0),
+                         cpu::EccPolicy::kExtraStage);
+  const auto b = compute(p, fake_stats(2'000'000, 700'000, 170'000, 50'000, 0),
+                         cpu::EccPolicy::kExtraStage);
+  EXPECT_NEAR(b.leakage_uj / a.leakage_uj, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(a.dynamic_uj, b.dynamic_uj);  // same event counts
+}
+
+TEST(Energy, LaecHardwareAdderIsUnderOnePercent) {
+  // The paper's §IV.A claim: the extra RF ports + adder cost < 1% power.
+  EnergyParams p;
+  const auto s = fake_stats(1'000'000, 700'000, 170'000, 50'000, 120'000);
+  const auto e = compute(p, s, cpu::EccPolicy::kLaec);
+  EXPECT_GT(e.laec_adder_uj, 0.0);
+  EXPECT_LT(e.laec_dynamic_fraction(), 0.01);
+}
+
+TEST(Energy, SecdedCostsMoreThanParityThanNone) {
+  EnergyParams p;
+  const auto s = fake_stats(1'000'000, 700'000, 170'000, 50'000, 0);
+  const auto none = compute(p, s, cpu::EccPolicy::kNoEcc);
+  const auto par = compute(p, s, cpu::EccPolicy::kWtParity);
+  const auto sec = compute(p, s, cpu::EccPolicy::kExtraStage);
+  EXPECT_LT(none.dynamic_uj, par.dynamic_uj);
+  EXPECT_LT(par.dynamic_uj, sec.dynamic_uj);
+}
+
+TEST(Energy, NoEccPolicyHasNoLaecAdder) {
+  EnergyParams p;
+  const auto s = fake_stats(1'000'000, 700'000, 170'000, 50'000, 99'999);
+  const auto e = compute(p, s, cpu::EccPolicy::kNoEcc);
+  EXPECT_DOUBLE_EQ(e.laec_adder_uj, 0.0);
+}
+
+TEST(Energy, TotalIsDynamicPlusLeakage) {
+  EnergyParams p;
+  const auto s = fake_stats(500'000, 300'000, 80'000, 20'000, 10'000);
+  const auto e = compute(p, s, cpu::EccPolicy::kLaec);
+  EXPECT_DOUBLE_EQ(e.total_uj(), e.dynamic_uj + e.leakage_uj);
+  EXPECT_GT(e.dynamic_uj, 0.0);
+  EXPECT_GT(e.leakage_uj, 0.0);
+}
+
+}  // namespace
+}  // namespace laec::energy

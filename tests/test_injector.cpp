@@ -1,0 +1,77 @@
+#include "ecc/injector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace laec::ecc {
+namespace {
+
+TEST(Injector, DisabledByDefault) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_TRUE(inj.flips_for_access(0).empty());
+}
+
+TEST(Injector, ScriptedFlipFiresOnceOnMatchingWord) {
+  FaultInjector inj;
+  inj.script_flip(7, 3);
+  EXPECT_TRUE(inj.enabled());
+  EXPECT_TRUE(inj.flips_for_access(5).empty());
+  const auto f = inj.flips_for_access(7);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], 3u);
+  EXPECT_TRUE(inj.flips_for_access(7).empty());  // consumed
+  EXPECT_EQ(inj.injected_scripted(), 1u);
+}
+
+TEST(Injector, ScriptedFlipsAccumulate) {
+  FaultInjector inj;
+  inj.script_flip(1, 0);
+  inj.script_flip(1, 5);
+  const auto f = inj.flips_for_access(1);
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(Injector, SingleFlipRateApproximatelyHonored) {
+  InjectorConfig cfg;
+  cfg.single_flip_prob = 0.1;
+  cfg.word_bits = 39;
+  FaultInjector inj(cfg);
+  int flips = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const auto f = inj.flips_for_access(static_cast<u64>(i));
+    EXPECT_LE(f.size(), 1u);
+    flips += static_cast<int>(f.size());
+    for (unsigned b : f) EXPECT_LT(b, 39u);
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / kN, 0.1, 0.01);
+}
+
+TEST(Injector, DoubleFlipsAreDistinctPositions) {
+  InjectorConfig cfg;
+  cfg.double_flip_prob = 1.0;
+  cfg.word_bits = 39;
+  FaultInjector inj(cfg);
+  for (int i = 0; i < 500; ++i) {
+    const auto f = inj.flips_for_access(static_cast<u64>(i));
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_NE(f[0], f[1]);
+    EXPECT_LT(f[0], 39u);
+    EXPECT_LT(f[1], 39u);
+  }
+  EXPECT_EQ(inj.injected_double(), 500u);
+}
+
+TEST(Injector, DeterministicAcrossInstances) {
+  InjectorConfig cfg;
+  cfg.single_flip_prob = 0.5;
+  cfg.seed = 99;
+  FaultInjector a(cfg), b(cfg);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.flips_for_access(static_cast<u64>(i)),
+              b.flips_for_access(static_cast<u64>(i)));
+  }
+}
+
+}  // namespace
+}  // namespace laec::ecc

@@ -1,0 +1,118 @@
+// Integration tests: every EEMBC-like kernel runs to completion and
+// produces its reference results under every DL1 ECC deployment — the
+// "timing-only" invariant (DESIGN.md §6) at full-application scale.
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hpp"
+#include "workloads/eembc.hpp"
+
+namespace laec::workloads {
+namespace {
+
+using cpu::EccPolicy;
+
+class KernelMatrix
+    : public ::testing::TestWithParam<std::tuple<std::string, EccPolicy>> {};
+
+TEST_P(KernelMatrix, SelfChecksPass) {
+  const auto& [name, policy] = GetParam();
+  const KernelEntry& entry = kernel_by_name(name);
+  const BuiltKernel k = entry.build();
+  ASSERT_FALSE(k.expected.empty()) << name << " has no self-checks";
+
+  auto r = test::run_keep_system(test::test_config(policy), k.program);
+  ASSERT_TRUE(r.stats.completed) << name << " did not halt";
+  int mismatches = 0;
+  for (const auto& [addr, expect] : k.expected) {
+    const u32 got = r.system->read_word_final(addr);
+    if (got != expect && ++mismatches <= 5) {
+      ADD_FAILURE() << name << " @0x" << std::hex << addr << ": got 0x"
+                    << got << " expected 0x" << expect;
+    }
+  }
+  EXPECT_EQ(mismatches, 0) << name;
+}
+
+std::vector<std::string> kernel_names() {
+  std::vector<std::string> names;
+  for (const auto& e : eembc_kernels()) names.emplace_back(e.name);
+  return names;
+}
+
+std::string policy_id(EccPolicy p) {
+  switch (p) {
+    case EccPolicy::kNoEcc: return "NoEcc";
+    case EccPolicy::kExtraCycle: return "ExtraCycle";
+    case EccPolicy::kExtraStage: return "ExtraStage";
+    case EccPolicy::kLaec: return "Laec";
+    case EccPolicy::kWtParity: return "WtParity";
+  }
+  return "Unknown";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAllPolicies, KernelMatrix,
+    ::testing::Combine(::testing::ValuesIn(kernel_names()),
+                       ::testing::Values(EccPolicy::kNoEcc,
+                                         EccPolicy::kExtraCycle,
+                                         EccPolicy::kExtraStage,
+                                         EccPolicy::kLaec,
+                                         EccPolicy::kWtParity)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + policy_id(std::get<1>(info.param));
+    });
+
+TEST(Kernels, RegistryHasSixteenInPaperOrder) {
+  const auto& ks = eembc_kernels();
+  ASSERT_EQ(ks.size(), 16u);
+  EXPECT_STREQ(ks.front().name, "a2time");
+  EXPECT_STREQ(ks.back().name, "ttsprk");
+  // Table II averages (paper: 89 / 60 / 25).
+  double hit = 0, dep = 0, load = 0;
+  for (const auto& e : ks) {
+    hit += e.paper.hit_pct;
+    dep += e.paper.dep_pct;
+    load += e.paper.load_pct;
+  }
+  EXPECT_NEAR(hit / 16, 89.0, 1.0);
+  EXPECT_NEAR(dep / 16, 60.0, 1.0);
+  EXPECT_NEAR(load / 16, 25.0, 1.0);
+}
+
+TEST(Kernels, UnknownNameThrows) {
+  EXPECT_THROW(kernel_by_name("nope"), std::out_of_range);
+}
+
+TEST(Kernels, CycleOrderingHoldsOnRealWorkloads) {
+  // The paper's headline ordering on a real kernel, not just random code.
+  for (const char* name : {"matrix", "pntrch", "tblook"}) {
+    const BuiltKernel k = kernel_by_name(name).build();
+    const auto no_ecc =
+        test::run(test::test_config(EccPolicy::kNoEcc), k.program);
+    const auto laec = test::run(test::test_config(EccPolicy::kLaec), k.program);
+    const auto es =
+        test::run(test::test_config(EccPolicy::kExtraStage), k.program);
+    const auto ec =
+        test::run(test::test_config(EccPolicy::kExtraCycle), k.program);
+    EXPECT_LE(no_ecc.cycles, laec.cycles) << name;
+    EXPECT_LE(laec.cycles, es.cycles) << name;
+    EXPECT_LE(es.cycles, ec.cycles + 2) << name;
+  }
+}
+
+TEST(Kernels, MatrixIsAddrDepBound) {
+  // matrix's inner loop computes load addresses immediately before the
+  // loads, so LAEC should barely improve on Extra Stage (Fig. 8).
+  const BuiltKernel k = kernel_by_name("matrix").build();
+  auto r = test::run(test::test_config(EccPolicy::kLaec), k.program);
+  EXPECT_GT(r.laec_data_hazard, r.laec_anticipated);
+}
+
+TEST(Kernels, BasefpAnticipatesAlmostEverything) {
+  const BuiltKernel k = kernel_by_name("basefp").build();
+  auto r = test::run(test::test_config(EccPolicy::kLaec), k.program);
+  EXPECT_GT(r.laec_anticipated, 3 * r.laec_data_hazard);
+}
+
+}  // namespace
+}  // namespace laec::workloads

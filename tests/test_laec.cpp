@@ -1,0 +1,280 @@
+// Property tests of the paper's central claims (DESIGN.md §6):
+//  * all ECC deployments are timing-only: identical architectural results;
+//  * LAEC is never slower than Extra Stage, and never faster than no-ECC;
+//  * anticipation statistics respond to hazards as §III.A prescribes.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim_test_util.hpp"
+
+namespace laec::cpu {
+namespace {
+
+using isa::Assembler;
+using isa::R;
+using test::run_keep_system;
+using test::test_config;
+
+/// Random straight-line program over a private data pool. Bases r1..r4 are
+/// materialized with li so every config sees the same image.
+isa::Program random_program(u64 seed, int n_ops) {
+  Rng rng(seed);
+  Assembler a("rand" + std::to_string(seed));
+  const Addr pool = a.data_fill(512, 0);  // 2 KB
+  a.li(R{1}, pool);
+  a.li(R{2}, pool + 512);
+  a.li(R{3}, pool + 1024);
+  a.li(R{4}, pool + 1536);
+  const auto base = [&] { return R{static_cast<unsigned>(1 + rng.below(4))}; };
+  const auto gpr = [&] { return R{static_cast<unsigned>(5 + rng.below(20))}; };
+  const auto off = [&] { return static_cast<i32>(4 * rng.below(120)); };
+  for (int i = 0; i < n_ops; ++i) {
+    switch (rng.below(10)) {
+      case 0:
+      case 1:
+      case 2: {  // load
+        a.lw(gpr(), base(), off());
+        break;
+      }
+      case 3: {  // store
+        a.sw(gpr(), base(), off());
+        break;
+      }
+      case 4: {  // mul
+        a.mul(gpr(), gpr(), gpr());
+        break;
+      }
+      case 5: {  // shift
+        a.srli(gpr(), gpr(), static_cast<i32>(rng.below(31)));
+        break;
+      }
+      default: {  // add/sub/logic
+        switch (rng.below(3)) {
+          case 0: a.add(gpr(), gpr(), gpr()); break;
+          case 1: a.xor_(gpr(), gpr(), gpr()); break;
+          default: a.addi(gpr(), gpr(), static_cast<i32>(rng.range(-64, 64)));
+        }
+        break;
+      }
+    }
+  }
+  a.halt();
+  return a.finish();
+}
+
+struct PolicyRun {
+  u64 cycles;
+  std::vector<u32> mem;
+  std::vector<u32> regs;
+};
+
+PolicyRun run_policy(EccPolicy p, const isa::Program& prog) {
+  // Warm the L1I: cold straight-line fetch misses add I/D bus-arbitration
+  // noise that sits outside the paper's (loop-dominated) claims.
+  auto r = run_keep_system(test_config(p), prog, /*warm_icache=*/true);
+  EXPECT_TRUE(r.stats.completed) << to_string(p);
+  PolicyRun out;
+  out.cycles = r.stats.cycles;
+  const Addr pool = prog.data_base;
+  for (Addr a = pool; a < pool + 2048; a += 4) {
+    out.mem.push_back(r.system->read_word_final(a));
+  }
+  for (unsigned i = 1; i < 28; ++i) {
+    out.regs.push_back(r.system->core(0).pipeline().reg(i));
+  }
+  return out;
+}
+
+class RandomProgramProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RandomProgramProperty, PoliciesAgreeAndOrder) {
+  const auto prog = random_program(GetParam(), 300);
+  const auto no_ecc = run_policy(EccPolicy::kNoEcc, prog);
+  const auto extra_cycle = run_policy(EccPolicy::kExtraCycle, prog);
+  const auto extra_stage = run_policy(EccPolicy::kExtraStage, prog);
+  const auto laec = run_policy(EccPolicy::kLaec, prog);
+  const auto wt = run_policy(EccPolicy::kWtParity, prog);
+
+  // 1. Timing-only: identical architectural memory and registers.
+  for (const auto* other : {&extra_cycle, &extra_stage, &laec, &wt}) {
+    EXPECT_EQ(no_ecc.mem, other->mem);
+    EXPECT_EQ(no_ecc.regs, other->regs);
+  }
+
+  // 2. The paper's ordering: anticipation can only help ("our look-ahead
+  //    proposal will always perform equal or better than the Extra stage").
+  EXPECT_LE(no_ecc.cycles, laec.cycles);
+  EXPECT_LE(laec.cycles, extra_stage.cycles);
+  EXPECT_LE(no_ecc.cycles, extra_cycle.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramProperty,
+                         ::testing::Range<u64>(1, 21));
+
+TEST(Laec, AnticipatesIndependentAddressLoads) {
+  Assembler a("ind");
+  const Addr buf = a.data_fill(64, 0);
+  a.li(R{1}, buf);
+  for (int i = 0; i < 40; ++i) {
+    a.lw(R{5}, R{1}, static_cast<i32>(4 * (i % 16)));
+    a.add(R{6}, R{6}, R{5});
+  }
+  a.halt();
+  auto r = run_keep_system(test_config(EccPolicy::kLaec), a.finish());
+  const auto& s = r.stats.pipeline_stats;
+  // The address base never changes: after warm-up every load anticipates.
+  EXPECT_GE(s.value("laec_anticipated"), 38u);
+}
+
+TEST(Laec, AddressProducerBlocksAnticipation) {
+  auto build = [] {
+    Assembler a("dep");
+    const Addr buf = a.data_fill(64, 0);
+    a.li(R{1}, buf);
+    for (int i = 0; i < 40; ++i) {
+      a.addi(R{2}, R{1}, static_cast<i32>(4 * (i % 16)));  // producer
+      a.lw(R{5}, R{2}, 0);                                 // distance 1
+      a.add(R{6}, R{6}, R{5});
+    }
+    a.halt();
+    return a.finish();
+  };
+  // Under the exact rule a few loads still anticipate: consumer stalls skew
+  // the pipeline so the producer's value is occasionally ready early. The
+  // overwhelming majority are blocked.
+  auto r = run_keep_system(test_config(EccPolicy::kLaec), build());
+  const auto& s = r.stats.pipeline_stats;
+  EXPECT_GE(s.value("laec_data_hazard"), 30u);
+  EXPECT_LE(s.value("laec_anticipated"), 10u);
+
+  // The paper-literal distance-1 rule is at least as conservative. (It
+  // still anticipates when the producer has fully *retired* before the
+  // load reaches RA — the value is architecturally in the register file,
+  // which even the paper's wording permits.)
+  auto cfg = test_config(EccPolicy::kLaec);
+  cfg.hazard_rule = HazardRule::kPaperLiteral;
+  auto rl = run_keep_system(cfg, build());
+  EXPECT_LE(rl.stats.pipeline_stats.value("laec_anticipated"),
+            s.value("laec_anticipated"));
+  EXPECT_GE(rl.stats.pipeline_stats.value("laec_data_hazard"), 30u);
+}
+
+TEST(Laec, ProducerAtDistanceTwoDoesNotBlock) {
+  Assembler a("dep2");
+  const Addr buf = a.data_fill(64, 0);
+  a.li(R{1}, buf);
+  for (int i = 0; i < 40; ++i) {
+    a.addi(R{2}, R{1}, static_cast<i32>(4 * (i % 16)));  // producer
+    a.add(R{7}, R{7}, R{8});                             // filler
+    a.lw(R{5}, R{2}, 0);                                 // distance 2
+    a.add(R{6}, R{6}, R{5});
+  }
+  a.halt();
+  auto r = run_keep_system(test_config(EccPolicy::kLaec), a.finish());
+  const auto& s = r.stats.pipeline_stats;
+  // The bypass delivers the base register in time (paper §III.E: "If any of
+  // the registers has been generated but not yet stored in the register
+  // file, it can be obtained from existing bypasses").
+  EXPECT_GE(s.value("laec_anticipated"), 38u);
+}
+
+TEST(Laec, PaperLiteralRuleIsMoreConservative) {
+  // Construct bubbles so the distance-1 producer's value IS ready early
+  // (a taken branch separates them in time): kExact anticipates, the
+  // paper-literal rule does not.
+  Assembler a("lit");
+  const Addr buf = a.data_fill(16, 0);
+  a.li(R{9}, buf);
+  for (int i = 0; i < 10; ++i) {
+    a.mv(R{1}, R{9});          // distance-1 producer of the base...
+    a.lw(R{5}, R{1}, 0);       // ...but preceded by pipeline bubbles
+    a.nop();
+    a.j("l" + std::to_string(i));  // taken jump inserts 3 squashes
+    a.label("l" + std::to_string(i));
+  }
+  a.halt();
+
+  auto exact_cfg = test_config(EccPolicy::kLaec);
+  auto literal_cfg = test_config(EccPolicy::kLaec);
+  literal_cfg.hazard_rule = HazardRule::kPaperLiteral;
+  const auto prog1 = a.finish();
+  const auto exact = run_keep_system(exact_cfg, prog1);
+  const auto literal = run_keep_system(literal_cfg, prog1);
+  EXPECT_GE(literal.stats.pipeline_stats.value("laec_data_hazard"),
+            exact.stats.pipeline_stats.value("laec_data_hazard"));
+  EXPECT_LE(literal.stats.pipeline_stats.value("laec_anticipated"),
+            exact.stats.pipeline_stats.value("laec_anticipated"));
+}
+
+TEST(Laec, LaecMatchesNoEccWhenNoHazards) {
+  // Pure streaming loads with independent consumers: LAEC should deliver
+  // the no-ECC cycle count exactly (total overhead == 0).
+  Assembler a("stream");
+  const Addr buf = a.data_fill(64, 0);
+  a.li(R{1}, buf);
+  for (int i = 0; i < 60; ++i) {
+    a.lw(R{5}, R{1}, static_cast<i32>(4 * (i % 16)));
+    a.add(R{6}, R{6}, R{7});  // independent
+  }
+  a.halt();
+  const auto prog = a.finish();
+  const auto base = run_keep_system(test_config(EccPolicy::kNoEcc), prog);
+  const auto laec = run_keep_system(test_config(EccPolicy::kLaec), prog);
+  // Allow the one-cycle pipeline-drain difference of the 8th stage.
+  EXPECT_LE(laec.stats.cycles, base.stats.cycles + 2);
+}
+
+TEST(Laec, BranchShadowKnobSuppressesAnticipation) {
+  Assembler a("shadow");
+  const Addr buf = a.data_fill(16, 0);
+  a.li(R{1}, buf);
+  a.li(R{6}, 123);  // loaded values are 0, so beq r5,r6 is never taken
+  for (int i = 0; i < 20; ++i) {
+    a.beq(R{5}, R{6}, "end");
+    a.lw(R{5}, R{1}, 0);  // in RA exactly while the branch resolves in EX
+    a.nop();
+    a.nop();
+  }
+  a.label("end");
+  a.halt();
+  const auto prog = a.finish();
+
+  auto relaxed = test_config(EccPolicy::kLaec);
+  auto conservative = test_config(EccPolicy::kLaec);
+  conservative.lookahead_under_branch_shadow = false;
+  const auto rr = run_keep_system(relaxed, prog);
+  const auto rc = run_keep_system(conservative, prog);
+  EXPECT_GT(rc.stats.pipeline_stats.value("laec_branch_shadow"), 0u);
+  EXPECT_LT(rc.stats.pipeline_stats.value("laec_anticipated"),
+            rr.stats.pipeline_stats.value("laec_anticipated"));
+}
+
+TEST(Laec, DynamicFallbackOnPortCollision) {
+  // Force stall skew: a load misses (long M occupancy), the next load's
+  // static check passes but the port is claimed when it reaches EX.
+  Assembler a("skew");
+  const Addr buf = a.data_fill(1024, 0);  // larger than one line
+  a.li(R{1}, buf);
+  a.li(R{2}, buf + 512);
+  for (int i = 0; i < 10; ++i) {
+    // First load hits a cold line (miss); second is independent.
+    a.lw(R{5}, R{1}, static_cast<i32>(32 * i + 2048));
+    a.lw(R{6}, R{2}, static_cast<i32>(4 * i));
+    a.add(R{7}, R{7}, R{6});
+  }
+  a.halt();
+  auto r = run_keep_system(test_config(EccPolicy::kLaec), a.finish());
+  ASSERT_TRUE(r.stats.completed);
+  // Not asserting an exact count — just that the mechanism engages and the
+  // run completes with consistent totals.
+  const auto& s = r.stats.pipeline_stats;
+  const u64 classified = s.value("laec_anticipated") +
+                         s.value("laec_data_hazard") +
+                         s.value("laec_resource_hazard") +
+                         s.value("laec_dynamic_fallback") +
+                         s.value("laec_branch_shadow");
+  EXPECT_EQ(classified, r.stats.loads);
+}
+
+}  // namespace
+}  // namespace laec::cpu

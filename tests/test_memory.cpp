@@ -1,0 +1,58 @@
+#include "mem/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace laec::mem {
+namespace {
+
+TEST(MainMemory, ZeroInitialized) {
+  MainMemory m;
+  EXPECT_EQ(m.read_u32(0x1000), 0u);
+  EXPECT_EQ(m.read_u8(0xdeadbeef), 0u);
+  EXPECT_EQ(m.resident_pages(), 0u);  // reads allocate nothing
+}
+
+TEST(MainMemory, ByteHalfWordRoundTrip) {
+  MainMemory m;
+  m.write_u8(0x100, 0xab);
+  EXPECT_EQ(m.read_u8(0x100), 0xab);
+  m.write_u16(0x200, 0xbeef);
+  EXPECT_EQ(m.read_u16(0x200), 0xbeef);
+  m.write_u32(0x300, 0x12345678);
+  EXPECT_EQ(m.read_u32(0x300), 0x12345678u);
+}
+
+TEST(MainMemory, LittleEndianLayout) {
+  MainMemory m;
+  m.write_u32(0x10, 0x11223344);
+  EXPECT_EQ(m.read_u8(0x10), 0x44);
+  EXPECT_EQ(m.read_u8(0x13), 0x11);
+  EXPECT_EQ(m.read_u16(0x10), 0x3344);
+}
+
+TEST(MainMemory, CrossPageAccess) {
+  MainMemory m;
+  const Addr edge = MainMemory::kPageSize - 2;
+  m.write_u32(edge, 0xcafebabe);
+  EXPECT_EQ(m.read_u32(edge), 0xcafebabeu);
+  EXPECT_EQ(m.resident_pages(), 2u);
+}
+
+TEST(MainMemory, BlockOps) {
+  MainMemory m;
+  u8 src[32], dst[32];
+  for (int i = 0; i < 32; ++i) src[i] = static_cast<u8>(i * 3);
+  m.write_block(0x4000, src, 32);
+  m.read_block(0x4000, dst, 32);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(dst[i], src[i]);
+}
+
+TEST(MainMemory, SparseHighAddresses) {
+  MainMemory m;
+  m.write_u32(0xfffffff0u, 7);
+  EXPECT_EQ(m.read_u32(0xfffffff0u), 7u);
+  EXPECT_LE(m.resident_pages(), 1u);
+}
+
+}  // namespace
+}  // namespace laec::mem

@@ -1,0 +1,66 @@
+#include "model/analytical.hpp"
+
+#include <gtest/gtest.h>
+
+namespace laec::model {
+namespace {
+
+TEST(Analytical, ReproducesPaperAverages) {
+  // Feeding the paper's Table II averages should land near the paper's
+  // Fig. 8 averages: Extra Stage ~ +10%, Extra Cycle ~ +17%, LAEC < +4%.
+  WorkloadParams w;  // defaults are the paper averages
+  const auto p = predict(w);
+  EXPECT_NEAR(p.extra_stage, 0.10, 0.02);
+  EXPECT_NEAR(p.extra_cycle, 0.17, 0.035);
+  EXPECT_LT(p.laec, 0.05);
+  EXPECT_GT(p.laec, 0.01);
+}
+
+TEST(Analytical, OrderingAlwaysHolds) {
+  for (double f : {0.15, 0.25, 0.35}) {
+    for (double h : {0.7, 0.9, 1.0}) {
+      for (double d : {0.1, 0.5, 0.8}) {
+        for (double adf : {0.0, 0.4, 1.0}) {
+          WorkloadParams w;
+          w.load_frac = f;
+          w.hit_frac = h;
+          w.dep_frac = d;
+          w.addr_dep_frac = adf;
+          const auto p = predict(w);
+          EXPECT_LE(p.laec, p.extra_stage + 1e-12);
+          EXPECT_LE(p.extra_stage, p.extra_cycle + 1e-12);
+          EXPECT_GE(p.laec, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(Analytical, LaecScalesWithAddressDependence) {
+  WorkloadParams w;
+  w.addr_dep_frac = 0.0;
+  EXPECT_DOUBLE_EQ(predict(w).laec, 0.0);
+  w.addr_dep_frac = 1.0;
+  EXPECT_DOUBLE_EQ(predict(w).laec, predict(w).extra_stage);
+}
+
+TEST(Analytical, CachebRowPredictsTinyExtraStageOverhead) {
+  WorkloadParams w;
+  w.load_frac = 0.18;
+  w.hit_frac = 0.77;
+  w.dep_frac = 0.13;
+  w.addr_dep_frac = 0.10;
+  const auto p = predict(w);
+  EXPECT_LT(p.extra_stage, 0.03);  // paper: ~2% for cacheb
+}
+
+TEST(Analytical, HigherBaseCpiDilutesOverhead) {
+  WorkloadParams slow;
+  slow.base_cpi = 2.0;
+  WorkloadParams fast;
+  fast.base_cpi = 1.0;
+  EXPECT_LT(predict(slow).extra_stage, predict(fast).extra_stage);
+}
+
+}  // namespace
+}  // namespace laec::model

@@ -1,0 +1,271 @@
+#include "cpu/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hpp"
+
+namespace laec::cpu {
+namespace {
+
+using isa::Assembler;
+using isa::R;
+using test::run_keep_system;
+using test::test_config;
+
+TEST(Pipeline, ArithmeticProgramComputes) {
+  Assembler a("arith");
+  const Addr out = a.data_fill(8, 0);
+  a.li(R{1}, 6).li(R{2}, 7);
+  a.mul(R{3}, R{1}, R{2});       // 42
+  a.addi(R{4}, R{3}, 100);       // 142
+  a.sub(R{5}, R{4}, R{1});       // 136
+  a.xori(R{6}, R{5}, 0xff);      // 136 ^ 255 = 119
+  a.slli(R{7}, R{6}, 4);         // 1904
+  a.srai(R{8}, R{7}, 2);         // 476
+  a.div(R{9}, R{8}, R{2});       // 68
+  a.rem(R{10}, R{8}, R{9});      // 476 % 68 = 0
+  a.li(R{20}, out);
+  a.sw(R{3}, R{20}, 0);
+  a.sw(R{9}, R{20}, 4);
+  a.sw(R{10}, R{20}, 8);
+  a.halt();
+  auto r = run_keep_system(test_config(EccPolicy::kNoEcc), a.finish());
+  ASSERT_TRUE(r.stats.completed);
+  EXPECT_EQ(r.system->read_word_final(out), 42u);
+  EXPECT_EQ(r.system->read_word_final(out + 4), 68u);
+  EXPECT_EQ(r.system->read_word_final(out + 8), 0u);
+}
+
+TEST(Pipeline, LoadStoreByteHalfWord) {
+  Assembler a("mem");
+  const Addr buf = a.data_words({0x11223344, 0, 0, 0});
+  a.li(R{1}, buf);
+  a.lb(R{2}, R{1}, 0);    // 0x44
+  a.lbu(R{3}, R{1}, 3);   // 0x11
+  a.lh(R{4}, R{1}, 0);    // 0x3344
+  a.lhu(R{5}, R{1}, 2);   // 0x1122
+  a.sb(R{2}, R{1}, 4);
+  a.sh(R{4}, R{1}, 8);
+  a.sw(R{5}, R{1}, 12);
+  a.halt();
+  auto r = run_keep_system(test_config(EccPolicy::kNoEcc), a.finish());
+  ASSERT_TRUE(r.stats.completed);
+  EXPECT_EQ(r.system->read_word_final(buf + 4), 0x44u);
+  EXPECT_EQ(r.system->read_word_final(buf + 8), 0x3344u);
+  EXPECT_EQ(r.system->read_word_final(buf + 12), 0x1122u);
+}
+
+TEST(Pipeline, SignExtensionOnLoads) {
+  Assembler a("sext");
+  const Addr buf = a.data_words({0xfffe80ffu});
+  const Addr out = a.data_fill(3, 0);
+  a.li(R{1}, buf);
+  a.lb(R{2}, R{1}, 1);    // 0x80 -> -128
+  a.lh(R{3}, R{1}, 2);    // 0xfffe -> -2
+  a.lbu(R{4}, R{1}, 1);   // 0x80 -> 128
+  a.li(R{10}, out);
+  a.sw(R{2}, R{10}, 0);
+  a.sw(R{3}, R{10}, 4);
+  a.sw(R{4}, R{10}, 8);
+  a.halt();
+  auto r = run_keep_system(test_config(EccPolicy::kNoEcc), a.finish());
+  EXPECT_EQ(r.system->read_word_final(out), static_cast<u32>(-128));
+  EXPECT_EQ(r.system->read_word_final(out + 4), static_cast<u32>(-2));
+  EXPECT_EQ(r.system->read_word_final(out + 8), 128u);
+}
+
+TEST(Pipeline, BranchesAndLoops) {
+  Assembler a("loop");
+  const Addr out = a.data_fill(1, 0);
+  a.li(R{1}, 0).li(R{2}, 10);
+  a.label("top");
+  a.add(R{3}, R{3}, R{1});
+  a.addi(R{1}, R{1}, 1);
+  a.blt(R{1}, R{2}, "top");
+  a.li(R{10}, out);
+  a.sw(R{3}, R{10}, 0);
+  a.halt();
+  auto r = run_keep_system(test_config(EccPolicy::kNoEcc), a.finish());
+  EXPECT_EQ(r.system->read_word_final(out), 45u);  // 0+1+...+9
+  EXPECT_GE(r.stats.pipeline_stats.value("taken_branches"), 9u);
+  EXPECT_GT(r.stats.pipeline_stats.value("squashed"), 0u);
+}
+
+TEST(Pipeline, JalAndJalrSubroutine) {
+  Assembler a("call");
+  const Addr out = a.data_fill(1, 0);
+  a.li(R{10}, out);
+  a.jal(R{31}, "func");
+  a.sw(R{1}, R{10}, 0);   // after return: r1 == 77
+  a.halt();
+  a.label("func");
+  a.li(R{1}, 77);
+  a.jalr(R{0}, R{31}, 0);
+  auto r = run_keep_system(test_config(EccPolicy::kNoEcc), a.finish());
+  ASSERT_TRUE(r.stats.completed);
+  EXPECT_EQ(r.system->read_word_final(out), 77u);
+}
+
+TEST(Pipeline, DivOccupiesExIteratively) {
+  Assembler a("div");
+  a.li(R{1}, 1000).li(R{2}, 10);
+  a.div(R{3}, R{1}, R{2});
+  a.halt();
+  auto cfg_fast = test_config(EccPolicy::kNoEcc);
+  cfg_fast.div_latency = 1;
+  auto cfg_slow = test_config(EccPolicy::kNoEcc);
+  cfg_slow.div_latency = 20;
+  const auto fast = run_keep_system(cfg_fast, a.finish());
+  Assembler b("div2");
+  b.li(R{1}, 1000).li(R{2}, 10);
+  b.div(R{3}, R{1}, R{2});
+  b.halt();
+  const auto slow = run_keep_system(cfg_slow, b.finish());
+  EXPECT_GE(slow.stats.cycles, fast.stats.cycles + 18);
+}
+
+TEST(Pipeline, DivideByZeroYieldsAllOnes) {
+  Assembler a("div0");
+  const Addr out = a.data_fill(2, 0);
+  a.li(R{1}, 5).li(R{2}, 0);
+  a.div(R{3}, R{1}, R{2});
+  a.rem(R{4}, R{1}, R{2});
+  a.li(R{10}, out);
+  a.sw(R{3}, R{10}, 0);
+  a.sw(R{4}, R{10}, 4);
+  a.halt();
+  auto r = run_keep_system(test_config(EccPolicy::kNoEcc), a.finish());
+  EXPECT_EQ(r.system->read_word_final(out), 0xffffffffu);
+  EXPECT_EQ(r.system->read_word_final(out + 4), 5u);
+}
+
+TEST(Pipeline, LoadUsePenaltyOneCycleInBaseline) {
+  // Two otherwise identical loops; one consumes the load at distance 1.
+  // A loop (warm L1I) isolates the per-iteration penalty from cold-start
+  // instruction misses.
+  constexpr int kIters = 100;
+  auto build = [](bool dependent) {
+    Assembler a("p");
+    const Addr buf = a.data_words({5, 6, 7, 8});
+    a.li(R{1}, buf);
+    a.li(R{2}, kIters);
+    a.label("loop");
+    a.lw(R{3}, R{1}, 0);
+    if (dependent) {
+      a.add(R{4}, R{3}, R{4});  // distance 1
+    } else {
+      a.add(R{4}, R{5}, R{4});  // independent
+    }
+    a.subi(R{2}, R{2}, 1);
+    a.bne(R{2}, R{0}, "loop");
+    a.halt();
+    return a.finish();
+  };
+  const auto dep = run_keep_system(test_config(EccPolicy::kNoEcc), build(true));
+  const auto ind =
+      run_keep_system(test_config(EccPolicy::kNoEcc), build(false));
+  // ~1 extra cycle per iteration.
+  EXPECT_GE(dep.stats.cycles, ind.stats.cycles + kIters - 15);
+  EXPECT_LE(dep.stats.cycles, ind.stats.cycles + kIters + 15);
+}
+
+TEST(Pipeline, WriteBufferFullBackpressures) {
+  // A burst of stores larger than the write buffer must stall but still
+  // complete architecturally.
+  Assembler a("burst");
+  const Addr buf = a.data_fill(32, 0);
+  a.li(R{1}, buf);
+  for (int i = 0; i < 32; ++i) {
+    a.li(R{2}, static_cast<u32>(i + 1));
+    a.sw(R{2}, R{1}, static_cast<i32>(4 * i));
+  }
+  a.halt();
+  auto cfg = test_config(EccPolicy::kNoEcc);
+  cfg.write_buffer_depth = 2;
+  auto r = run_keep_system(cfg, a.finish());
+  ASSERT_TRUE(r.stats.completed);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(r.system->read_word_final(buf + static_cast<Addr>(4 * i)),
+              static_cast<u32>(i + 1));
+  }
+  EXPECT_GT(r.stats.pipeline_stats.value("stall_wb_full"), 0u);
+}
+
+TEST(Pipeline, LoadsWaitForWriteBufferDrain) {
+  // store then load: the load must stall until the buffer is empty
+  // (paper §III.B), which also guarantees it observes the stored value.
+  Assembler a("st_ld");
+  const Addr buf = a.data_fill(1, 0);
+  const Addr out = a.data_fill(1, 0);
+  a.li(R{1}, buf);
+  a.li(R{2}, 0xbeef);
+  a.sw(R{2}, R{1}, 0);
+  a.lw(R{3}, R{1}, 0);
+  a.li(R{10}, out);
+  a.sw(R{3}, R{10}, 0);
+  a.halt();
+  auto r = run_keep_system(test_config(EccPolicy::kNoEcc), a.finish());
+  EXPECT_EQ(r.system->read_word_final(out), 0xbeefu);
+  EXPECT_GT(r.stats.pipeline_stats.value("stall_wb_drain"), 0u);
+}
+
+TEST(Pipeline, HaltDrainsCleanly) {
+  Assembler a("halt");
+  a.nop();
+  a.nop();
+  a.halt();
+  auto r = run_keep_system(test_config(EccPolicy::kNoEcc), a.finish());
+  ASSERT_TRUE(r.stats.completed);
+  EXPECT_EQ(r.stats.instructions, 3u);
+}
+
+TEST(Pipeline, MaxCyclesSafetyStop) {
+  Assembler a("inf");
+  a.label("spin");
+  a.j("spin");
+  auto cfg = test_config(EccPolicy::kNoEcc);
+  cfg.max_cycles = 2000;
+  auto r = run_keep_system(cfg, a.finish());
+  EXPECT_FALSE(r.stats.completed);
+}
+
+class AllPoliciesSameArchState
+    : public ::testing::TestWithParam<EccPolicy> {};
+
+TEST_P(AllPoliciesSameArchState, MixedProgram) {
+  // One moderately hairy program: loops, loads, stores, hazards.
+  Assembler a("mixed");
+  const Addr buf = a.data_fill(64, 0);
+  const Addr out = a.data_fill(1, 0);
+  a.li(R{1}, buf).li(R{2}, 16).li(R{5}, 3);
+  a.label("fill");
+  a.mul(R{3}, R{2}, R{5});
+  a.sw(R{3}, R{1}, 0);
+  a.addi(R{1}, R{1}, 4);
+  a.subi(R{2}, R{2}, 1);
+  a.bne(R{2}, R{0}, "fill");
+  a.li(R{1}, buf).li(R{2}, 16).li(R{6}, 0);
+  a.label("sum");
+  a.lw(R{3}, R{1}, 0);
+  a.add(R{6}, R{6}, R{3});
+  a.addi(R{1}, R{1}, 4);
+  a.subi(R{2}, R{2}, 1);
+  a.bne(R{2}, R{0}, "sum");
+  a.li(R{10}, out);
+  a.sw(R{6}, R{10}, 0);
+  a.halt();
+  auto r = run_keep_system(test_config(GetParam()), a.finish());
+  ASSERT_TRUE(r.stats.completed);
+  // sum over m in 1..16 of 3m = 3 * 136 = 408
+  EXPECT_EQ(r.system->read_word_final(out), 408u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, AllPoliciesSameArchState,
+                         ::testing::Values(EccPolicy::kNoEcc,
+                                           EccPolicy::kExtraCycle,
+                                           EccPolicy::kExtraStage,
+                                           EccPolicy::kLaec,
+                                           EccPolicy::kWtParity));
+
+}  // namespace
+}  // namespace laec::cpu

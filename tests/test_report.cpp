@@ -1,0 +1,91 @@
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "report/chronogram.hpp"
+
+namespace laec::report {
+namespace {
+
+TEST(Table, TextLayoutAligns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_text();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesNothingButJoins) {
+  Table t({"x", "y", "z"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.to_csv(), "x,y,z\n1,2,3\n");
+}
+
+TEST(Table, NumberFormatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.173, 1), "17.3%");
+  EXPECT_EQ(Table::pct(0.039, 1), "3.9%");
+}
+
+TEST(Chronogram, RecordsAndCompacts) {
+  ChronogramRecorder rec;
+  rec.set_enabled(true);
+  rec.record(0, "load", 1, "F");
+  rec.record(0, "load", 2, "D");
+  rec.record(0, "load", 3, "Exe");
+  rec.record(0, "load", 4, "Exe");
+  EXPECT_EQ(rec.compact(0), "F D Exe Exe");
+  EXPECT_EQ(rec.compact(99), "");
+}
+
+TEST(Chronogram, DisabledRecorderIgnores) {
+  ChronogramRecorder rec;
+  rec.record(0, "x", 1, "F");
+  EXPECT_TRUE(rec.rows().empty());
+}
+
+TEST(Chronogram, EraseRemovesSquashedRows) {
+  ChronogramRecorder rec;
+  rec.set_enabled(true);
+  rec.record(0, "a", 1, "F");
+  rec.record(1, "b", 2, "F");
+  rec.erase(1);
+  EXPECT_EQ(rec.rows().size(), 1u);
+  EXPECT_EQ(rec.compact(1), "");
+}
+
+TEST(Chronogram, LabelUpgradedAfterFetch) {
+  ChronogramRecorder rec;
+  rec.set_enabled(true);
+  rec.record(0, "(fetch)", 1, "F");
+  rec.record(0, "r1 = load(r2+r3)", 2, "F");
+  EXPECT_EQ(rec.rows()[0].label, "r1 = load(r2+r3)");
+}
+
+TEST(Chronogram, GridHasCycleHeader) {
+  ChronogramRecorder rec;
+  rec.set_enabled(true);
+  rec.record(0, "i0", 5, "F");
+  rec.record(0, "i0", 6, "D");
+  rec.record(1, "i1", 6, "F");
+  const std::string g = render_grid(rec);
+  EXPECT_NE(g.find("cycle"), std::string::npos);
+  EXPECT_NE(g.find("i0"), std::string::npos);
+  // Cycles re-based to 1 at the earliest recorded cycle.
+  EXPECT_NE(g.find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace laec::report

@@ -1,0 +1,151 @@
+#include "ecc/secded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+
+namespace laec::ecc {
+namespace {
+
+TEST(Secded, Geometries) {
+  EXPECT_EQ(secded8().check_bits(), 5u);
+  EXPECT_EQ(secded16().check_bits(), 6u);
+  EXPECT_EQ(secded32().check_bits(), 7u);
+  EXPECT_EQ(secded64().check_bits(), 8u);
+  EXPECT_EQ(secded32().codeword_bits(), 39u);
+  EXPECT_EQ(secded64().codeword_bits(), 72u);
+}
+
+TEST(Secded, ColumnsAreDistinctOddWeight) {
+  for (const SecdedCode* c :
+       {&secded8(), &secded16(), &secded32(), &secded64()}) {
+    std::set<u64> seen;
+    for (unsigned i = 0; i < c->data_bits(); ++i) {
+      const u64 col = c->column(i);
+      EXPECT_EQ(popcount64(col) % 2, 1) << "column " << i;
+      EXPECT_GE(popcount64(col), 3) << "column " << i;
+      EXPECT_TRUE(seen.insert(col).second) << "duplicate column " << i;
+    }
+  }
+}
+
+TEST(Secded, RowWeightsBalanced) {
+  // The Hsiao construction should spread data bits evenly over the rows so
+  // every syndrome XOR tree has similar depth.
+  const SecdedCode& c = secded32();
+  unsigned mn = ~0u, mx = 0;
+  for (unsigned r = 0; r < c.check_bits(); ++r) {
+    mn = std::min(mn, c.row_weight(r));
+    mx = std::max(mx, c.row_weight(r));
+  }
+  // Perfect balance for (39,32) would be 96/7 ~ 13.7; the greedy
+  // construction stays within a spread of 3.
+  EXPECT_LE(mx - mn, 3u);
+}
+
+TEST(Secded, CleanDecodes) {
+  Rng rng(1);
+  const SecdedCode& c = secded32();
+  for (int i = 0; i < 1000; ++i) {
+    const u64 v = rng.next_u64() & 0xffffffff;
+    const auto r = c.check(v, c.encode(v));
+    EXPECT_EQ(r.status, CheckStatus::kOk);
+    EXPECT_EQ(r.data, v);
+  }
+}
+
+struct FlipCase {
+  unsigned width;
+  unsigned pos;  // codeword bit to flip
+};
+
+class SecdedSingleFlip
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(SecdedSingleFlip, EverySingleFlipCorrected) {
+  const auto [width, pos] = GetParam();
+  const SecdedCode c(width);
+  if (pos >= c.codeword_bits()) GTEST_SKIP();
+  Rng rng(width * 1000 + pos);
+  for (int trial = 0; trial < 8; ++trial) {
+    const u64 v = rng.next_u64() & low_mask(width);
+    u64 data = v;
+    u64 check = c.encode(v);
+    if (pos < width) {
+      data = flip_bit(data, pos);
+    } else {
+      check = flip_bit(check, pos - width);
+    }
+    const auto r = c.check(data, check);
+    EXPECT_EQ(r.status, CheckStatus::kCorrected);
+    EXPECT_EQ(r.data, v) << "width=" << width << " pos=" << pos;
+    EXPECT_EQ(r.check, c.encode(v));
+    EXPECT_EQ(r.corrected_pos, static_cast<int>(pos));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPositions, SecdedSingleFlip,
+    ::testing::Combine(::testing::Values(8u, 16u, 32u, 64u),
+                       ::testing::Range(0u, 72u)));
+
+TEST(Secded, EveryDoubleFlipDetected32) {
+  // Exhaustive over all C(39,2) = 741 bit pairs of the (39,32) code.
+  const SecdedCode& c = secded32();
+  const u64 v = 0x89abcdefull;
+  const u64 chk = c.encode(v);
+  const unsigned n = c.codeword_bits();
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = i + 1; j < n; ++j) {
+      u64 data = v;
+      u64 check = chk;
+      for (unsigned p : {i, j}) {
+        if (p < 32) {
+          data = flip_bit(data, p);
+        } else {
+          check = flip_bit(check, p - 32);
+        }
+      }
+      EXPECT_EQ(c.check(data, check).status,
+                CheckStatus::kDetectedUncorrectable)
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(Secded, EveryDoubleFlipDetected64) {
+  const SecdedCode& c = secded64();
+  const u64 v = 0x0123456789abcdefull;
+  const u64 chk = c.encode(v);
+  const unsigned n = c.codeword_bits();
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = i + 1; j < n; ++j) {
+      u64 data = v;
+      u64 check = chk;
+      for (unsigned p : {i, j}) {
+        if (p < 64) {
+          data = flip_bit(data, p);
+        } else {
+          check = flip_bit(check, p - 64);
+        }
+      }
+      EXPECT_EQ(c.check(data, check).status,
+                CheckStatus::kDetectedUncorrectable);
+    }
+  }
+}
+
+TEST(Secded, SyndromeZeroOnlyWhenClean) {
+  const SecdedCode& c = secded32();
+  const u64 v = 0x13572468;
+  EXPECT_EQ(c.syndrome(v, c.encode(v)), 0u);
+  EXPECT_NE(c.syndrome(flip_bit(v, 9), c.encode(v)), 0u);
+}
+
+}  // namespace
+}  // namespace laec::ecc

@@ -1,0 +1,77 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace laec {
+namespace {
+
+TEST(StatSet, CounterLifecycle) {
+  StatSet s;
+  u64& c = s.counter("x");
+  EXPECT_EQ(c, 0u);
+  ++c;
+  c += 3;
+  EXPECT_EQ(s.value("x"), 4u);
+  EXPECT_EQ(s.value("unknown"), 0u);
+}
+
+TEST(StatSet, ReferencesStableAcrossGrowth) {
+  StatSet s;
+  u64& first = s.counter("first");
+  // Grow well past one chunk.
+  for (int i = 0; i < 500; ++i) s.counter("c" + std::to_string(i));
+  first = 99;
+  EXPECT_EQ(s.value("first"), 99u);
+}
+
+TEST(StatSet, ItemsPreserveRegistrationOrder) {
+  StatSet s;
+  s.counter("b") = 1;
+  s.counter("a") = 2;
+  s.counter("z") = 3;
+  const auto items = s.items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, "b");
+  EXPECT_EQ(items[1].first, "a");
+  EXPECT_EQ(items[2].first, "z");
+}
+
+TEST(StatSet, AddMerges) {
+  StatSet a, b;
+  a.counter("x") = 5;
+  b.counter("x") = 7;
+  b.counter("y") = 1;
+  a.add(b);
+  EXPECT_EQ(a.value("x"), 12u);
+  EXPECT_EQ(a.value("y"), 1u);
+}
+
+TEST(StatSet, ClearZeroesButKeepsNames) {
+  StatSet s;
+  s.counter("x") = 5;
+  s.clear();
+  EXPECT_EQ(s.value("x"), 0u);
+  EXPECT_EQ(s.items().size(), 1u);
+}
+
+TEST(Histogram, RecordsAndOverflows) {
+  Histogram h(4);
+  h.record(0);
+  h.record(1);
+  h.record(1);
+  h.record(3);
+  h.record(10);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 15u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, EmptyMeanIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace laec

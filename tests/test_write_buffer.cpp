@@ -1,0 +1,70 @@
+#include "mem/write_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace laec::mem {
+namespace {
+
+PendingStore store_at(Addr a) {
+  PendingStore s;
+  s.addr = a;
+  return s;
+}
+
+TEST(WriteBuffer, FifoOrder) {
+  WriteBuffer wb(WriteBufferParams{.depth = 4});
+  wb.push(store_at(1));
+  wb.push(store_at(2));
+  EXPECT_EQ(wb.front().addr, 1u);
+  wb.pop();
+  EXPECT_EQ(wb.front().addr, 2u);
+  wb.pop();
+  EXPECT_TRUE(wb.empty());
+}
+
+TEST(WriteBuffer, AcceptsUntilDepth) {
+  WriteBuffer wb(WriteBufferParams{.depth = 2});
+  EXPECT_TRUE(wb.can_push());
+  wb.push(store_at(1));
+  EXPECT_TRUE(wb.can_push());
+  wb.push(store_at(2));
+  EXPECT_FALSE(wb.can_push());  // full
+}
+
+TEST(WriteBuffer, BackpressureHysteresisUntilEmpty) {
+  // Paper §III.B: once full, stores stall until the buffer is *completely*
+  // empty, not merely one-slot-free.
+  WriteBuffer wb(WriteBufferParams{.depth = 2});
+  wb.push(store_at(1));
+  wb.push(store_at(2));
+  EXPECT_FALSE(wb.can_push());
+  wb.pop();
+  EXPECT_FALSE(wb.can_push());  // one free slot is not enough
+  wb.pop();
+  EXPECT_TRUE(wb.empty());
+  EXPECT_TRUE(wb.can_push());  // reopened only when fully drained
+}
+
+TEST(WriteBuffer, StatsTrackOccupancyAndBlocks) {
+  WriteBuffer wb(WriteBufferParams{.depth = 3});
+  wb.push(store_at(1));
+  wb.push(store_at(2));
+  wb.note_blocked_push();
+  EXPECT_EQ(wb.stats().value("pushes"), 2u);
+  EXPECT_EQ(wb.stats().value("max_occupancy"), 2u);
+  EXPECT_EQ(wb.stats().value("full_stall_events"), 1u);
+}
+
+TEST(WriteBuffer, ForcedFlagsCarried) {
+  WriteBuffer wb;
+  PendingStore s;
+  s.addr = 0x40;
+  s.forced = true;
+  s.forced_hit = false;
+  wb.push(s);
+  EXPECT_TRUE(wb.front().forced);
+  EXPECT_FALSE(wb.front().forced_hit);
+}
+
+}  // namespace
+}  // namespace laec::mem

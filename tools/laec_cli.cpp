@@ -1,0 +1,242 @@
+// laec_cli — command-line driver for the simulator.
+//
+//   laec_cli list
+//       List the built-in EEMBC-like kernels.
+//   laec_cli run <kernel> [options]
+//       Run a kernel and print statistics (and verify its self-checks).
+//   laec_cli trace <kernel|custom> [options]
+//       Run the benchmark's calibrated synthetic trace.
+//   laec_cli compare <kernel> [options]
+//       Run all four schemes and print the Fig. 8-style comparison row.
+//
+// Options:
+//   --ecc=<no-ecc|extra-cycle|extra-stage|laec|wt-parity>   (default laec)
+//   --hazard=<exact|paper>       LAEC hazard rule
+//   --stride-predictor           enable the A4 extension
+//   --dl1-kb=<n> --dl1-ways=<n> --wbuf=<n> --div=<n> --mem=<n>
+//   --ops=<n>                    trace length (trace mode)
+//   --csv                        machine-readable one-line output
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "report/table.hpp"
+#include "workloads/eembc.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace laec;
+
+struct CliOptions {
+  std::string command;
+  std::string kernel;
+  core::SimConfig cfg;
+  u64 trace_ops = 120'000;
+  bool csv = false;
+  bool ok = true;
+};
+
+cpu::EccPolicy parse_ecc(const std::string& v, bool& ok) {
+  if (v == "no-ecc") return cpu::EccPolicy::kNoEcc;
+  if (v == "extra-cycle") return cpu::EccPolicy::kExtraCycle;
+  if (v == "extra-stage") return cpu::EccPolicy::kExtraStage;
+  if (v == "laec") return cpu::EccPolicy::kLaec;
+  if (v == "wt-parity") return cpu::EccPolicy::kWtParity;
+  ok = false;
+  return cpu::EccPolicy::kLaec;
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions o;
+  if (argc < 2) {
+    o.ok = false;
+    return o;
+  }
+  o.command = argv[1];
+  int i = 2;
+  if ((o.command == "run" || o.command == "trace" ||
+       o.command == "compare") &&
+      argc >= 3 && argv[2][0] != '-') {
+    o.kernel = argv[2];
+    i = 3;
+  }
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* key) -> std::string {
+      const std::size_t n = std::strlen(key);
+      if (arg.rfind(key, 0) == 0 && arg.size() > n && arg[n] == '=') {
+        return arg.substr(n + 1);
+      }
+      return "";
+    };
+    if (auto v = value("--ecc"); !v.empty()) {
+      o.cfg.ecc = parse_ecc(v, o.ok);
+    } else if (auto h = value("--hazard"); !h.empty()) {
+      o.cfg.hazard_rule = (h == "paper") ? cpu::HazardRule::kPaperLiteral
+                                         : cpu::HazardRule::kExact;
+    } else if (arg == "--stride-predictor") {
+      o.cfg.stride_predictor = true;
+    } else if (auto v2 = value("--dl1-kb"); !v2.empty()) {
+      o.cfg.dl1_size_bytes = static_cast<u32>(std::stoul(v2)) * 1024;
+    } else if (auto v3 = value("--dl1-ways"); !v3.empty()) {
+      o.cfg.dl1_ways = static_cast<u32>(std::stoul(v3));
+    } else if (auto v4 = value("--wbuf"); !v4.empty()) {
+      o.cfg.write_buffer_depth = static_cast<unsigned>(std::stoul(v4));
+    } else if (auto v5 = value("--div"); !v5.empty()) {
+      o.cfg.div_latency = static_cast<unsigned>(std::stoul(v5));
+    } else if (auto v6 = value("--mem"); !v6.empty()) {
+      o.cfg.memory_cycles = static_cast<unsigned>(std::stoul(v6));
+    } else if (auto v7 = value("--ops"); !v7.empty()) {
+      o.trace_ops = std::stoull(v7);
+    } else if (arg == "--csv") {
+      o.csv = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      o.ok = false;
+    }
+  }
+  return o;
+}
+
+void print_stats(const CliOptions& o, const core::RunStats& s,
+                 int check_failures) {
+  if (o.csv) {
+    std::printf(
+        "%s,%s,%llu,%llu,%.4f,%llu,%llu,%llu,%llu,%llu,%d\n",
+        o.kernel.c_str(), std::string(to_string(o.cfg.ecc)).c_str(),
+        static_cast<unsigned long long>(s.cycles),
+        static_cast<unsigned long long>(s.instructions), s.cpi,
+        static_cast<unsigned long long>(s.loads),
+        static_cast<unsigned long long>(s.load_hits),
+        static_cast<unsigned long long>(s.laec_anticipated),
+        static_cast<unsigned long long>(s.ecc_corrected),
+        static_cast<unsigned long long>(s.ecc_detected_uncorrectable),
+        check_failures);
+    return;
+  }
+  std::printf("scheme            : %s\n",
+              std::string(to_string(o.cfg.ecc)).c_str());
+  std::printf("cycles            : %llu\n",
+              static_cast<unsigned long long>(s.cycles));
+  std::printf("instructions      : %llu   (CPI %.3f)\n",
+              static_cast<unsigned long long>(s.instructions), s.cpi);
+  std::printf("loads             : %llu   (%.1f%% hit, %.1f%% dependent)\n",
+              static_cast<unsigned long long>(s.loads),
+              100.0 * s.hit_fraction(), 100.0 * s.dep_fraction());
+  if (o.cfg.ecc == cpu::EccPolicy::kLaec) {
+    std::printf("LAEC anticipated  : %llu   (data hz %llu, resource hz %llu)\n",
+                static_cast<unsigned long long>(s.laec_anticipated),
+                static_cast<unsigned long long>(s.laec_data_hazard),
+                static_cast<unsigned long long>(s.laec_resource_hazard));
+    if (o.cfg.stride_predictor) {
+      std::printf("stride predictor  : used %llu, mispredicted %llu\n",
+                  static_cast<unsigned long long>(
+                      s.pipeline_stats.value("pred_used")),
+                  static_cast<unsigned long long>(
+                      s.pipeline_stats.value("pred_mispredict")));
+    }
+  }
+  std::printf("ECC events        : %llu corrected, %llu detected-uncorrectable\n",
+              static_cast<unsigned long long>(s.ecc_corrected),
+              static_cast<unsigned long long>(s.ecc_detected_uncorrectable));
+  if (check_failures >= 0) {
+    std::printf("self-check        : %s\n",
+                check_failures == 0
+                    ? "PASS"
+                    : ("FAIL (" + std::to_string(check_failures) + " words)")
+                          .c_str());
+  }
+}
+
+int cmd_list() {
+  report::Table t({"kernel", "description", "paper %hit/%dep/%load"});
+  for (const auto& k : workloads::eembc_kernels()) {
+    t.add_row({k.name, k.description,
+               std::to_string(k.paper.hit_pct) + "/" +
+                   std::to_string(k.paper.dep_pct) + "/" +
+                   std::to_string(k.paper.load_pct)});
+  }
+  std::printf("%s", t.to_text().c_str());
+  return 0;
+}
+
+int cmd_run(const CliOptions& o) {
+  const auto& entry = workloads::kernel_by_name(o.kernel);
+  const auto built = entry.build();
+  sim::System system(core::make_system_config(o.cfg));
+  system.load_program(built.program);
+  const auto res = system.run();
+  const auto stats = core::collect_stats(system, res.completed);
+  int bad = 0;
+  for (const auto& [addr, expect] : built.expected) {
+    bad += system.read_word_final(addr) != expect;
+  }
+  print_stats(o, stats, bad);
+  return bad == 0 && res.completed ? 0 : 1;
+}
+
+int cmd_trace(const CliOptions& o) {
+  const auto& entry = workloads::kernel_by_name(o.kernel);
+  workloads::SyntheticTrace trace(
+      workloads::SyntheticParams::from_kernel(entry, o.trace_ops));
+  const auto stats = core::run_trace(o.cfg, trace);
+  print_stats(o, stats, -1);
+  return stats.completed ? 0 : 1;
+}
+
+int cmd_compare(const CliOptions& o) {
+  const auto& entry = workloads::kernel_by_name(o.kernel);
+  const auto built = entry.build();
+  report::Table t({"scheme", "cycles", "CPI", "vs no-ECC"});
+  u64 base = 0;
+  for (cpu::EccPolicy p :
+       {cpu::EccPolicy::kNoEcc, cpu::EccPolicy::kExtraCycle,
+        cpu::EccPolicy::kExtraStage, cpu::EccPolicy::kLaec}) {
+    core::SimConfig cfg = o.cfg;
+    cfg.ecc = p;
+    const auto s = core::run_program(cfg, built.program);
+    if (p == cpu::EccPolicy::kNoEcc) base = s.cycles;
+    t.add_row({std::string(to_string(p)), std::to_string(s.cycles),
+               report::Table::num(s.cpi, 3),
+               report::Table::pct(
+                   base == 0 ? 0.0
+                             : static_cast<double>(s.cycles) /
+                                       static_cast<double>(base) -
+                                   1.0)});
+  }
+  std::printf("%s", t.to_text().c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: laec_cli <list|run|trace|compare> [kernel] [options]\n"
+      "  --ecc=no-ecc|extra-cycle|extra-stage|laec|wt-parity\n"
+      "  --hazard=exact|paper  --stride-predictor  --csv\n"
+      "  --dl1-kb=N --dl1-ways=N --wbuf=N --div=N --mem=N --ops=N\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions o = parse(argc, argv);
+  if (!o.ok) {
+    usage();
+    return 2;
+  }
+  try {
+    if (o.command == "list") return cmd_list();
+    if (o.command == "run") return cmd_run(o);
+    if (o.command == "trace") return cmd_trace(o);
+    if (o.command == "compare") return cmd_compare(o);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  usage();
+  return 2;
+}
