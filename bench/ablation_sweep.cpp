@@ -1,76 +1,105 @@
 // Ablation A3: sensitivity of the Fig. 8 result to machine parameters —
 // DL1 geometry, write-buffer depth, divide latency and L2/memory latency.
 // Uses three representative kernels on the real hierarchy.
+//
+// The whole (kernel x variant x scheme) grid — 120 points — runs in one
+// parallel runner::run_sweep call; rows are folded back into the paper-style
+// sensitivity table afterwards. --threads=N pins the pool size.
 #include <cstdio>
-#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "report/table.hpp"
+#include "runner/sweep_runner.hpp"
 
 namespace {
 
 using namespace laec;
-using cpu::EccPolicy;
 
-double avg_overhead(const std::function<void(core::SimConfig&)>& tweak,
-                    EccPolicy policy) {
-  // matrix: 3 KB resident; tblook: tiny tables + divides; cacheb: streams
-  // 64 KB (smashes any DL1) — together they expose geometry sensitivity.
-  const char* names[] = {"matrix", "tblook", "cacheb"};
-  double sum = 0;
-  for (const char* n : names) {
-    const auto built = workloads::kernel_by_name(n).build();
-    core::SimConfig base_cfg = bench::config_for(EccPolicy::kNoEcc);
-    tweak(base_cfg);
-    core::SimConfig cfg = bench::config_for(policy);
-    tweak(cfg);
-    const auto base = core::run_program(base_cfg, built.program);
-    const auto s = core::run_program(cfg, built.program);
-    sum += bench::ratio(s.cycles, base.cycles) - 1.0;
-  }
-  return sum / 3.0;
-}
+// matrix: 3 KB resident; tblook: tiny tables + divides; cacheb: streams
+// 64 KB (smashes any DL1) — together they expose geometry sensitivity.
+const std::vector<std::string> kKernels = {"matrix", "tblook", "cacheb"};
 
-void sweep_row(report::Table& t, const std::string& label,
-               const std::function<void(core::SimConfig&)>& tweak) {
-  t.add_row({label,
-             report::Table::pct(avg_overhead(tweak, EccPolicy::kExtraCycle)),
-             report::Table::pct(avg_overhead(tweak, EccPolicy::kExtraStage)),
-             report::Table::pct(avg_overhead(tweak, EccPolicy::kLaec))});
+std::vector<runner::ConfigVariant> variants() {
+  return {
+      {"defaults", [](core::SimConfig&) {}},
+      {"DL1 1KB", [](core::SimConfig& c) { c.dl1_size_bytes = 1 * 1024; }},
+      {"DL1 128KB",
+       [](core::SimConfig& c) { c.dl1_size_bytes = 128 * 1024; }},
+      {"DL1 direct-mapped", [](core::SimConfig& c) { c.dl1_ways = 1; }},
+      {"write buffer depth 1",
+       [](core::SimConfig& c) { c.write_buffer_depth = 1; }},
+      {"write buffer depth 32",
+       [](core::SimConfig& c) { c.write_buffer_depth = 32; }},
+      {"div latency 1", [](core::SimConfig& c) { c.div_latency = 1; }},
+      {"div latency 34", [](core::SimConfig& c) { c.div_latency = 34; }},
+      {"memory 80 cycles", [](core::SimConfig& c) { c.memory_cycles = 80; }},
+      {"memory 8 cycles", [](core::SimConfig& c) { c.memory_cycles = 8; }},
+  };
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runner::SweepOptions opts;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--threads=", 0) == 0) {
+        opts.threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
+      } else {
+        throw std::invalid_argument(arg);
+      }
+    }
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "usage: ablation_sweep [--threads=N]\n");
+    return 2;
+  }
+
   std::printf(
       "Parameter sensitivity of the scheme overheads (avg over matrix,\n"
       "tblook, cacheb; real hierarchy). Each row changes one parameter\n"
       "from the defaults (16KB 4-way DL1, depth-8 WB, div=12, mem=26).\n\n");
 
+  const auto vars = variants();
+  runner::SweepGrid grid;
+  grid.workloads(kKernels).variants(vars).eccs(runner::fig8_schemes()).mode(
+      runner::RunMode::kProgram);
+  const auto summary = runner::run_sweep(grid, opts);
+
+  // Grid order is workload-major (kernel x variant x scheme); fold into
+  // per-variant average overheads over the three kernels.
+  const std::size_t ns = runner::fig8_schemes().size();
+  const std::size_t nv = vars.size();
+  std::vector<double> sum_ec(nv, 0), sum_es(nv, 0), sum_la(nv, 0);
+  for (std::size_t k = 0; k < kKernels.size(); ++k) {
+    for (std::size_t v = 0; v < nv; ++v) {
+      const std::size_t base_idx = (k * nv + v) * ns;
+      const u64 base = summary.results[base_idx].stats.cycles;
+      const auto over = [&](std::size_t scheme) {
+        return bench::ratio(summary.results[base_idx + scheme].stats.cycles,
+                            base) -
+               1.0;
+      };
+      sum_ec[v] += over(1);
+      sum_es[v] += over(2);
+      sum_la[v] += over(3);
+    }
+  }
+
+  const double n = static_cast<double>(kKernels.size());
   report::Table t({"configuration", "Extra Cycle", "Extra Stage", "LAEC"});
-  sweep_row(t, "defaults", [](core::SimConfig&) {});
-  sweep_row(t, "DL1 1KB", [](core::SimConfig& c) {
-    c.dl1_size_bytes = 1 * 1024;
-  });
-  sweep_row(t, "DL1 128KB", [](core::SimConfig& c) {
-    c.dl1_size_bytes = 128 * 1024;
-  });
-  sweep_row(t, "DL1 direct-mapped", [](core::SimConfig& c) { c.dl1_ways = 1; });
-  sweep_row(t, "write buffer depth 1",
-            [](core::SimConfig& c) { c.write_buffer_depth = 1; });
-  sweep_row(t, "write buffer depth 32",
-            [](core::SimConfig& c) { c.write_buffer_depth = 32; });
-  sweep_row(t, "div latency 1", [](core::SimConfig& c) { c.div_latency = 1; });
-  sweep_row(t, "div latency 34",
-            [](core::SimConfig& c) { c.div_latency = 34; });
-  sweep_row(t, "memory 80 cycles",
-            [](core::SimConfig& c) { c.memory_cycles = 80; });
-  sweep_row(t, "memory 8 cycles",
-            [](core::SimConfig& c) { c.memory_cycles = 8; });
+  for (std::size_t v = 0; v < nv; ++v) {
+    t.add_row({vars[v].name, report::Table::pct(sum_ec[v] / n),
+               report::Table::pct(sum_es[v] / n),
+               report::Table::pct(sum_la[v] / n)});
+  }
   std::printf("%s\n", t.to_text().c_str());
   std::printf(
       "Reading: larger caches / faster memory increase the *relative*\n"
       "weight of load-use stalls, widening the gap LAEC recovers; slow\n"
       "dividers and tiny caches dilute it.\n");
-  return 0;
+  return summary.self_check_failures == 0 ? 0 : 1;
 }

@@ -8,42 +8,54 @@
 //       parameter, recorded in EXPERIMENTS.md);
 //   (b) kernel mode — our EEMBC-like kernels on the real cache hierarchy.
 //
+// Both grids (16 benchmarks x 4 schemes) run N-way parallel through
+// runner::run_sweep; pass --threads=N to pin the pool size and --csv to
+// also stream the raw per-point rows to stdout.
+//
 // Paper anchors: Extra Cycle ~ +17% avg (up to +20%), Extra Stage ~ +10%
 // (cacheb ~ +2%), LAEC < +4% avg (<1% on several; ~Extra Stage on
 // aifftr/aiifft/bitmnp/matrix).
 #include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "report/sink.hpp"
 #include "report/table.hpp"
+#include "runner/sweep_runner.hpp"
 
 namespace {
 
 using namespace laec;
-using bench::run_calibrated;
-using bench::run_kernel;
-using cpu::EccPolicy;
 
 struct Row {
   std::string name;
   double ec, es, la;  // exec-time increase vs no-ECC
 };
 
-template <typename RunFn>
-std::vector<Row> sweep(RunFn&& run) {
+/// Fold one sweep's slice of results (grid order: workload-major, the
+/// baseline-first runner::fig8_schemes() axis inner) into per-benchmark
+/// overhead rows.
+std::vector<Row> to_rows(const std::vector<runner::PointResult>& rs,
+                         std::size_t begin, std::size_t end) {
+  const std::size_t ns = runner::fig8_schemes().size();
   std::vector<Row> rows;
-  for (const auto& k : workloads::eembc_kernels()) {
-    const u64 base = run(k, EccPolicy::kNoEcc).cycles;
+  for (std::size_t i = begin; i + ns <= end; i += ns) {
+    const u64 base = rs[i].stats.cycles;
     Row r;
-    r.name = k.name;
-    r.ec = bench::ratio(run(k, EccPolicy::kExtraCycle).cycles, base) - 1.0;
-    r.es = bench::ratio(run(k, EccPolicy::kExtraStage).cycles, base) - 1.0;
-    r.la = bench::ratio(run(k, EccPolicy::kLaec).cycles, base) - 1.0;
+    r.name = rs[i].point.workload;
+    r.ec = bench::ratio(rs[i + 1].stats.cycles, base) - 1.0;
+    r.es = bench::ratio(rs[i + 2].stats.cycles, base) - 1.0;
+    r.la = bench::ratio(rs[i + 3].stats.cycles, base) - 1.0;
     rows.push_back(r);
   }
   return rows;
 }
 
-void print(const char* title, const std::vector<Row>& rows) {
+void print(std::FILE* out, const char* title, const std::vector<Row>& rows) {
   report::Table t({"benchmark", "Extra Cycle", "Extra Stage", "LAEC"});
   double sec = 0, ses = 0, sla = 0;
   for (const auto& r : rows) {
@@ -56,27 +68,72 @@ void print(const char* title, const std::vector<Row>& rows) {
   const double n = static_cast<double>(rows.size());
   t.add_row({"average", report::Table::pct(sec / n),
              report::Table::pct(ses / n), report::Table::pct(sla / n)});
-  std::printf("%s\n%s\n", title, t.to_text().c_str());
+  std::fprintf(out, "%s\n%s\n", title, t.to_text().c_str());
 }
 
 }  // namespace
 
-int main() {
-  std::printf(
+int main(int argc, char** argv) {
+  runner::SweepOptions opts;
+  bool csv = false;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--threads=", 0) == 0) {
+        opts.threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
+      } else if (arg == "--csv") {
+        csv = true;
+      } else {
+        throw std::invalid_argument(arg);
+      }
+    }
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "usage: fig8_exec_time [--threads=N] [--csv]\n");
+    return 2;
+  }
+  // With --csv, stdout carries exactly one header + one row per point;
+  // the human-readable report moves to stderr.
+  report::CsvWriter csv_sink(std::cout);
+  if (csv) opts.sink = &csv_sink;
+  std::FILE* txt = csv ? stderr : stdout;
+
+  std::fprintf(
+      txt,
       "Figure 8 — execution time increase vs the no-ECC baseline.\n"
       "Paper: Extra Cycle ~17%% avg, Extra Stage ~10%% avg, LAEC <4%% avg.\n\n");
 
-  print("(a) calibrated traces (Table II parameters by construction):",
-        sweep([](const workloads::KernelEntry& k, EccPolicy p) {
-          return run_calibrated(k, p);
-        }));
+  // Both reproductions run as ONE batched sweep (one thread pool, one
+  // streamed header): calibrated-trace points first, kernel points second.
+  runner::SweepGrid calibrated;
+  calibrated.all_workloads()
+      .eccs(runner::fig8_schemes())
+      .mode(runner::RunMode::kTrace)
+      .trace_ops(120'000);
+  runner::SweepGrid kernels;
+  kernels.all_workloads()
+      .eccs(runner::fig8_schemes())
+      .mode(runner::RunMode::kProgram);
 
-  print("(b) EEMBC-like kernels on the full cache hierarchy:",
-        sweep([](const workloads::KernelEntry& k, EccPolicy p) {
-          return run_kernel(k, p);
-        }));
+  auto points = calibrated.points();
+  const std::size_t split = points.size();
+  for (auto& p : kernels.points()) {
+    p.index = points.size();
+    points.push_back(std::move(p));
+  }
 
-  std::printf(
+  const auto summary = runner::run_sweep(points, opts);
+  print(txt, "(a) calibrated traces (Table II parameters by construction):",
+        to_rows(summary.results, 0, split));
+  print(txt, "(b) EEMBC-like kernels on the full cache hierarchy:",
+        to_rows(summary.results, split, summary.results.size()));
+  if (summary.self_check_failures != 0) {
+    std::fprintf(stderr, "self-check failures: %zu\n",
+                 summary.self_check_failures);
+    return 1;
+  }
+
+  std::fprintf(
+      txt,
       "Expected shape: LAEC <= Extra Stage <= Extra Cycle everywhere;\n"
       "cacheb near zero for all; LAEC ~= Extra Stage on aifftr / aiifft /\n"
       "bitmnp / matrix (address producer immediately before the load).\n");

@@ -92,16 +92,23 @@ RunStats collect_stats(sim::System& system, bool completed) {
   return r;
 }
 
-RunStats run_program(const SimConfig& cfg, const isa::Program& program) {
-  sim::System system(make_system_config(cfg, /*trace_mode=*/false));
-  std::unique_ptr<ecc::FaultInjector> injector;
+ProgramRun run_program_keep_system(const SimConfig& cfg,
+                                   const isa::Program& program) {
+  ProgramRun r;
+  r.system =
+      std::make_unique<sim::System>(make_system_config(cfg, /*trace_mode=*/false));
   if (cfg.dl1_faults.has_value()) {
-    injector = std::make_unique<ecc::FaultInjector>(*cfg.dl1_faults);
-    system.core(0).dl1().set_injector(injector.get());
+    r.injector = std::make_unique<ecc::FaultInjector>(*cfg.dl1_faults);
+    r.system->core(0).dl1().set_injector(r.injector.get());
   }
-  system.load_program(program);
-  const auto run = system.run();
-  return collect_stats(system, run.completed);
+  r.system->load_program(program);
+  const auto run = r.system->run();
+  r.stats = collect_stats(*r.system, run.completed);
+  return r;
+}
+
+RunStats run_program(const SimConfig& cfg, const isa::Program& program) {
+  return run_program_keep_system(cfg, program).stats;
 }
 
 RunStats run_trace(const SimConfig& cfg, cpu::TraceSource& trace) {

@@ -7,6 +7,7 @@
 // power users can still assemble sim::System directly.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -111,6 +112,17 @@ struct RunStats {
 /// A fault injector described by cfg.dl1_faults is attached to core 0's DL1.
 [[nodiscard]] RunStats run_program(const SimConfig& cfg,
                                    const isa::Program& program);
+
+/// run_program, but keep the finished system alive for post-mortem
+/// inspection (final-memory self-checks, chronograms). run_program and the
+/// sweep runner both build on this so the wiring cannot diverge.
+struct ProgramRun {
+  std::unique_ptr<sim::System> system;
+  std::unique_ptr<ecc::FaultInjector> injector;  ///< when cfg.dl1_faults set
+  RunStats stats;
+};
+[[nodiscard]] ProgramRun run_program_keep_system(const SimConfig& cfg,
+                                                 const isa::Program& program);
 
 /// Same, but feed core 0 from a synthetic trace (oracle DL1 outcomes).
 [[nodiscard]] RunStats run_trace(const SimConfig& cfg,

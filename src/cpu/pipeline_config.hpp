@@ -55,6 +55,10 @@ enum class HazardRule : u8 {
   kPaperLiteral,
 };
 
+[[nodiscard]] constexpr std::string_view to_string(HazardRule r) {
+  return r == HazardRule::kExact ? "exact" : "paper";
+}
+
 /// Whether non-memory instructions traverse the ECC stage slot in LAEC mode
 /// (the paper's Figs. 7a/7b disagree on this cell; timing is unaffected).
 enum class EccSlotPolicy : u8 {

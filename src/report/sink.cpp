@@ -1,0 +1,79 @@
+#include "report/sink.hpp"
+
+#include <cstdio>
+
+namespace laec::report {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::line(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::begin(const std::vector<std::string>& headers) {
+  line(headers);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) { line(cells); }
+
+std::string JsonLinesWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonLinesWriter::begin(const std::vector<std::string>& headers) {
+  headers_ = headers;
+}
+
+void JsonLinesWriter::row(const std::vector<std::string>& cells) {
+  out_ << '{';
+  for (std::size_t i = 0; i < cells.size() && i < headers_.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << '"' << escape(headers_[i]) << "\":\"" << escape(cells[i]) << '"';
+  }
+  out_ << "}\n";
+}
+
+std::unique_ptr<RowWriter> make_row_writer(const std::string& format,
+                                           std::ostream& out) {
+  if (format == "csv") return std::make_unique<CsvWriter>(out);
+  if (format == "json" || format == "jsonl") {
+    return std::make_unique<JsonLinesWriter>(out);
+  }
+  return nullptr;
+}
+
+}  // namespace laec::report

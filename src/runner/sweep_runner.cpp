@@ -1,0 +1,311 @@
+#include "runner/sweep_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "ecc/injector.hpp"
+#include "sim/system.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace laec::runner {
+
+namespace {
+
+u64 splitmix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+u64 fnv1a(const std::string& s) {
+  u64 h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string fmt_u64(u64 v) { return std::to_string(v); }
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+/// Run a single point to completion. The caller has already validated the
+/// workload name, so kernel_by_name cannot throw here.
+PointResult run_point(const SweepPoint& point, u64 base_seed) {
+  PointResult r;
+  r.point = point;
+
+  core::SimConfig cfg = point.config;
+  const u64 seed = point_seed(base_seed, point);
+  if (cfg.dl1_faults.has_value()) {
+    cfg.dl1_faults->seed = splitmix64(seed ^ 0xfa17u);
+  }
+
+  const auto& entry = workloads::kernel_by_name(point.workload);
+  if (point.mode == RunMode::kTrace) {
+    auto params = workloads::SyntheticParams::from_kernel(entry,
+                                                          point.trace_ops);
+    params.seed = seed;
+    workloads::SyntheticTrace trace(params);
+    r.stats = core::run_trace(cfg, trace);
+    return r;
+  }
+
+  const auto built = entry.build();
+  auto run = core::run_program_keep_system(cfg, built.program);
+  r.stats = std::move(run.stats);
+  for (const auto& [addr, expect] : built.expected) {
+    if (run.system->read_word_final(addr) != expect) {
+      r.self_check_ok = false;
+      break;
+    }
+  }
+  return r;
+}
+
+void accumulate(StatSet& totals, const PointResult& r) {
+  totals.counter("points") += 1;
+  totals.counter("self_check_failures") += r.self_check_ok ? 0 : 1;
+  totals.counter("completed") += r.stats.completed ? 1 : 0;
+  totals.counter("cycles") += r.stats.cycles;
+  totals.counter("instructions") += r.stats.instructions;
+  totals.counter("loads") += r.stats.loads;
+  totals.counter("load_hits") += r.stats.load_hits;
+  totals.counter("stores") += r.stats.stores;
+  totals.counter("dep_loads") += r.stats.dep_loads;
+  totals.counter("laec_anticipated") += r.stats.laec_anticipated;
+  totals.counter("laec_data_hazard") += r.stats.laec_data_hazard;
+  totals.counter("laec_resource_hazard") += r.stats.laec_resource_hazard;
+  totals.counter("ecc_corrected") += r.stats.ecc_corrected;
+  totals.counter("ecc_detected_uncorrectable") +=
+      r.stats.ecc_detected_uncorrectable;
+  totals.counter("parity_refetches") += r.stats.parity_refetches;
+  totals.counter("data_loss_events") += r.stats.data_loss_events;
+  totals.counter("bus_transactions") += r.stats.bus_transactions;
+  totals.counter("bus_wait_cycles") += r.stats.bus_wait_cycles;
+  for (const auto& sub :
+       {std::make_pair("pipeline.", &r.stats.pipeline_stats),
+        std::make_pair("dl1.", &r.stats.dl1_stats),
+        std::make_pair("bus.", &r.stats.bus_stats)}) {
+    for (const auto& [name, value] : sub.second->items()) {
+      totals.counter(std::string(sub.first) + name) += value;
+    }
+  }
+}
+
+}  // namespace
+
+SweepGrid& SweepGrid::workloads(std::vector<std::string> names) {
+  workloads_ = std::move(names);
+  return *this;
+}
+
+SweepGrid& SweepGrid::all_workloads() {
+  workloads_.clear();
+  for (const auto& k : workloads::eembc_kernels()) {
+    workloads_.push_back(k.name);
+  }
+  return *this;
+}
+
+SweepGrid& SweepGrid::eccs(std::vector<cpu::EccPolicy> policies) {
+  eccs_ = std::move(policies);
+  return *this;
+}
+
+SweepGrid& SweepGrid::hazards(std::vector<cpu::HazardRule> rules) {
+  hazards_ = std::move(rules);
+  return *this;
+}
+
+SweepGrid& SweepGrid::variants(std::vector<ConfigVariant> variants) {
+  variants_ = std::move(variants);
+  return *this;
+}
+
+SweepGrid& SweepGrid::base_config(core::SimConfig cfg) {
+  base_ = std::move(cfg);
+  return *this;
+}
+
+SweepGrid& SweepGrid::mode(RunMode m) {
+  mode_ = m;
+  return *this;
+}
+
+SweepGrid& SweepGrid::trace_ops(u64 ops) {
+  trace_ops_ = ops;
+  return *this;
+}
+
+std::vector<SweepPoint> SweepGrid::points() const {
+  // A single identity variant keeps the expansion uniform.
+  static const ConfigVariant kIdentity{"default", nullptr};
+  const std::vector<ConfigVariant>* variants = &variants_;
+  const std::vector<ConfigVariant> identity{kIdentity};
+  if (variants->empty()) variants = &identity;
+
+  std::vector<SweepPoint> out;
+  out.reserve(workloads_.size() * variants->size() * eccs_.size() *
+              hazards_.size());
+  for (const auto& w : workloads_) {
+    for (const auto& v : *variants) {
+      for (const auto ecc : eccs_) {
+        for (const auto hz : hazards_) {
+          SweepPoint p;
+          p.index = out.size();
+          p.workload = w;
+          p.variant = v.name;
+          p.config = base_;
+          if (v.tweak) v.tweak(p.config);
+          p.config.ecc = ecc;
+          p.config.hazard_rule = hz;
+          p.mode = mode_;
+          p.trace_ops = trace_ops_;
+          out.push_back(std::move(p));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+u64 point_seed(u64 base_seed, const SweepPoint& point) {
+  u64 h = splitmix64(base_seed);
+  h = splitmix64(h ^ fnv1a(point.workload));
+  h = splitmix64(h ^ point.trace_ops);
+  return h;
+}
+
+const std::vector<cpu::EccPolicy>& fig8_schemes() {
+  static const std::vector<cpu::EccPolicy> kSchemes = {
+      cpu::EccPolicy::kNoEcc, cpu::EccPolicy::kExtraCycle,
+      cpu::EccPolicy::kExtraStage, cpu::EccPolicy::kLaec};
+  return kSchemes;
+}
+
+const std::vector<std::string>& row_headers() {
+  static const std::vector<std::string> kHeaders = {
+      "workload", "variant", "mode", "ecc", "hazard", "completed",
+      "cycles", "instructions", "cpi", "loads", "load_hits", "dep_loads",
+      "stores", "laec_anticipated", "laec_data_hazard",
+      "laec_resource_hazard", "ecc_corrected", "ecc_detected_uncorrectable",
+      "parity_refetches", "bus_transactions", "bus_wait_cycles",
+      "self_check"};
+  return kHeaders;
+}
+
+std::vector<std::string> to_row(const PointResult& r) {
+  const auto& s = r.stats;
+  return {r.point.workload,
+          r.point.variant,
+          std::string(to_string(r.point.mode)),
+          std::string(to_string(r.point.config.ecc)),
+          std::string(to_string(r.point.config.hazard_rule)),
+          s.completed ? "1" : "0",
+          fmt_u64(s.cycles),
+          fmt_u64(s.instructions),
+          fmt_double(s.cpi),
+          fmt_u64(s.loads),
+          fmt_u64(s.load_hits),
+          fmt_u64(s.dep_loads),
+          fmt_u64(s.stores),
+          fmt_u64(s.laec_anticipated),
+          fmt_u64(s.laec_data_hazard),
+          fmt_u64(s.laec_resource_hazard),
+          fmt_u64(s.ecc_corrected),
+          fmt_u64(s.ecc_detected_uncorrectable),
+          fmt_u64(s.parity_refetches),
+          fmt_u64(s.bus_transactions),
+          fmt_u64(s.bus_wait_cycles),
+          r.self_check_ok ? "ok" : "FAIL"};
+}
+
+SweepSummary run_sweep(const std::vector<SweepPoint>& points,
+                       const SweepOptions& opts) {
+  if (opts.shard_count == 0 || opts.shard_index >= opts.shard_count) {
+    throw std::invalid_argument("run_sweep: shard_index/shard_count invalid");
+  }
+  // Validate every workload up front so worker threads cannot throw.
+  {
+    std::set<std::string> seen;
+    for (const auto& p : points) {
+      if (seen.insert(p.workload).second) {
+        (void)workloads::kernel_by_name(p.workload);  // throws if unknown
+      }
+    }
+  }
+
+  // This shard's slice, in grid order.
+  std::vector<const SweepPoint*> mine;
+  for (const auto& p : points) {
+    if (p.index % opts.shard_count == opts.shard_index) mine.push_back(&p);
+  }
+
+  SweepSummary summary;
+  summary.results.resize(mine.size());
+  if (opts.sink != nullptr) opts.sink->begin(row_headers());
+
+  std::vector<char> done(mine.size(), 0);
+  std::size_t next_emit = 0;
+  std::mutex emit_mutex;
+
+  // Emit (sink + callback + aggregate) every contiguous finished prefix.
+  // Called with emit_mutex held; emission is therefore in grid order and
+  // byte-identical for any thread count.
+  const auto drain = [&] {
+    while (next_emit < mine.size() && done[next_emit]) {
+      const PointResult& r = summary.results[next_emit];
+      accumulate(summary.totals, r);
+      summary.points_run += 1;
+      if (!r.self_check_ok) summary.self_check_failures += 1;
+      if (opts.sink != nullptr) opts.sink->row(to_row(r));
+      if (opts.on_result) opts.on_result(r);
+      ++next_emit;
+    }
+  };
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned requested = opts.threads == 0 ? hw : opts.threads;
+  const unsigned n_threads = static_cast<unsigned>(
+      std::min<std::size_t>(requested, std::max<std::size_t>(1, mine.size())));
+
+  std::atomic<std::size_t> cursor{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= mine.size()) return;
+      PointResult r = run_point(*mine[i], opts.base_seed);
+      std::lock_guard<std::mutex> lock(emit_mutex);
+      summary.results[i] = std::move(r);
+      done[i] = 1;
+      drain();
+    }
+  };
+
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  if (opts.sink != nullptr) opts.sink->end();
+  return summary;
+}
+
+}  // namespace laec::runner

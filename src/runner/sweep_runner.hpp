@@ -1,0 +1,152 @@
+// SweepRunner — batched, sharded execution of SimConfig grids.
+//
+// Every headline result of the paper (Fig. 8 exec-time ratios, Table II
+// characterization, the ablation sensitivity tables) is an embarrassingly
+// parallel sweep: run each (workload × ecc policy × hazard rule × machine
+// geometry) point, digest the stats, tabulate. SweepRunner is the one
+// engine behind all of them:
+//
+//   * a SweepGrid builder expands the cross product into a deterministic,
+//     stable list of SweepPoints (grid order never depends on threading);
+//   * run_sweep() shards the points over a std::thread pool — workers pull
+//     indices from an atomic cursor, so load-imbalanced kernels do not
+//     leave threads idle;
+//   * each point gets a deterministic RNG seed derived from (base_seed,
+//     grid index) by splitmix64, so trace generation and fault injection
+//     reproduce bit-for-bit at any thread count and on any shard;
+//   * results are batched into StatSet aggregates and streamed to an
+//     optional report::RowWriter in grid order (a small reorder window
+//     holds completed rows until their predecessors finish).
+//
+// Multi-machine scaling uses shard_count/shard_index: shard k of N runs the
+// points with index % N == k; the union of all shards is the full grid.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/simulator.hpp"
+#include "report/sink.hpp"
+#include "workloads/eembc.hpp"
+
+namespace laec::runner {
+
+/// How a point's workload drives the simulated system.
+enum class RunMode {
+  kProgram,  ///< assemble + run the self-checking kernel on the real caches
+  kTrace,    ///< calibrated synthetic trace (oracle DL1 outcomes)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(RunMode m) {
+  return m == RunMode::kProgram ? "program" : "trace";
+}
+
+/// One experiment: a workload under one fully-specified configuration.
+struct SweepPoint {
+  std::size_t index = 0;   ///< position in the expanded grid (stable)
+  std::string workload;    ///< kernel name (workloads::kernel_by_name)
+  std::string variant;     ///< human label of the config variant
+  core::SimConfig config;
+  RunMode mode = RunMode::kProgram;
+  u64 trace_ops = 120'000;
+};
+
+struct PointResult {
+  SweepPoint point;
+  core::RunStats stats;
+  /// Program mode: did every architecturally-final word match the kernel's
+  /// C++ reference model? (Trace mode has no checks; stays true.)
+  bool self_check_ok = true;
+};
+
+/// Named SimConfig mutation (geometry / latency variants for ablations).
+struct ConfigVariant {
+  std::string name;
+  std::function<void(core::SimConfig&)> tweak;
+};
+
+/// Cross-product grid builder. Order of expansion is fixed:
+/// workload (outer) × variant × ecc × hazard (inner).
+class SweepGrid {
+ public:
+  SweepGrid& workloads(std::vector<std::string> names);
+  /// All 16 EEMBC-like kernels, Table II order.
+  SweepGrid& all_workloads();
+  SweepGrid& eccs(std::vector<cpu::EccPolicy> policies);
+  SweepGrid& hazards(std::vector<cpu::HazardRule> rules);
+  SweepGrid& variants(std::vector<ConfigVariant> variants);
+  SweepGrid& base_config(core::SimConfig cfg);
+  SweepGrid& mode(RunMode m);
+  SweepGrid& trace_ops(u64 ops);
+
+  /// Expand into the deterministic point list.
+  [[nodiscard]] std::vector<SweepPoint> points() const;
+
+ private:
+  std::vector<std::string> workloads_;
+  std::vector<cpu::EccPolicy> eccs_{cpu::EccPolicy::kLaec};
+  std::vector<cpu::HazardRule> hazards_{cpu::HazardRule::kExact};
+  std::vector<ConfigVariant> variants_;
+  core::SimConfig base_;
+  RunMode mode_ = RunMode::kProgram;
+  u64 trace_ops_ = 120'000;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned threads = 0;
+  /// Horizontal sharding: this process runs points with
+  /// index % shard_count == shard_index.
+  unsigned shard_count = 1;
+  unsigned shard_index = 0;
+  /// Base of the per-point deterministic seed derivation.
+  u64 base_seed = 0x1aec;
+  /// Optional streaming sink; rows arrive in grid order.
+  report::RowWriter* sink = nullptr;
+  /// Optional per-point callback, invoked in grid order under the emission
+  /// lock (keep it cheap).
+  std::function<void(const PointResult&)> on_result;
+};
+
+/// Digest of a whole sweep (this shard's slice).
+struct SweepSummary {
+  std::vector<PointResult> results;  ///< grid order
+  /// Batched counter aggregates over every point (cycles, instructions,
+  /// loads, ... plus the merged pipeline/DL1/bus StatSets).
+  StatSet totals;
+  std::size_t points_run = 0;
+  std::size_t self_check_failures = 0;
+};
+
+/// The paper's four-scheme comparison axis, baseline FIRST. Folding code
+/// (fig8, ablations, CLI sweeps) relies on kNoEcc leading each workload
+/// block to form overhead ratios — always sweep via this list.
+[[nodiscard]] const std::vector<cpu::EccPolicy>& fig8_schemes();
+
+/// Column names of the per-point result row, in emission order.
+[[nodiscard]] const std::vector<std::string>& row_headers();
+
+/// Render one result as a row matching row_headers().
+[[nodiscard]] std::vector<std::string> to_row(const PointResult& r);
+
+/// Deterministic per-point seed, mixed from base_seed and the point's
+/// *workload identity* (name + trace length) — NOT its grid index or the
+/// thread that happens to run it. Points that differ only in ECC policy,
+/// hazard rule or geometry variant therefore replay the identical trace /
+/// fault sequence, which keeps scheme-vs-scheme ratios (Fig. 8) fair.
+[[nodiscard]] u64 point_seed(u64 base_seed, const SweepPoint& point);
+
+/// Run `points` under `opts`. Throws std::out_of_range for unknown
+/// workload names and std::invalid_argument for bad shard options.
+[[nodiscard]] SweepSummary run_sweep(const std::vector<SweepPoint>& points,
+                                     const SweepOptions& opts = {});
+
+/// Convenience: expand the grid and run it.
+[[nodiscard]] inline SweepSummary run_sweep(const SweepGrid& grid,
+                                            const SweepOptions& opts = {}) {
+  return run_sweep(grid.points(), opts);
+}
+
+}  // namespace laec::runner

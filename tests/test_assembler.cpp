@@ -106,7 +106,7 @@ TEST(Assembler, ProgramSymbolAndPcHelpers) {
   EXPECT_FALSE(p.contains_pc(p.text_base + 8));
   EXPECT_FALSE(p.contains_pc(p.text_base + 1));
   EXPECT_EQ(p.inst_at(p.text_base).op, Op::kNop);
-  EXPECT_THROW(p.symbol("missing"), std::out_of_range);
+  EXPECT_THROW((void)p.symbol("missing"), std::out_of_range);
 }
 
 }  // namespace

@@ -8,6 +8,10 @@
 //       Run the benchmark's calibrated synthetic trace.
 //   laec_cli compare <kernel> [options]
 //       Run all four schemes and print the Fig. 8-style comparison row.
+//   laec_cli sweep [kernel] [options]
+//       Run the full (workload x scheme) experiment grid N-way parallel
+//       through runner::run_sweep and stream one row per point. Without a
+//       kernel argument this is the Fig. 8 grid (16 kernels x 4 schemes).
 //
 // Options:
 //   --ecc=<no-ecc|extra-cycle|extra-stage|laec|wt-parity>   (default laec)
@@ -16,13 +20,25 @@
 //   --dl1-kb=<n> --dl1-ways=<n> --wbuf=<n> --div=<n> --mem=<n>
 //   --ops=<n>                    trace length (trace mode)
 //   --csv                        machine-readable one-line output
+//
+// Sweep options:
+//   --threads=<n>                worker threads (0 = hardware concurrency)
+//   --shard=<i>/<n>              run shard i of n (results union to the grid)
+//   --format=<csv|jsonl>         row format (default csv)
+//   --out=<file>                 write rows to a file instead of stdout
+//   --trace                      calibrated-trace mode instead of programs
+//   --seed=<n>                   base seed for per-point deterministic RNG
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/simulator.hpp"
+#include "report/sink.hpp"
 #include "report/table.hpp"
+#include "runner/sweep_runner.hpp"
 #include "workloads/eembc.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -37,6 +53,19 @@ struct CliOptions {
   u64 trace_ops = 120'000;
   bool csv = false;
   bool ok = true;
+
+  // Sweep mode.
+  bool ecc_explicit = false;  ///< --ecc given: sweep only that scheme
+  bool sweep_trace = false;
+  unsigned threads = 0;
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
+  u64 base_seed = 0x1aec;
+  std::string format = "csv";
+  std::string out_path;
+  /// Sweep-only flags seen on the command line (rejected for other
+  /// commands instead of being silently ignored).
+  std::vector<std::string> sweep_only_flags;
 };
 
 cpu::EccPolicy parse_ecc(const std::string& v, bool& ok) {
@@ -58,7 +87,7 @@ CliOptions parse(int argc, char** argv) {
   o.command = argv[1];
   int i = 2;
   if ((o.command == "run" || o.command == "trace" ||
-       o.command == "compare") &&
+       o.command == "compare" || o.command == "sweep") &&
       argc >= 3 && argv[2][0] != '-') {
     o.kernel = argv[2];
     i = 3;
@@ -74,6 +103,7 @@ CliOptions parse(int argc, char** argv) {
     };
     if (auto v = value("--ecc"); !v.empty()) {
       o.cfg.ecc = parse_ecc(v, o.ok);
+      o.ecc_explicit = true;
     } else if (auto h = value("--hazard"); !h.empty()) {
       o.cfg.hazard_rule = (h == "paper") ? cpu::HazardRule::kPaperLiteral
                                          : cpu::HazardRule::kExact;
@@ -93,6 +123,32 @@ CliOptions parse(int argc, char** argv) {
       o.trace_ops = std::stoull(v7);
     } else if (arg == "--csv") {
       o.csv = true;
+    } else if (auto t = value("--threads"); !t.empty()) {
+      o.threads = static_cast<unsigned>(std::stoul(t));
+      o.sweep_only_flags.push_back("--threads");
+    } else if (auto s = value("--shard"); !s.empty()) {
+      o.sweep_only_flags.push_back("--shard");
+      const auto slash = s.find('/');
+      if (slash == std::string::npos) {
+        std::fprintf(stderr, "--shard wants <index>/<count>\n");
+        o.ok = false;
+      } else {
+        o.shard_index = static_cast<unsigned>(std::stoul(s.substr(0, slash)));
+        o.shard_count =
+            static_cast<unsigned>(std::stoul(s.substr(slash + 1)));
+      }
+    } else if (auto f = value("--format"); !f.empty()) {
+      o.format = f;
+      o.sweep_only_flags.push_back("--format");
+    } else if (auto p = value("--out"); !p.empty()) {
+      o.out_path = p;
+      o.sweep_only_flags.push_back("--out");
+    } else if (auto sd = value("--seed"); !sd.empty()) {
+      o.base_seed = std::stoull(sd);
+      o.sweep_only_flags.push_back("--seed");
+    } else if (arg == "--trace") {
+      o.sweep_trace = true;
+      o.sweep_only_flags.push_back("--trace");
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       o.ok = false;
@@ -166,16 +222,13 @@ int cmd_list() {
 int cmd_run(const CliOptions& o) {
   const auto& entry = workloads::kernel_by_name(o.kernel);
   const auto built = entry.build();
-  sim::System system(core::make_system_config(o.cfg));
-  system.load_program(built.program);
-  const auto res = system.run();
-  const auto stats = core::collect_stats(system, res.completed);
+  const auto run = core::run_program_keep_system(o.cfg, built.program);
   int bad = 0;
   for (const auto& [addr, expect] : built.expected) {
-    bad += system.read_word_final(addr) != expect;
+    bad += run.system->read_word_final(addr) != expect;
   }
-  print_stats(o, stats, bad);
-  return bad == 0 && res.completed ? 0 : 1;
+  print_stats(o, run.stats, bad);
+  return bad == 0 && run.stats.completed ? 0 : 1;
 }
 
 int cmd_trace(const CliOptions& o) {
@@ -211,28 +264,91 @@ int cmd_compare(const CliOptions& o) {
   return 0;
 }
 
+int cmd_sweep(const CliOptions& o) {
+  runner::SweepGrid grid;
+  if (o.kernel.empty() || o.kernel == "all") {
+    grid.all_workloads();
+  } else {
+    grid.workloads({o.kernel});
+  }
+  if (o.ecc_explicit) {
+    grid.eccs({o.cfg.ecc});
+  } else {
+    grid.eccs(runner::fig8_schemes());
+  }
+  // The hazard axis would otherwise overwrite a --hazard choice with its
+  // default; sweep exactly the requested rule.
+  grid.hazards({o.cfg.hazard_rule});
+  grid.base_config(o.cfg)
+      .mode(o.sweep_trace ? runner::RunMode::kTrace
+                          : runner::RunMode::kProgram)
+      .trace_ops(o.trace_ops);
+
+  std::ofstream file;
+  if (!o.out_path.empty()) {
+    file.open(o.out_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", o.out_path.c_str());
+      return 2;
+    }
+  }
+  std::ostream& out = o.out_path.empty() ? std::cout : file;
+  const auto sink = report::make_row_writer(o.format, out);
+  if (sink == nullptr) {
+    std::fprintf(stderr, "unknown --format=%s (want csv or jsonl)\n",
+                 o.format.c_str());
+    return 2;
+  }
+
+  runner::SweepOptions opts;
+  opts.threads = o.threads;
+  opts.shard_index = o.shard_index;
+  opts.shard_count = o.shard_count;
+  opts.base_seed = o.base_seed;
+  opts.sink = sink.get();
+  const auto summary = runner::run_sweep(grid, opts);
+
+  std::fprintf(stderr,
+               "sweep: %zu points, %llu cycles simulated, "
+               "%zu self-check failures\n",
+               summary.points_run,
+               static_cast<unsigned long long>(summary.totals.value("cycles")),
+               summary.self_check_failures);
+  return summary.self_check_failures == 0 ? 0 : 1;
+}
+
 void usage() {
   std::fprintf(
       stderr,
-      "usage: laec_cli <list|run|trace|compare> [kernel] [options]\n"
+      "usage: laec_cli <list|run|trace|compare|sweep> [kernel] [options]\n"
       "  --ecc=no-ecc|extra-cycle|extra-stage|laec|wt-parity\n"
       "  --hazard=exact|paper  --stride-predictor  --csv\n"
-      "  --dl1-kb=N --dl1-ways=N --wbuf=N --div=N --mem=N --ops=N\n");
+      "  --dl1-kb=N --dl1-ways=N --wbuf=N --div=N --mem=N --ops=N\n"
+      "sweep mode:\n"
+      "  --threads=N  --shard=I/N  --format=csv|jsonl  --out=FILE\n"
+      "  --trace  --seed=N\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  CliOptions o = parse(argc, argv);
-  if (!o.ok) {
-    usage();
-    return 2;
-  }
   try {
+    CliOptions o = parse(argc, argv);
+    if (!o.ok) {
+      usage();
+      return 2;
+    }
+    if (o.command != "sweep" && !o.sweep_only_flags.empty()) {
+      std::fprintf(stderr, "%s only applies to the sweep command\n",
+                   o.sweep_only_flags.front().c_str());
+      usage();
+      return 2;
+    }
     if (o.command == "list") return cmd_list();
     if (o.command == "run") return cmd_run(o);
     if (o.command == "trace") return cmd_trace(o);
     if (o.command == "compare") return cmd_compare(o);
+    if (o.command == "sweep") return cmd_sweep(o);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
