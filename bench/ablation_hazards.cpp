@@ -1,25 +1,50 @@
 // Ablation A1: why does LAEC still lose cycles? Decompose every load's
 // look-ahead outcome per benchmark (anticipated / data hazard / resource
 // hazard / dynamic fallback) and compare the HazardRule variants.
+//
+// Both tables fold out of ONE batched sweep through runner::run_sweep:
+// 16 workloads x {no-ecc, laec} x {exact, paper} calibrated-trace points.
+// Grid order is workload-major with (scheme x hazard) inner, so each
+// workload block is [no-ecc/exact, no-ecc/paper, laec/exact, laec/paper].
+// Pass --threads=N to pin the pool size.
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 
 #include "bench_util.hpp"
 #include "report/table.hpp"
+#include "runner/sweep_runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace laec;
-  using cpu::EccPolicy;
+
+  runner::SweepOptions opts;
+  if (!bench::parse_bench_args(argc, argv, opts,
+                               "usage: ablation_hazards [--threads=N]\n")) {
+    return 2;
+  }
 
   std::printf(
       "LAEC outcome decomposition per benchmark (calibrated traces).\n"
       "The paper (§IV.A): \"Out of the two potential conditions ... most of\n"
       "them are due to data hazards.\"\n\n");
 
+  runner::SweepGrid grid;
+  grid.all_workloads()
+      .schemes({"no-ecc", "laec"})
+      .hazards({cpu::HazardRule::kExact, cpu::HazardRule::kPaperLiteral})
+      .mode(runner::RunMode::kTrace)
+      .trace_ops(120'000);
+  const auto summary = runner::run_sweep(grid, opts);
+  const auto& rs = summary.results;
+  constexpr std::size_t kPerWorkload = 4;  // 2 schemes x 2 hazard rules
+
   report::Table t({"benchmark", "%anticipated", "%data hazard",
                    "%resource hazard", "%fallback"});
   double sa = 0, sd = 0, sr = 0, sf = 0;
-  for (const auto& k : workloads::eembc_kernels()) {
-    const auto s = bench::run_calibrated(k, EccPolicy::kLaec);
+  double n = 0;
+  for (std::size_t i = 0; i + kPerWorkload <= rs.size(); i += kPerWorkload) {
+    const auto& s = rs[i + 2].stats;  // laec / exact
     const double loads = static_cast<double>(s.loads);
     const double a = 100.0 * static_cast<double>(s.laec_anticipated) / loads;
     const double d = 100.0 * static_cast<double>(s.laec_data_hazard) / loads;
@@ -29,43 +54,42 @@ int main() {
                      static_cast<double>(s.pipeline_stats.value(
                          "laec_dynamic_fallback")) /
                      loads;
-    t.add_row({k.name, report::Table::num(a, 1), report::Table::num(d, 1),
-               report::Table::num(r, 1), report::Table::num(f, 1)});
+    t.add_row({rs[i].point.workload, report::Table::num(a, 1),
+               report::Table::num(d, 1), report::Table::num(r, 1),
+               report::Table::num(f, 1)});
     sa += a;
     sd += d;
     sr += r;
     sf += f;
+    n += 1;
   }
-  t.add_row({"average", report::Table::num(sa / 16, 1),
-             report::Table::num(sd / 16, 1), report::Table::num(sr / 16, 1),
-             report::Table::num(sf / 16, 1)});
+  t.add_row({"average", report::Table::num(sa / n, 1),
+             report::Table::num(sd / n, 1), report::Table::num(sr / n, 1),
+             report::Table::num(sf / n, 1)});
   std::printf("%s\n", t.to_text().c_str());
 
   // HazardRule ablation: the paper's literal distance-1 rule vs the exact
-  // operand-earliness rule the hardware could implement.
+  // operand-earliness rule the hardware could implement. The no-ECC
+  // baseline is hazard-rule-independent; use each workload's exact-rule
+  // baseline row.
   std::printf("HazardRule ablation (average over benchmarks):\n\n");
   report::Table h({"rule", "avg exec-time increase vs no-ECC",
                    "avg %anticipated"});
-  for (auto rule : {cpu::HazardRule::kExact, cpu::HazardRule::kPaperLiteral}) {
+  for (const auto rule :
+       {cpu::HazardRule::kExact, cpu::HazardRule::kPaperLiteral}) {
+    const std::size_t off = rule == cpu::HazardRule::kExact ? 2 : 3;
     double overhead = 0, ant = 0;
-    for (const auto& k : workloads::eembc_kernels()) {
-      auto cfg = bench::config_for(EccPolicy::kNoEcc);
-      workloads::SyntheticTrace base_trace(
-          workloads::SyntheticParams::from_kernel(k, 120'000));
-      const auto base = core::run_trace(cfg, base_trace);
-
-      auto cfg2 = bench::config_for(EccPolicy::kLaec);
-      cfg2.hazard_rule = rule;
-      workloads::SyntheticTrace trace(
-          workloads::SyntheticParams::from_kernel(k, 120'000));
-      const auto s = core::run_trace(cfg2, trace);
+    for (std::size_t i = 0; i + kPerWorkload <= rs.size();
+         i += kPerWorkload) {
+      const auto& base = rs[i].stats;     // no-ecc / exact
+      const auto& s = rs[i + off].stats;  // laec / rule
       overhead += bench::ratio(s.cycles, base.cycles) - 1.0;
       ant += bench::ratio(s.laec_anticipated, s.loads);
     }
     h.add_row({rule == cpu::HazardRule::kExact ? "exact (operand earliness)"
                                                : "paper-literal (distance 1)",
-               report::Table::pct(overhead / 16),
-               report::Table::pct(ant / 16)});
+               report::Table::pct(overhead / n),
+               report::Table::pct(ant / n)});
   }
   std::printf("%s\n", h.to_text().c_str());
   return 0;

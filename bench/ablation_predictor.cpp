@@ -8,47 +8,76 @@
 // early anyway, verified against the real address in the same EX cycle.
 // Strided benchmarks (matrix, FFT, FIR) should recover most of the gap
 // between LAEC and the no-ECC baseline; pointer-chasing ones should not.
+//
+// All three configurations per kernel — no-ECC baseline, plain LAEC,
+// LAEC+stride — run as ONE batched sweep through runner::run_sweep
+// (the {no-ecc, laec} grid first, the stride-variant grid appended).
+// Pass --threads=N to pin the pool size.
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 
 #include "bench_util.hpp"
 #include "report/table.hpp"
+#include "runner/sweep_runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace laec;
-  using cpu::EccPolicy;
+
+  runner::SweepOptions opts;
+  if (!bench::parse_bench_args(argc, argv, opts,
+                               "usage: ablation_predictor [--threads=N]\n")) {
+    return 2;
+  }
+
+  runner::SweepGrid plain;
+  plain.all_workloads()
+      .schemes({"no-ecc", "laec"})
+      .mode(runner::RunMode::kProgram);
+  runner::SweepGrid stride;
+  stride.all_workloads()
+      .schemes({"laec"})
+      .variants({{"stride",
+                  [](core::SimConfig& c) { c.stride_predictor = true; }}})
+      .mode(runner::RunMode::kProgram);
+
+  auto points = plain.points();
+  const std::size_t split = points.size();
+  for (auto& p : stride.points()) {
+    p.index = points.size();
+    points.push_back(std::move(p));
+  }
+  const auto summary = runner::run_sweep(points, opts);
+  const auto& rs = summary.results;
+  const std::size_t kernels = split / 2;
 
   report::Table t({"benchmark", "LAEC", "LAEC+stride", "pred used",
                    "pred wrong", "gap closed"});
   double s_la = 0, s_pr = 0;
-  for (const auto& k : workloads::eembc_kernels()) {
-    const auto built = k.build();
-    auto base_cfg = bench::config_for(EccPolicy::kNoEcc);
-    const auto base = core::run_program(base_cfg, built.program);
-
-    auto la_cfg = bench::config_for(EccPolicy::kLaec);
-    const auto la = core::run_program(la_cfg, built.program);
-
-    auto pr_cfg = bench::config_for(EccPolicy::kLaec);
-    pr_cfg.stride_predictor = true;
-    const auto pr = core::run_program(pr_cfg, built.program);
+  for (std::size_t k = 0; k < kernels; ++k) {
+    const auto& base = rs[2 * k].stats;      // no-ecc
+    const auto& la = rs[2 * k + 1].stats;    // laec
+    const auto& pr = rs[split + k].stats;    // laec + stride predictor
 
     const double ola = bench::ratio(la.cycles, base.cycles) - 1.0;
     const double opr = bench::ratio(pr.cycles, base.cycles) - 1.0;
     const double closed = ola <= 1e-9 ? 0.0 : (ola - opr) / ola;
-    t.add_row({k.name, report::Table::pct(ola), report::Table::pct(opr),
+    t.add_row({rs[2 * k].point.workload, report::Table::pct(ola),
+               report::Table::pct(opr),
                std::to_string(pr.pipeline_stats.value("pred_used")),
                std::to_string(pr.pipeline_stats.value("pred_mispredict")),
                report::Table::pct(closed, 0)});
     s_la += ola;
     s_pr += opr;
   }
-  t.add_row({"average", report::Table::pct(s_la / 16),
-             report::Table::pct(s_pr / 16), "-", "-",
+  const double n = static_cast<double>(kernels);
+  t.add_row({"average", report::Table::pct(s_la / n),
+             report::Table::pct(s_pr / n), "-", "-",
              report::Table::pct(s_la <= 0 ? 0 : (s_la - s_pr) / s_la, 0)});
   std::printf(
       "Stride-predicted look-ahead (extension; real kernels, overhead vs\n"
       "no-ECC). Verification is same-cycle, so mispredictions cost only a\n"
       "wasted DL1 read — never a flush.\n\n%s\n",
       t.to_text().c_str());
-  return 0;
+  return summary.self_check_failures == 0 ? 0 : 1;
 }

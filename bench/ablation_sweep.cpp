@@ -44,17 +44,8 @@ std::vector<runner::ConfigVariant> variants() {
 
 int main(int argc, char** argv) {
   runner::SweepOptions opts;
-  try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg.rfind("--threads=", 0) == 0) {
-        opts.threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
-      } else {
-        throw std::invalid_argument(arg);
-      }
-    }
-  } catch (const std::exception&) {
-    std::fprintf(stderr, "usage: ablation_sweep [--threads=N]\n");
+  if (!bench::parse_bench_args(argc, argv, opts,
+                               "usage: ablation_sweep [--threads=N]\n")) {
     return 2;
   }
 

@@ -2,14 +2,49 @@
 // tables and figures.
 #pragma once
 
+#include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/simulator.hpp"
+#include "runner/sweep_runner.hpp"
 #include "workloads/eembc.hpp"
 #include "workloads/synthetic.hpp"
 
 namespace laec::bench {
+
+/// Shared argv loop for the bench mains: consumes the sweep flags every
+/// bench accepts (--threads=N) into `opts` and hands anything else to
+/// `extra` (return false to reject). Prints `usage` and returns false on a
+/// bad or malformed flag.
+template <typename ExtraFn>
+[[nodiscard]] inline bool parse_bench_args(int argc, char** argv,
+                                           runner::SweepOptions& opts,
+                                           const char* usage,
+                                           ExtraFn&& extra) {
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--threads=", 0) == 0) {
+        opts.threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
+      } else if (!extra(arg)) {
+        throw std::invalid_argument(arg);
+      }
+    }
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "%s", usage);
+    return false;
+  }
+  return true;
+}
+
+[[nodiscard]] inline bool parse_bench_args(int argc, char** argv,
+                                           runner::SweepOptions& opts,
+                                           const char* usage) {
+  return parse_bench_args(argc, argv, opts, usage,
+                          [](const std::string&) { return false; });
+}
 
 inline core::SimConfig config_for(cpu::EccPolicy ecc) {
   core::SimConfig cfg;

@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "ecc/parity.hpp"
+#include "ecc/sec_daec.hpp"
 #include "ecc/secded.hpp"
 #include "ecc/xor_tree.hpp"
 
@@ -55,6 +56,27 @@ void BM_Secded64Check(benchmark::State& state) {
 }
 BENCHMARK(BM_Secded64Check);
 
+void BM_SecDaec32CheckClean(benchmark::State& state) {
+  const auto& c = ecc::sec_daec32();
+  const u64 v = 0xdeadbeef;
+  const u64 chk = c.encode(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.check(v, chk));
+  }
+}
+BENCHMARK(BM_SecDaec32CheckClean);
+
+void BM_SecDaec32CheckAdjacentPair(benchmark::State& state) {
+  const auto& c = ecc::sec_daec32();
+  const u64 v = 0xdeadbeef;
+  const u64 chk = c.encode(v);
+  const u64 bad = v ^ 0x60;  // bits 5 and 6: adjacent double error
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.check(bad, chk));
+  }
+}
+BENCHMARK(BM_SecDaec32CheckAdjacentPair);
+
 void BM_Parity32(benchmark::State& state) {
   ecc::ParityCode c(32);
   const u64 v = 0x5aa5f00f;
@@ -77,8 +99,11 @@ int main(int argc, char** argv) {
               par.depth_levels, ecc::estimate_delay_ps(par));
   std::printf("  SECDED(39,32) encode: depth %2u  (%4.0f ps)\n",
               enc.depth_levels, ecc::estimate_delay_ps(enc));
-  std::printf("  SECDED(39,32) check:  depth %2u  (%4.0f ps)\n\n",
+  std::printf("  SECDED(39,32) check:  depth %2u  (%4.0f ps)\n",
               chk.depth_levels, ecc::estimate_delay_ps(chk));
+  const auto daec = ecc::estimate_checker(ecc::sec_daec32());
+  std::printf("  SEC-DAEC(39,32) check: depth %2u  (%4.0f ps)\n\n",
+              daec.depth_levels, ecc::estimate_delay_ps(daec));
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -76,19 +76,12 @@ void print(std::FILE* out, const char* title, const std::vector<Row>& rows) {
 int main(int argc, char** argv) {
   runner::SweepOptions opts;
   bool csv = false;
-  try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg.rfind("--threads=", 0) == 0) {
-        opts.threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
-      } else if (arg == "--csv") {
-        csv = true;
-      } else {
-        throw std::invalid_argument(arg);
-      }
-    }
-  } catch (const std::exception&) {
-    std::fprintf(stderr, "usage: fig8_exec_time [--threads=N] [--csv]\n");
+  if (!bench::parse_bench_args(argc, argv, opts,
+                               "usage: fig8_exec_time [--threads=N] [--csv]\n",
+                               [&](const std::string& arg) {
+                                 if (arg == "--csv") return csv = true;
+                                 return false;
+                               })) {
     return 2;
   }
   // With --csv, stdout carries exactly one header + one row per point;

@@ -1,0 +1,150 @@
+// Headline extension: Fig. 8-style exec-time comparison with SEC-DAEC rows
+// next to the paper's four schemes, under ADJACENT double-bit fault
+// injection — the MBU geometry that dominates scaled SRAM and the exact
+// case where SEC-DAEC out-corrects Hsiao SECDED.
+//
+// Per kernel, ONE batched sweep runs a clean no-ECC baseline (timing
+// denominator) plus five schemes under the storm:
+//
+//   no-ecc            unprotected write-back (silent corruption expected)
+//   extra-cycle       SECDED, M-stage spans 2 cycles
+//   extra-stage       SECDED, 8th pipeline stage
+//   laec              SECDED, look-ahead placement (the paper's proposal)
+//   sec-daec-39-32    SEC-DAEC under the same look-ahead placement
+//
+// Timing: SEC-DAEC matches laec (same placement, same hazards).
+// Reliability: SECDED can only *detect* an injected adjacent pair; the
+// refetch recovers clean lines, but on a dirty write-back line the only
+// copy is lost (a DUE data-loss event, visible as a self-check FAIL).
+// SEC-DAEC corrects the same pairs in place and stays clean — that is the
+// experiment's headline column.
+//
+// Pass --threads=N to pin the pool size, --rate=P to change the per-access
+// double-upset probability (default 2e-4), --csv to stream raw rows.
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "report/sink.hpp"
+#include "report/table.hpp"
+#include "runner/sweep_runner.hpp"
+
+namespace {
+
+using namespace laec;
+
+const std::vector<std::string>& storm_schemes() {
+  static const std::vector<std::string> kSchemes = {
+      "no-ecc", "extra-cycle", "extra-stage", "laec", "sec-daec-39-32"};
+  return kSchemes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner::SweepOptions opts;
+  double rate = 2e-4;
+  bool csv = false;
+  if (!bench::parse_bench_args(
+          argc, argv, opts,
+          "usage: fig8_sec_daec [--threads=N] [--rate=P] [--csv]\n",
+          [&](const std::string& arg) {
+            if (arg.rfind("--rate=", 0) == 0) {
+              rate = std::stod(arg.substr(7));
+              return true;
+            }
+            if (arg == "--csv") return csv = true;
+            return false;
+          })) {
+    return 2;
+  }
+  report::CsvWriter csv_sink(std::cout);
+  if (csv) opts.sink = &csv_sink;
+  std::FILE* txt = csv ? stderr : stdout;
+
+  std::fprintf(
+      txt,
+      "Fig. 8 extension — execution time vs a CLEAN no-ECC baseline, with\n"
+      "SEC-DAEC beside the paper's schemes, under adjacent double-bit\n"
+      "upsets (p=%g per DL1 word access).\n\n",
+      rate);
+
+  core::SimConfig stormy;
+  ecc::InjectorConfig inj;
+  inj.double_flip_prob = rate;
+  inj.adjacent_doubles = true;
+  stormy.dl1_faults = inj;
+
+  // Clean baseline first, storm grid second — one thread pool, one header.
+  runner::SweepGrid clean;
+  clean.all_workloads().schemes({"no-ecc"}).mode(runner::RunMode::kProgram);
+  runner::SweepGrid storm;
+  storm.all_workloads()
+      .schemes(storm_schemes())
+      .base_config(stormy)
+      .mode(runner::RunMode::kProgram);
+
+  auto points = clean.points();
+  const std::size_t split = points.size();
+  for (auto& p : storm.points()) {
+    p.index = points.size();
+    points.push_back(std::move(p));
+  }
+  const auto summary = runner::run_sweep(points, opts);
+  const auto& rs = summary.results;
+  const std::size_t ns = storm_schemes().size();
+
+  report::Table t({"benchmark", "Extra Cycle", "Extra Stage", "LAEC",
+                   "SEC-DAEC", "no-ECC", "SECDED", "SEC-DAEC"});
+  std::fprintf(txt,
+               "(last three columns: self-check under the storm — silent\n"
+               " corruption / DUE data loss / corrected in place)\n\n");
+  double sec = 0, ses = 0, sla = 0, sda = 0;
+  u64 due = 0, fixed = 0;
+  bool daec_all_ok = true;
+  double n = 0;
+  for (std::size_t k = 0; split + (k + 1) * ns <= rs.size(); ++k) {
+    const u64 base_cycles = rs[k].stats.cycles;  // clean no-ecc
+    const auto* row = &rs[split + k * ns];       // storm block
+    const double ec = bench::ratio(row[1].stats.cycles, base_cycles) - 1.0;
+    const double es = bench::ratio(row[2].stats.cycles, base_cycles) - 1.0;
+    const double la = bench::ratio(row[3].stats.cycles, base_cycles) - 1.0;
+    const double da = bench::ratio(row[4].stats.cycles, base_cycles) - 1.0;
+    const u64 k_due = row[3].stats.ecc_detected_uncorrectable;
+    const u64 k_fixed = row[4].stats.ecc_corrected_adjacent;
+    const bool secded_ok = row[1].self_check_ok && row[2].self_check_ok &&
+                           row[3].self_check_ok;
+    daec_all_ok = daec_all_ok && row[4].self_check_ok;
+    t.add_row({row[0].point.workload, report::Table::pct(ec),
+               report::Table::pct(es), report::Table::pct(la),
+               report::Table::pct(da),
+               row[0].self_check_ok ? "ok" : "CORRUPT",
+               secded_ok ? "ok" : "DATA LOSS",
+               row[4].self_check_ok ? "ok" : "FAIL"});
+    sec += ec;
+    ses += es;
+    sla += la;
+    sda += da;
+    due += k_due;
+    fixed += k_fixed;
+    n += 1;
+  }
+  t.add_row({"average", report::Table::pct(sec / n),
+             report::Table::pct(ses / n), report::Table::pct(sla / n),
+             report::Table::pct(sda / n), "-", "-", "-"});
+  std::fprintf(txt, "%s\n", t.to_text().c_str());
+  std::fprintf(
+      txt,
+      "Injected adjacent pairs hitting the LAEC/SECDED DL1: %llu detected-\n"
+      "uncorrectable (refetch; data loss when the line was dirty). The same\n"
+      "storm under SEC-DAEC: %llu corrected in place, zero data loss.\n",
+      static_cast<unsigned long long>(due),
+      static_cast<unsigned long long>(fixed));
+
+  // SEC-DAEC must ride out the storm; SECDED/no-ecc failures are the
+  // expected result, not an error.
+  return daec_all_ok ? 0 : 1;
+}

@@ -2,26 +2,36 @@
 // % of loads that hit in DL1, % of loads consumed at distance 1-2, and
 // loads as % of all instructions — measured by the pipeline's retirement
 // monitor, printed against the paper's published row.
+//
+// Both reproductions — (a) calibrated traces, (b) EEMBC-like kernels on the
+// real hierarchy — run as ONE batched sweep through runner::run_sweep
+// (trace points first, kernel points second), so the bench shares the
+// engine's thread pool, deterministic seeding and sharding with every other
+// experiment. Pass --threads=N to pin the pool size.
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 
 #include "bench_util.hpp"
 #include "report/table.hpp"
+#include "runner/sweep_runner.hpp"
 
 namespace {
 
 using namespace laec;
 
-void print_sweep(const char* title, bool calibrated) {
+void print_sweep(const char* title,
+                 const std::vector<runner::PointResult>& rs,
+                 std::size_t begin, std::size_t end) {
   report::Table t({"benchmark", "%hit (paper)", "%hit", "%dep (paper)",
                    "%dep", "%load (paper)", "%load"});
   double sh = 0, sd = 0, sl = 0, ph = 0, pd = 0, pl = 0;
-  for (const auto& k : workloads::eembc_kernels()) {
-    const auto s = calibrated
-                       ? bench::run_calibrated(k, cpu::EccPolicy::kNoEcc)
-                       : bench::run_kernel(k, cpu::EccPolicy::kNoEcc);
-    const double hit = 100.0 * s.hit_fraction();
-    const double dep = 100.0 * s.dep_fraction();
-    const double load = 100.0 * s.load_fraction();
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& r = rs[i];
+    const auto& k = workloads::kernel_by_name(r.point.workload);
+    const double hit = 100.0 * r.stats.hit_fraction();
+    const double dep = 100.0 * r.stats.dep_fraction();
+    const double load = 100.0 * r.stats.load_fraction();
     t.add_row({k.name, std::to_string(k.paper.hit_pct),
                report::Table::num(hit, 1), std::to_string(k.paper.dep_pct),
                report::Table::num(dep, 1), std::to_string(k.paper.load_pct),
@@ -33,20 +43,46 @@ void print_sweep(const char* title, bool calibrated) {
     pd += k.paper.dep_pct;
     pl += k.paper.load_pct;
   }
-  t.add_row({"average", report::Table::num(ph / 16, 0),
-             report::Table::num(sh / 16, 1), report::Table::num(pd / 16, 0),
-             report::Table::num(sd / 16, 1), report::Table::num(pl / 16, 0),
-             report::Table::num(sl / 16, 1)});
+  const double n = static_cast<double>(end - begin);
+  t.add_row({"average", report::Table::num(ph / n, 0),
+             report::Table::num(sh / n, 1), report::Table::num(pd / n, 0),
+             report::Table::num(sd / n, 1), report::Table::num(pl / n, 0),
+             report::Table::num(sl / n, 1)});
   std::printf("%s\n%s\n", title, t.to_text().c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runner::SweepOptions opts;
+  if (!bench::parse_bench_args(
+          argc, argv, opts, "usage: table2_characterization [--threads=N]\n")) {
+    return 2;
+  }
+
   std::printf(
       "Table II — %% of hit loads / %% of dependent loads (distance 1-2) /\n"
       "loads as %% of instructions. Paper averages: 89 / 60 / 25.\n\n");
-  print_sweep("(a) calibrated traces (match by construction):", true);
-  print_sweep("(b) EEMBC-like kernels on the real hierarchy:", false);
-  return 0;
+
+  runner::SweepGrid calibrated;
+  calibrated.all_workloads()
+      .schemes({"no-ecc"})
+      .mode(runner::RunMode::kTrace)
+      .trace_ops(120'000);
+  runner::SweepGrid kernels;
+  kernels.all_workloads().schemes({"no-ecc"}).mode(runner::RunMode::kProgram);
+
+  auto points = calibrated.points();
+  const std::size_t split = points.size();
+  for (auto& p : kernels.points()) {
+    p.index = points.size();
+    points.push_back(std::move(p));
+  }
+
+  const auto summary = runner::run_sweep(points, opts);
+  print_sweep("(a) calibrated traces (match by construction):",
+              summary.results, 0, split);
+  print_sweep("(b) EEMBC-like kernels on the real hierarchy:",
+              summary.results, split, summary.results.size());
+  return summary.self_check_failures == 0 ? 0 : 1;
 }

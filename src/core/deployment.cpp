@@ -1,0 +1,118 @@
+#include "core/deployment.hpp"
+
+#include <stdexcept>
+
+#include "ecc/registry.hpp"
+
+namespace laec::core {
+
+namespace {
+
+/// The cache arrays protect 32-bit words; a 64-bit-word codec cannot be
+/// deployed in the DL1 (Debug builds would hit the cache's geometry
+/// assert, Release builds would silently truncate check bits).
+std::shared_ptr<const ecc::Codec> dl1_codec(std::string_view key) {
+  auto codec = ecc::make_codec(key);  // throws when unknown
+  if (codec->data_bits() != 32) {
+    throw std::invalid_argument(
+        "codec \"" + std::string(key) + "\" protects " +
+        std::to_string(codec->data_bits()) +
+        "-bit words; the DL1 arrays use 32-bit word granularity");
+  }
+  return codec;
+}
+
+/// Deployment for a bare codec key: correcting codecs ride the write-back
+/// DL1 under the LAEC placement (the paper's proposal, and the fair apples-
+/// to-apples slot for codec-vs-codec comparisons); detect-only codecs can
+/// only recover by refetch, so they get the classic write-through
+/// arrangement; "none" is the unprotected baseline.
+EccDeployment for_codec(std::string_view key) {
+  const auto codec = dl1_codec(key);
+  EccDeployment d;
+  d.name = std::string(key);
+  d.codec = std::string(key);
+  if (codec->check_bits() == 0) {
+    d.timing = cpu::EccPolicy::kNoEcc;
+  } else if (codec->corrects_single()) {
+    d.timing = cpu::EccPolicy::kLaec;
+  } else {
+    d.timing = cpu::EccPolicy::kWtParity;
+    d.write_policy = mem::WritePolicy::kWriteThrough;
+    d.alloc_policy = mem::AllocPolicy::kNoWriteAllocate;
+  }
+  return d;
+}
+
+}  // namespace
+
+EccDeployment EccDeployment::from_policy(cpu::EccPolicy p) {
+  EccDeployment d;
+  d.name = std::string(to_string(p));
+  d.timing = p;
+  switch (p) {
+    case cpu::EccPolicy::kNoEcc:
+      d.codec = "none";
+      break;
+    case cpu::EccPolicy::kExtraCycle:
+    case cpu::EccPolicy::kExtraStage:
+    case cpu::EccPolicy::kLaec:
+      d.codec = "secded-39-32";
+      break;
+    case cpu::EccPolicy::kWtParity:
+      d.codec = "parity-32";
+      d.write_policy = mem::WritePolicy::kWriteThrough;
+      d.alloc_policy = mem::AllocPolicy::kNoWriteAllocate;
+      break;
+  }
+  return d;
+}
+
+EccDeployment EccDeployment::parse(std::string_view key) {
+  if (const auto p = cpu::ecc_policy_from_string(key); p.has_value()) {
+    return from_policy(*p);
+  }
+  if (const auto colon = key.find(':'); colon != std::string_view::npos) {
+    const std::string_view placement = key.substr(0, colon);
+    const std::string_view codec_key = key.substr(colon + 1);
+    const auto p = cpu::ecc_policy_from_string(placement);
+    if (!p.has_value()) {
+      throw std::invalid_argument(
+          "unknown ECC placement \"" + std::string(placement) +
+          "\" (want one of: no-ecc, extra-cycle, extra-stage, laec, "
+          "wt-parity)");
+    }
+    const auto codec = dl1_codec(codec_key);
+    EccDeployment d = from_policy(*p);
+    d.name = std::string(key);
+    d.codec = std::string(codec_key);
+    if (*p != cpu::EccPolicy::kNoEcc && *p != cpu::EccPolicy::kWtParity &&
+        !codec->corrects_single()) {
+      throw std::invalid_argument(
+          "placement \"" + std::string(placement) +
+          "\" needs a correcting codec; \"" + std::string(codec_key) +
+          "\" only detects");
+    }
+    return d;
+  }
+  if (ecc::codec_registered(key)) return for_codec(key);
+  std::string known;
+  for (const auto& k : policy_keys()) {
+    known += known.empty() ? "" : ", ";
+    known += k;
+  }
+  for (const auto& c : ecc::registered_codecs()) {
+    known += ", " + c;
+  }
+  throw std::invalid_argument("unknown ECC scheme \"" + std::string(key) +
+                              "\" (known: " + known +
+                              ", or placement:codec)");
+}
+
+const std::vector<std::string>& EccDeployment::policy_keys() {
+  static const std::vector<std::string> kKeys = {
+      "no-ecc", "extra-cycle", "extra-stage", "laec", "wt-parity"};
+  return kKeys;
+}
+
+}  // namespace laec::core

@@ -1,0 +1,60 @@
+// EccDeployment: one DL1 protection scheme, fully described.
+//
+// A deployment names the three independent choices the paper's schemes
+// bundle together: WHICH codec protects the array (a registry key), HOW the
+// cache is written (write-back vs write-through), and WHERE the check lands
+// in the pipeline (the timing placement the cpu::EccPolicy enum models).
+// Everything downstream — SimConfig, the sweep grid, CSV rows, the CLI —
+// selects schemes by deployment key, so a new codec rides through the whole
+// stack without touching an enum.
+//
+// Keys accepted by parse():
+//   * a policy name        — "no-ecc", "extra-cycle", "extra-stage",
+//                            "laec", "wt-parity": the paper's deployments
+//                            with their canonical codecs;
+//   * a codec name         — e.g. "sec-daec-39-32": that codec in the
+//                            write-back DL1 under the LAEC placement
+//                            (detect-only codecs get the write-through
+//                            parity arrangement instead);
+//   * "placement:codec"    — e.g. "extra-stage:sec-daec-39-32": explicit
+//                            placement with an explicit codec.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cpu/pipeline_config.hpp"
+#include "mem/cache.hpp"
+
+namespace laec::core {
+
+struct EccDeployment {
+  /// Scheme key as the user selected it (what CSV rows report as "ecc").
+  std::string name = "no-ecc";
+  /// Registry key of the DL1 word codec (ecc::make_codec(codec)).
+  std::string codec = "none";
+  /// Pipeline stage placement of the DL1 check (the legacy enum, kept as
+  /// the timing-model shim).
+  cpu::EccPolicy timing = cpu::EccPolicy::kNoEcc;
+  mem::WritePolicy write_policy = mem::WritePolicy::kWriteBack;
+  mem::AllocPolicy alloc_policy = mem::AllocPolicy::kWriteAllocate;
+
+  /// The canonical deployment behind one of the paper's five policies.
+  [[nodiscard]] static EccDeployment from_policy(cpu::EccPolicy p);
+
+  /// Parse a scheme key (see file comment). Throws std::invalid_argument
+  /// with the known choices when the key names neither a policy, a
+  /// registered codec, nor a valid placement:codec combination.
+  [[nodiscard]] static EccDeployment parse(std::string_view key);
+
+  /// The five built-in policy keys, baseline first (Fig. 8 order plus the
+  /// write-through motivation row).
+  [[nodiscard]] static const std::vector<std::string>& policy_keys();
+};
+
+[[nodiscard]] inline std::string_view to_string(const EccDeployment& d) {
+  return d.name;
+}
+
+}  // namespace laec::core

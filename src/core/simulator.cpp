@@ -1,6 +1,9 @@
 #include "core/simulator.hpp"
 
 #include <memory>
+#include <stdexcept>
+
+#include "ecc/registry.hpp"
 
 namespace laec::core {
 
@@ -17,7 +20,6 @@ sim::SystemConfig make_system_config(const SimConfig& cfg, bool trace_mode) {
   sc.memsys.l2.memory_cycles = cfg.memory_cycles;
 
   cpu::PipelineParams& pp = sc.core.pipeline;
-  pp.ecc = cfg.ecc;
   pp.hazard_rule = cfg.hazard_rule;
   pp.ecc_slot = cfg.ecc_slot;
   pp.stride_predictor = cfg.stride_predictor;
@@ -27,27 +29,18 @@ sim::SystemConfig make_system_config(const SimConfig& cfg, bool trace_mode) {
   pp.lookahead_under_branch_shadow = cfg.lookahead_under_branch_shadow;
   pp.max_cycles = cfg.max_cycles;
 
+  // Expand the scheme descriptor: codec, write policy and stage placement
+  // all flow from the (possibly string-keyed) deployment.
+  const EccDeployment dep = cfg.effective_deployment();
+  pp.ecc = dep.timing;
+
   mem::CacheConfig& dc = sc.core.dl1.cache;
   dc.size_bytes = cfg.dl1_size_bytes;
   dc.ways = cfg.dl1_ways;
   dc.line_bytes = cfg.dl1_line_bytes;
-  switch (cfg.ecc) {
-    case cpu::EccPolicy::kNoEcc:
-      dc.write_policy = mem::WritePolicy::kWriteBack;
-      dc.codec = ecc::CodecKind::kNone;
-      break;
-    case cpu::EccPolicy::kExtraCycle:
-    case cpu::EccPolicy::kExtraStage:
-    case cpu::EccPolicy::kLaec:
-      dc.write_policy = mem::WritePolicy::kWriteBack;
-      dc.codec = ecc::CodecKind::kSecded;
-      break;
-    case cpu::EccPolicy::kWtParity:
-      dc.write_policy = mem::WritePolicy::kWriteThrough;
-      dc.alloc_policy = mem::AllocPolicy::kNoWriteAllocate;
-      dc.codec = ecc::CodecKind::kParity;
-      break;
-  }
+  dc.write_policy = dep.write_policy;
+  dc.alloc_policy = dep.alloc_policy;
+  dc.codec = ecc::make_codec(dep.codec);
   sc.core.dl1.oracle.enabled = trace_mode;
   sc.core.dl1.oracle.miss_cycles = cfg.oracle_miss_cycles;
 
@@ -79,6 +72,7 @@ RunStats collect_stats(sim::System& system, bool completed) {
   r.laec_data_hazard = ps.value("laec_data_hazard");
   r.laec_resource_hazard = ps.value("laec_resource_hazard");
   r.ecc_corrected = cs.value("ecc_corrected");
+  r.ecc_corrected_adjacent = cs.value("ecc_corrected_adjacent");
   r.ecc_detected_uncorrectable = cs.value("ecc_detected_uncorrectable");
   r.parity_refetches = ds.value("parity_refetches");
   r.data_loss_events = ds.value("data_loss_events");
@@ -98,7 +92,13 @@ ProgramRun run_program_keep_system(const SimConfig& cfg,
   r.system =
       std::make_unique<sim::System>(make_system_config(cfg, /*trace_mode=*/false));
   if (cfg.dl1_faults.has_value()) {
-    r.injector = std::make_unique<ecc::FaultInjector>(*cfg.dl1_faults);
+    // Size the flip universe to the deployed codec's codeword (data + check
+    // bits) so fault rates stay comparable across schemes.
+    ecc::InjectorConfig icfg = *cfg.dl1_faults;
+    const auto codec = ecc::make_codec(cfg.effective_deployment().codec);
+    icfg.word_bits = codec->check_bits() == 0 ? codec->data_bits()
+                                              : codec->codeword_bits();
+    r.injector = std::make_unique<ecc::FaultInjector>(icfg);
     r.system->core(0).dl1().set_injector(r.injector.get());
   }
   r.system->load_program(program);
@@ -112,6 +112,11 @@ RunStats run_program(const SimConfig& cfg, const isa::Program& program) {
 }
 
 RunStats run_trace(const SimConfig& cfg, cpu::TraceSource& trace) {
+  if (cfg.dl1_faults.has_value()) {
+    throw std::invalid_argument(
+        "fault injection requires program mode: the calibrated-trace "
+        "(oracle) DL1 keeps no arrays to inject into");
+  }
   sim::System system(make_system_config(cfg, /*trace_mode=*/true), &trace);
   const auto run = system.run();
   return collect_stats(system, run.completed);

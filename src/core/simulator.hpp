@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 
+#include "core/deployment.hpp"
 #include "cpu/pipeline_config.hpp"
 #include "cpu/trace_source.hpp"
 #include "ecc/injector.hpp"
@@ -20,10 +21,32 @@
 namespace laec::core {
 
 struct SimConfig {
-  /// DL1 ECC deployment under study. Chooses the DL1 codec and write policy:
+  /// DL1 ECC deployment under study (legacy enum axis). When `deployment`
+  /// is unset this policy is expanded via EccDeployment::from_policy:
   /// kNoEcc -> unprotected write-back; kExtraCycle/kExtraStage/kLaec ->
   /// SECDED write-back; kWtParity -> parity write-through.
   cpu::EccPolicy ecc = cpu::EccPolicy::kLaec;
+  /// Full string-keyed scheme descriptor (codec + write policy + stage
+  /// placement). Takes precedence over `ecc` when set; set_scheme() keeps
+  /// the two in sync. New code should select schemes this way.
+  std::optional<EccDeployment> deployment;
+
+  /// Select the scheme by key (policy name, codec name, or
+  /// "placement:codec" — see EccDeployment::parse). Keeps the legacy `ecc`
+  /// enum in sync for timing-model consumers. Throws std::invalid_argument
+  /// for unknown keys.
+  SimConfig& set_scheme(std::string_view key) {
+    deployment = EccDeployment::parse(key);
+    ecc = deployment->timing;
+    return *this;
+  }
+
+  /// The effective deployment: `deployment` when set, else the canonical
+  /// expansion of `ecc`.
+  [[nodiscard]] EccDeployment effective_deployment() const {
+    return deployment.has_value() ? *deployment
+                                  : EccDeployment::from_policy(ecc);
+  }
   cpu::HazardRule hazard_rule = cpu::HazardRule::kExact;
   cpu::EccSlotPolicy ecc_slot = cpu::EccSlotPolicy::kAuto;
   /// Extension: stride-predicted look-ahead for data-hazard-blocked loads.
@@ -49,7 +72,9 @@ struct SimConfig {
   unsigned num_cores = 1;
   std::vector<sim::TrafficPattern> traffic;  ///< co-runner bus pressure
 
-  // Fault injection into the DL1 arrays (soft errors).
+  // Fault injection into the DL1 arrays (soft errors). Program mode only:
+  // trace (oracle) mode keeps no arrays to inject into, so run_trace and
+  // the sweep runner reject configs that combine the two.
   std::optional<ecc::InjectorConfig> dl1_faults;
 
   // Trace (oracle) mode tuning: forced-miss service time. Calibrated so
@@ -80,6 +105,7 @@ struct RunStats {
   u64 laec_data_hazard = 0;
   u64 laec_resource_hazard = 0;
   u64 ecc_corrected = 0;
+  u64 ecc_corrected_adjacent = 0;  ///< subset of ecc_corrected (SEC-DAEC)
   u64 ecc_detected_uncorrectable = 0;
   u64 parity_refetches = 0;
   u64 data_loss_events = 0;

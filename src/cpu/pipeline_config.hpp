@@ -3,6 +3,7 @@
 // baseline from the motivation section.
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 #include "common/types.hpp"
@@ -34,7 +35,19 @@ enum class EccPolicy : u8 {
     case EccPolicy::kLaec: return "laec";
     case EccPolicy::kWtParity: return "wt-parity";
   }
-  return "?";
+  // Every enumerator is handled above; reaching here is a caller bug.
+  return "invalid-ecc-policy";
+}
+
+/// Inverse of to_string(EccPolicy); nullopt for unknown spellings.
+[[nodiscard]] constexpr std::optional<EccPolicy> ecc_policy_from_string(
+    std::string_view s) {
+  if (s == "no-ecc") return EccPolicy::kNoEcc;
+  if (s == "extra-cycle") return EccPolicy::kExtraCycle;
+  if (s == "extra-stage") return EccPolicy::kExtraStage;
+  if (s == "laec") return EccPolicy::kLaec;
+  if (s == "wt-parity") return EccPolicy::kWtParity;
+  return std::nullopt;
 }
 
 /// Does the policy add an 8th (ECC) pipeline stage?
@@ -56,7 +69,19 @@ enum class HazardRule : u8 {
 };
 
 [[nodiscard]] constexpr std::string_view to_string(HazardRule r) {
-  return r == HazardRule::kExact ? "exact" : "paper";
+  switch (r) {
+    case HazardRule::kExact: return "exact";
+    case HazardRule::kPaperLiteral: return "paper";
+  }
+  return "invalid-hazard-rule";
+}
+
+/// Inverse of to_string(HazardRule); nullopt for unknown spellings.
+[[nodiscard]] constexpr std::optional<HazardRule> hazard_rule_from_string(
+    std::string_view s) {
+  if (s == "exact") return HazardRule::kExact;
+  if (s == "paper") return HazardRule::kPaperLiteral;
+  return std::nullopt;
 }
 
 /// Whether non-memory instructions traverse the ECC stage slot in LAEC mode

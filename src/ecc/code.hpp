@@ -5,13 +5,17 @@
 // corrected) exactly as they would in hardware.
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 #include "common/types.hpp"
 
 namespace laec::ecc {
 
-/// Which protection scheme a memory array uses.
+/// Which protection scheme a memory array uses. Legacy closed enumeration:
+/// new code should name codecs through the string-keyed registry
+/// (ecc/registry.hpp) — this enum survives as a shim for the three schemes
+/// the original reproduction hardwired.
 enum class CodecKind {
   kNone,    ///< unprotected array
   kParity,  ///< 1 parity bit per word: single-error detection only
@@ -24,13 +28,24 @@ enum class CodecKind {
     case CodecKind::kParity: return "parity";
     case CodecKind::kSecded: return "secded";
   }
-  return "?";
+  // Every enumerator is handled above; reaching here is a caller bug.
+  return "invalid-codec-kind";
+}
+
+/// Inverse of to_string(CodecKind); nullopt for unknown spellings.
+[[nodiscard]] constexpr std::optional<CodecKind> codec_kind_from_string(
+    std::string_view s) {
+  if (s == "none") return CodecKind::kNone;
+  if (s == "parity") return CodecKind::kParity;
+  if (s == "secded") return CodecKind::kSecded;
+  return std::nullopt;
 }
 
 /// Outcome of checking one protected word.
 enum class CheckStatus {
   kOk,                     ///< syndrome clean, data delivered as stored
   kCorrected,              ///< single-bit error corrected on the fly
+  kCorrectedAdjacent,      ///< adjacent double error corrected (SEC-DAEC)
   kDetectedUncorrectable,  ///< error detected but not correctable
 };
 
@@ -38,9 +53,27 @@ enum class CheckStatus {
   switch (s) {
     case CheckStatus::kOk: return "ok";
     case CheckStatus::kCorrected: return "corrected";
+    case CheckStatus::kCorrectedAdjacent: return "corrected-adjacent";
     case CheckStatus::kDetectedUncorrectable: return "detected-uncorrectable";
   }
-  return "?";
+  return "invalid-check-status";
+}
+
+/// Inverse of to_string(CheckStatus); nullopt for unknown spellings.
+[[nodiscard]] constexpr std::optional<CheckStatus> check_status_from_string(
+    std::string_view s) {
+  if (s == "ok") return CheckStatus::kOk;
+  if (s == "corrected") return CheckStatus::kCorrected;
+  if (s == "corrected-adjacent") return CheckStatus::kCorrectedAdjacent;
+  if (s == "detected-uncorrectable") {
+    return CheckStatus::kDetectedUncorrectable;
+  }
+  return std::nullopt;
+}
+
+/// Did the decoder deliver usable data (clean or repaired)?
+[[nodiscard]] constexpr bool is_corrected(CheckStatus s) {
+  return s == CheckStatus::kCorrected || s == CheckStatus::kCorrectedAdjacent;
 }
 
 }  // namespace laec::ecc

@@ -1,0 +1,20 @@
+#include "ecc/codec.hpp"
+
+namespace laec::ecc {
+
+Codec::Decoded ParityCodec::decode(u64 data, u64 check) const {
+  const auto r = code_.check(data, check);
+  return {r.status, r.data, code_.encode(r.data)};
+}
+
+Codec::Decoded SecdedCodec::decode(u64 data, u64 check) const {
+  const auto r = code_.check(data, check);
+  return {r.status, r.data, r.check};
+}
+
+Codec::Decoded SecDaecCodec::decode(u64 data, u64 check) const {
+  const auto r = code_.check(data, check);
+  return {r.status, r.data, r.check};
+}
+
+}  // namespace laec::ecc

@@ -1,0 +1,139 @@
+// Abstract codec interface of the error-code subsystem.
+//
+// Every protection scheme the simulated arrays can deploy — nothing, parity,
+// Hsiao SECDED, SEC-DAEC, and whatever a future PR registers — implements
+// ecc::Codec. The caches hold a std::shared_ptr<const Codec> and run it on
+// every access; nothing downstream switches on an enum any more. Codecs are
+// immutable after construction and safe to share across threads (the sweep
+// runner hammers one instance from every worker).
+//
+// To add a scheme in one file: subclass Codec, then register a factory with
+// ecc::register_codec("my-code-39-32", ...) (see ecc/registry.hpp).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "ecc/code.hpp"
+#include "ecc/parity.hpp"
+#include "ecc/sec_daec.hpp"
+#include "ecc/secded.hpp"
+
+namespace laec::ecc {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Registry key, e.g. "secded-39-32".
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual unsigned data_bits() const = 0;
+  [[nodiscard]] virtual unsigned check_bits() const = 0;
+  [[nodiscard]] unsigned codeword_bits() const {
+    return data_bits() + check_bits();
+  }
+
+  /// Check bits for a data word (low check_bits() bits of the result).
+  [[nodiscard]] virtual u64 encode(u64 data) const = 0;
+
+  struct Decoded {
+    CheckStatus status = CheckStatus::kOk;
+    u64 data = 0;   ///< delivered (corrected where possible) data word
+    u64 check = 0;  ///< matching check bits for the delivered data
+  };
+
+  /// Decode a stored (data, check) pair, repairing what the scheme can.
+  [[nodiscard]] virtual Decoded decode(u64 data, u64 check) const = 0;
+
+  // --- capability flags (drive cache recovery policy and reporting) -------
+  /// Can a single-bit error be corrected in place?
+  [[nodiscard]] virtual bool corrects_single() const { return false; }
+  /// Is every double-bit error *guaranteed* to be flagged (never silently
+  /// accepted, never miscorrected)?
+  [[nodiscard]] virtual bool detects_double() const { return false; }
+  /// Can an adjacent double-bit error be corrected in place?
+  [[nodiscard]] virtual bool corrects_adjacent_double() const { return false; }
+};
+
+/// Unprotected array: zero check bits, every word decodes clean.
+class NoneCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "none"; }
+  [[nodiscard]] unsigned data_bits() const override { return 32; }
+  [[nodiscard]] unsigned check_bits() const override { return 0; }
+  [[nodiscard]] u64 encode(u64) const override { return 0; }
+  [[nodiscard]] Decoded decode(u64 data, u64) const override {
+    return {CheckStatus::kOk, data, 0};
+  }
+};
+
+/// Single even-parity bit per word (detect-only; LEON WT L1 arrangement).
+class ParityCodec final : public Codec {
+ public:
+  explicit ParityCodec(unsigned data_bits) : code_(data_bits) {}
+  [[nodiscard]] std::string_view name() const override { return "parity-32"; }
+  [[nodiscard]] unsigned data_bits() const override {
+    return code_.data_bits();
+  }
+  [[nodiscard]] unsigned check_bits() const override { return 1; }
+  [[nodiscard]] u64 encode(u64 data) const override {
+    return code_.encode(data);
+  }
+  [[nodiscard]] Decoded decode(u64 data, u64 check) const override;
+
+ private:
+  ParityCode code_;
+};
+
+/// Hsiao SECDED adapter over the shared per-width SecdedCode instances.
+class SecdedCodec final : public Codec {
+ public:
+  explicit SecdedCodec(const SecdedCode& code, std::string_view name)
+      : code_(code), name_(name) {}
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] unsigned data_bits() const override {
+    return code_.data_bits();
+  }
+  [[nodiscard]] unsigned check_bits() const override {
+    return code_.check_bits();
+  }
+  [[nodiscard]] u64 encode(u64 data) const override {
+    return code_.encode(data);
+  }
+  [[nodiscard]] Decoded decode(u64 data, u64 check) const override;
+  [[nodiscard]] bool corrects_single() const override { return true; }
+  [[nodiscard]] bool detects_double() const override { return true; }
+
+ private:
+  const SecdedCode& code_;
+  std::string_view name_;
+};
+
+/// SEC-DAEC adapter over the shared per-width SecDaecCode instances.
+class SecDaecCodec final : public Codec {
+ public:
+  explicit SecDaecCodec(const SecDaecCode& code, std::string_view name)
+      : code_(code), name_(name) {}
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] unsigned data_bits() const override {
+    return code_.data_bits();
+  }
+  [[nodiscard]] unsigned check_bits() const override {
+    return code_.check_bits();
+  }
+  [[nodiscard]] u64 encode(u64 data) const override {
+    return code_.encode(data);
+  }
+  [[nodiscard]] Decoded decode(u64 data, u64 check) const override;
+  [[nodiscard]] bool corrects_single() const override { return true; }
+  // Non-adjacent doubles may alias onto an adjacent pair (miscorrection) —
+  // detection of arbitrary doubles is NOT guaranteed.
+  [[nodiscard]] bool corrects_adjacent_double() const override { return true; }
+
+ private:
+  const SecDaecCode& code_;
+  std::string_view name_;
+};
+
+}  // namespace laec::ecc

@@ -24,11 +24,17 @@ std::vector<unsigned> FaultInjector::flips_for_access(u64 word_index) {
     }
   }
   if (cfg_.double_flip_prob > 0 && rng_.chance(cfg_.double_flip_prob)) {
-    const unsigned a = static_cast<unsigned>(rng_.below(cfg_.word_bits));
-    unsigned b = static_cast<unsigned>(rng_.below(cfg_.word_bits - 1));
-    if (b >= a) ++b;  // distinct second position
-    flips.push_back(a);
-    flips.push_back(b);
+    if (cfg_.adjacent_doubles) {
+      const unsigned a = static_cast<unsigned>(rng_.below(cfg_.word_bits - 1));
+      flips.push_back(a);
+      flips.push_back(a + 1);
+    } else {
+      const unsigned a = static_cast<unsigned>(rng_.below(cfg_.word_bits));
+      unsigned b = static_cast<unsigned>(rng_.below(cfg_.word_bits - 1));
+      if (b >= a) ++b;  // distinct second position
+      flips.push_back(a);
+      flips.push_back(b);
+    }
     ++injected_double_;
   } else if (cfg_.single_flip_prob > 0 && rng_.chance(cfg_.single_flip_prob)) {
     flips.push_back(static_cast<unsigned>(rng_.below(cfg_.word_bits)));

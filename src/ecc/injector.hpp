@@ -25,6 +25,10 @@ struct InjectorConfig {
   double single_flip_prob = 0.0;
   /// Probability of exactly two flips (SECDED's detected-uncorrectable case).
   double double_flip_prob = 0.0;
+  /// Make every double upset strike an ADJACENT bit pair — the dominant
+  /// real-world MBU geometry, and the case SEC-DAEC corrects while SECDED
+  /// only detects. When false, double-flip positions are independent.
+  bool adjacent_doubles = false;
   /// Bits eligible for flipping: data bits plus check bits of one word.
   unsigned word_bits = 39;  // (39,32) SECDED codeword by default
   u64 seed = 0x5eed;

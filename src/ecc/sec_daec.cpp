@@ -1,0 +1,214 @@
+#include "ecc/sec_daec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "common/bitops.hpp"
+
+namespace laec::ecc {
+
+namespace {
+
+constexpr unsigned check_bits_for(unsigned k) {
+  switch (k) {
+    case 32: return 7;
+    case 64: return 8;
+    default: return 0;
+  }
+}
+
+/// DFS column assignment. Chooses a distinct odd-weight (>=3) column for
+/// data bit `i` such that the adjacent-pair syndrome c_{i-1}^c_i (and, for
+/// the last data bit, the seam syndrome c_{k-1}^e_0) stays unique among all
+/// adjacent-pair syndromes committed so far. Candidates are tried in a
+/// deterministic order that prefers balanced row weights, so the result is
+/// reproducible and the syndrome XOR trees stay shallow.
+struct Builder {
+  unsigned k, r;
+  std::vector<u64> candidates;        // odd-weight >= 3 columns, fixed order
+  std::vector<u64> columns;           // chosen so far
+  std::set<u64> used_cols;            // singles must stay distinct
+  std::set<u64> used_pairs;           // adjacent-pair syndromes
+  std::vector<unsigned> row_weight;   // greedy balance bookkeeping
+
+  bool place(unsigned i) {
+    if (i == k) return true;
+    // Deterministic preference: smallest resulting max row weight, then
+    // smallest column value.
+    std::vector<std::size_t> order(candidates.size());
+    for (std::size_t c = 0; c < candidates.size(); ++c) order[c] = c;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const auto score = [&](u64 col) {
+        unsigned mx = 0;
+        for (unsigned row = 0; row < r; ++row) {
+          const unsigned v = row_weight[row] + get_bit(col, row);
+          if (v > mx) mx = v;
+        }
+        return mx;
+      };
+      const unsigned sa = score(candidates[a]);
+      const unsigned sb = score(candidates[b]);
+      return sa != sb ? sa < sb : candidates[a] < candidates[b];
+    });
+
+    for (const std::size_t ci : order) {
+      const u64 col = candidates[ci];
+      if (used_cols.count(col) != 0) continue;
+      u64 pair_prev = 0;
+      if (i > 0) {
+        pair_prev = columns[i - 1] ^ col;
+        if (used_pairs.count(pair_prev) != 0) continue;
+      }
+      u64 pair_seam = 0;
+      if (i == k - 1) {
+        pair_seam = col ^ 1u;  // c_{k-1} ^ e_0
+        if (pair_seam == pair_prev || used_pairs.count(pair_seam) != 0) {
+          continue;
+        }
+      }
+      // Commit.
+      columns.push_back(col);
+      used_cols.insert(col);
+      if (i > 0) used_pairs.insert(pair_prev);
+      if (i == k - 1) used_pairs.insert(pair_seam);
+      for (unsigned row = 0; row < r; ++row) {
+        row_weight[row] += get_bit(col, row);
+      }
+      if (place(i + 1)) return true;
+      // Backtrack.
+      for (unsigned row = 0; row < r; ++row) {
+        row_weight[row] -= get_bit(col, row);
+      }
+      if (i == k - 1) used_pairs.erase(pair_seam);
+      if (i > 0) used_pairs.erase(pair_prev);
+      used_cols.erase(col);
+      columns.pop_back();
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+SecDaecCode::SecDaecCode(unsigned data_bits) : k_(data_bits) {
+  r_ = check_bits_for(data_bits);
+  assert(r_ != 0 && "data_bits must be 32 or 64");
+  build_matrix();
+}
+
+void SecDaecCode::build_matrix() {
+  Builder b;
+  b.k = k_;
+  b.r = r_;
+  b.row_weight.assign(r_, 0);
+  for (u64 c = 0; c < (u64{1} << r_); ++c) {
+    const unsigned w = static_cast<unsigned>(popcount64(c));
+    if (w >= 3 && w % 2 == 1) b.candidates.push_back(c);
+  }
+  // The check-check adjacent pairs e_j ^ e_{j+1} are fixed by the layout;
+  // reserve them before any data column is placed.
+  for (unsigned j = 0; j + 1 < r_; ++j) {
+    b.used_pairs.insert((u64{1} << j) | (u64{1} << (j + 1)));
+  }
+  // Check columns are unit vectors; data columns must differ from them
+  // (weight >= 3 already guarantees that).
+  const bool ok = b.place(0);
+  assert(ok && "SEC-DAEC column search failed");
+  (void)ok;
+  columns_ = std::move(b.columns);
+
+  row_masks_.assign(r_, 0);
+  for (unsigned i = 0; i < k_; ++i) {
+    for (unsigned row = 0; row < r_; ++row) {
+      if (get_bit(columns_[i], row)) {
+        row_masks_[row] = set_bit(row_masks_[row], i, 1);
+      }
+    }
+  }
+
+  // Syndrome lookup. Full codeword column c(p): data columns then unit
+  // vectors. Singles map to their position; adjacent pairs map to n + first
+  // position; everything else is uncorrectable.
+  const unsigned n = codeword_bits();
+  const auto cw_column = [&](unsigned p) -> u64 {
+    return p < k_ ? columns_[p] : (u64{1} << (p - k_));
+  };
+  syndrome_lut_.assign(std::size_t{1} << r_, -2);
+  for (unsigned p = 0; p < n; ++p) {
+    syndrome_lut_[static_cast<std::size_t>(cw_column(p))] =
+        static_cast<i32>(p);
+  }
+  for (unsigned p = 0; p + 1 < n; ++p) {
+    const u64 s = cw_column(p) ^ cw_column(p + 1);
+    assert(syndrome_lut_[static_cast<std::size_t>(s)] == -2 &&
+           "adjacent-pair syndrome collision");
+    syndrome_lut_[static_cast<std::size_t>(s)] = static_cast<i32>(n + p);
+  }
+}
+
+unsigned SecDaecCode::row_weight(unsigned row) const {
+  assert(row < r_);
+  return static_cast<unsigned>(popcount64(row_masks_[row]));
+}
+
+u64 SecDaecCode::encode(u64 data) const {
+  data &= low_mask(k_);
+  u64 check = 0;
+  for (unsigned row = 0; row < r_; ++row) {
+    check = set_bit(check, row, parity64(data & row_masks_[row]));
+  }
+  return check;
+}
+
+u64 SecDaecCode::syndrome(u64 data, u64 check) const {
+  return encode(data) ^ (check & low_mask(r_));
+}
+
+SecDaecCode::Result SecDaecCode::check(u64 data, u64 check) const {
+  Result res;
+  res.data = data & low_mask(k_);
+  res.check = check & low_mask(r_);
+  const u64 s = syndrome(data, check);
+  if (s == 0) {
+    res.status = CheckStatus::kOk;
+    return res;
+  }
+  const i32 act = syndrome_lut_[static_cast<std::size_t>(s)];
+  if (act < 0) {
+    res.status = CheckStatus::kDetectedUncorrectable;
+    return res;
+  }
+  const unsigned n = codeword_bits();
+  const auto flip = [&](unsigned p) {
+    if (p < k_) {
+      res.data = flip_bit(res.data, p);
+    } else {
+      res.check = flip_bit(res.check, p - k_);
+    }
+  };
+  if (static_cast<unsigned>(act) < n) {
+    res.status = CheckStatus::kCorrected;
+    res.corrected_pos = act;
+    flip(static_cast<unsigned>(act));
+  } else {
+    const unsigned p = static_cast<unsigned>(act) - n;
+    res.status = CheckStatus::kCorrectedAdjacent;
+    res.corrected_pos = static_cast<int>(p);
+    res.corrected_pos2 = static_cast<int>(p + 1);
+    flip(p);
+    flip(p + 1);
+  }
+  return res;
+}
+
+const SecDaecCode& sec_daec32() {
+  static const SecDaecCode c(32);
+  return c;
+}
+const SecDaecCode& sec_daec64() {
+  static const SecDaecCode c(64);
+  return c;
+}
+
+}  // namespace laec::ecc

@@ -1,0 +1,92 @@
+// SEC-DAEC: single-error-correction / double-ADJACENT-error-correction.
+//
+// Multi-bit upsets in scaled SRAM overwhelmingly strike physically adjacent
+// cells, so a code that *corrects* an adjacent pair — rather than merely
+// detecting it, as Hsiao SECDED does — removes the dominant uncorrectable
+// case at the same check-bit budget (Dutta & Touba '07; Tripathi et al.,
+// arXiv:2307.16195 / arXiv:2002.07507). Geometries mirror the SECDED ones
+// the DL1/L2 use:
+//
+//     (39, 32)  k=32, r=7   <- DL1/L2 word granularity in this repo
+//     (72, 64)  k=64, r=8
+//
+// Construction (odd-weight + adjacent-syndrome):
+//   * check bit j owns unit column e_j; data bit i gets a distinct
+//     odd-weight (>= 3) column c_i, so every single error has an odd-weight
+//     syndrome and every double error an even-weight one — singles and
+//     doubles can never be confused;
+//   * columns are chosen (DFS with greedy row balancing) such that the
+//     syndromes of all ADJACENT codeword pairs — c_i^c_{i+1} inside the
+//     data, c_{k-1}^e_0 at the data/check seam, e_j^e_{j+1} inside the
+//     check bits — are pairwise distinct, making every adjacent double
+//     error uniquely correctable.
+//
+// A NON-adjacent double error also yields an even-weight syndrome; it is
+// either flagged detected-uncorrectable or aliases onto an adjacent pair
+// and is miscorrected (the decoder cannot tell — the classic SEC-DAEC
+// trade-off). It is never silently accepted: no double error has a zero
+// syndrome. Codeword bit order is [0,k) data, [k,k+r) check, matching the
+// cache arrays' injection layout.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "ecc/code.hpp"
+
+namespace laec::ecc {
+
+class SecDaecCode {
+ public:
+  /// `data_bits` must be 32 or 64.
+  explicit SecDaecCode(unsigned data_bits);
+
+  [[nodiscard]] unsigned data_bits() const { return k_; }
+  [[nodiscard]] unsigned check_bits() const { return r_; }
+  [[nodiscard]] unsigned codeword_bits() const { return k_ + r_; }
+
+  /// Check bits for a data word (low `check_bits()` bits of the result).
+  [[nodiscard]] u64 encode(u64 data) const;
+
+  /// Raw syndrome of a stored (data, check) pair.
+  [[nodiscard]] u64 syndrome(u64 data, u64 check) const;
+
+  struct Result {
+    CheckStatus status = CheckStatus::kOk;
+    u64 data = 0;   ///< corrected data word
+    u64 check = 0;  ///< corrected check bits
+    /// First corrected bit in codeword space ([0,k) data, [k,k+r) check);
+    /// -1 when nothing was corrected.
+    int corrected_pos = -1;
+    /// Second corrected bit of an adjacent pair (= corrected_pos + 1);
+    /// -1 unless status == kCorrectedAdjacent.
+    int corrected_pos2 = -1;
+  };
+
+  /// Decode a stored pair: corrects any single flip and any adjacent double
+  /// flip; other error patterns come back detected-uncorrectable.
+  [[nodiscard]] Result check(u64 data, u64 check) const;
+
+  /// Column of data bit `i` in H (for tests and the XOR-tree estimator).
+  [[nodiscard]] u64 column(unsigned i) const { return columns_[i]; }
+
+  /// Number of data bits feeding check bit `row` (row weight of H).
+  [[nodiscard]] unsigned row_weight(unsigned row) const;
+
+ private:
+  void build_matrix();
+
+  unsigned k_ = 0;  // data bits
+  unsigned r_ = 0;  // check bits
+  std::vector<u64> columns_;    // per data bit: its r-bit column
+  std::vector<u64> row_masks_;  // per check bit: mask over data bits
+  // syndrome -> action: [0, n) correct that codeword bit; [n, 2n-1) correct
+  // the adjacent pair starting at (value - n); -2 detected-uncorrectable.
+  std::vector<i32> syndrome_lut_;  // size 2^r
+};
+
+/// Shared per-width instances (the codes are stateless after construction).
+[[nodiscard]] const SecDaecCode& sec_daec32();
+[[nodiscard]] const SecDaecCode& sec_daec64();
+
+}  // namespace laec::ecc

@@ -13,6 +13,7 @@
 // correctable column and one final XOR per data bit.
 #pragma once
 
+#include "ecc/sec_daec.hpp"
 #include "ecc/secded.hpp"
 
 namespace laec::ecc {
@@ -27,11 +28,17 @@ struct GateEstimate {
 
 /// Cost of computing the check bits for a write (encoder).
 [[nodiscard]] GateEstimate estimate_encoder(const SecdedCode& code);
+[[nodiscard]] GateEstimate estimate_encoder(const SecDaecCode& code);
 
 /// Cost of computing the syndrome and correcting one bit (checker+corrector);
 /// this is the logic that sits in the load path and motivates the whole
 /// paper.
 [[nodiscard]] GateEstimate estimate_checker(const SecdedCode& code);
+
+/// SEC-DAEC checker: the single-bit corrector plus one extra syndrome-match
+/// term per adjacent codeword pair, OR-folded into each data bit's
+/// correction XOR (Dutta-Touba-style decoder).
+[[nodiscard]] GateEstimate estimate_checker(const SecDaecCode& code);
 
 /// Cost of a single parity bit over `data_bits` inputs (detector only).
 [[nodiscard]] GateEstimate estimate_parity(unsigned data_bits);

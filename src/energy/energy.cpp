@@ -1,9 +1,11 @@
 #include "energy/energy.hpp"
 
+#include "ecc/registry.hpp"
+
 namespace laec::energy {
 
 EnergyBreakdown compute(const EnergyParams& p, const core::RunStats& stats,
-                        cpu::EccPolicy policy) {
+                        const core::EccDeployment& deployment) {
   EnergyBreakdown b;
   const double insts = static_cast<double>(stats.instructions);
   const double loads = static_cast<double>(stats.loads);
@@ -14,21 +16,21 @@ EnergyBreakdown compute(const EnergyParams& p, const core::RunStats& stats,
   pj += loads * p.dl1_read_pj;
   pj += stores * p.dl1_write_pj;
 
-  switch (policy) {
-    case cpu::EccPolicy::kNoEcc:
-      break;
-    case cpu::EccPolicy::kWtParity:
-      pj += loads * p.parity_pj + stores * p.parity_pj;
-      break;
-    case cpu::EccPolicy::kExtraCycle:
-    case cpu::EccPolicy::kExtraStage:
-    case cpu::EccPolicy::kLaec:
-      pj += loads * p.secded_check_pj + stores * p.secded_encode_pj;
-      break;
+  const auto codec = ecc::make_codec(deployment.codec);
+  if (codec->check_bits() == 1 && !codec->corrects_single()) {
+    // Single-parity detector.
+    pj += loads * p.parity_pj + stores * p.parity_pj;
+  } else if (codec->check_bits() > 0) {
+    // Syndrome-decoder codecs: the reference energies are sized for the
+    // 7-tree (39,32) SECDED checker; other geometries scale with their
+    // check-bit (syndrome XOR tree) count.
+    const double scale = static_cast<double>(codec->check_bits()) / 7.0;
+    pj += loads * p.secded_check_pj * scale;
+    pj += stores * p.secded_encode_pj * scale;
   }
 
   double laec_pj = 0.0;
-  if (policy == cpu::EccPolicy::kLaec) {
+  if (deployment.timing == cpu::EccPolicy::kLaec) {
     // Two early register-file reads plus the dedicated address adder per
     // anticipated load (Fig. 6 hardware).
     laec_pj = anticipated * (2.0 * p.rf_read_port_pj + p.agen_adder_pj);
@@ -41,6 +43,11 @@ EnergyBreakdown compute(const EnergyParams& p, const core::RunStats& stats,
   b.leakage_uj = p.leak_core_mw * 1e-3 * seconds * 1e6;
   b.laec_adder_uj = laec_pj * 1e-6;
   return b;
+}
+
+EnergyBreakdown compute(const EnergyParams& p, const core::RunStats& stats,
+                        cpu::EccPolicy policy) {
+  return compute(p, stats, core::EccDeployment::from_policy(policy));
 }
 
 }  // namespace laec::energy

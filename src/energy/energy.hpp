@@ -43,6 +43,15 @@ struct EnergyBreakdown {
   }
 };
 
+/// Deployment-aware energy digest: the codec named by the deployment sets
+/// the per-access check/encode energies (scaled by its check-bit count
+/// relative to the (39,32) reference the CACTI-like numbers were drawn
+/// for), and the LAEC placement adds the look-ahead hardware energy.
+[[nodiscard]] EnergyBreakdown compute(const EnergyParams& p,
+                                      const core::RunStats& stats,
+                                      const core::EccDeployment& deployment);
+
+/// Legacy enum shim: expands `policy` to its canonical deployment.
 [[nodiscard]] EnergyBreakdown compute(const EnergyParams& p,
                                       const core::RunStats& stats,
                                       cpu::EccPolicy policy);

@@ -7,10 +7,18 @@
 
 namespace laec::mem {
 
-SetAssocCache::SetAssocCache(const CacheConfig& cfg) : cfg_(cfg) {
+SetAssocCache::SetAssocCache(const CacheConfig& cfg)
+    : cfg_(cfg), codec_(cfg.codec.get()) {
   assert(is_pow2(cfg_.size_bytes) && is_pow2(cfg_.line_bytes));
   assert(cfg_.size_bytes % (cfg_.line_bytes * cfg_.ways) == 0);
   assert(cfg_.line_bytes % 4 == 0);
+  assert((codec_ == nullptr || codec_->data_bits() == 32) &&
+         "cache arrays protect 32-bit words");
+  assert((codec_ == nullptr || codec_->check_bits() <= 16) &&
+         "check side-array stores at most 16 bits per word");
+  // A codec with no check bits is the same as no codec; drop it so the hot
+  // path has a single "unprotected" test.
+  if (codec_ != nullptr && codec_->check_bits() == 0) codec_ = nullptr;
   ways_.resize(static_cast<std::size_t>(cfg_.num_sets()) * cfg_.ways);
   for (Way& w : ways_) {
     w.data.assign(cfg_.line_bytes, 0);
@@ -21,6 +29,7 @@ SetAssocCache::SetAssocCache(const CacheConfig& cfg) : cfg_(cfg) {
   n_fill_ = &stats_.counter("fills");
   n_evict_dirty_ = &stats_.counter("dirty_evictions");
   n_corrected_ = &stats_.counter("ecc_corrected");
+  n_corrected_adjacent_ = &stats_.counter("ecc_corrected_adjacent");
   n_detected_uncorrectable_ = &stats_.counter("ecc_detected_uncorrectable");
 }
 
@@ -54,19 +63,13 @@ u64 SetAssocCache::word_key(const Way& way, u32 word_idx) const {
 }
 
 void SetAssocCache::recompute_check(Way& way, u32 word_idx) {
+  if (codec_ == nullptr) {
+    way.check[word_idx] = 0;
+    return;
+  }
   u32 v;
   std::memcpy(&v, way.data.data() + word_idx * 4, 4);
-  switch (cfg_.codec) {
-    case ecc::CodecKind::kNone:
-      way.check[word_idx] = 0;
-      break;
-    case ecc::CodecKind::kParity:
-      way.check[word_idx] = static_cast<u16>(ecc::ParityCode(32).encode(v));
-      break;
-    case ecc::CodecKind::kSecded:
-      way.check[word_idx] = static_cast<u16>(ecc::secded32().encode(v));
-      break;
-  }
+  way.check[word_idx] = static_cast<u16>(codec_->encode(v));
 }
 
 void SetAssocCache::inject_and_check(Way& way, u32 word_idx, WordRead& out) {
@@ -90,36 +93,26 @@ void SetAssocCache::inject_and_check(Way& way, u32 word_idx, WordRead& out) {
     }
   }
 
-  switch (cfg_.codec) {
-    case ecc::CodecKind::kNone:
-      out.value = stored;
-      out.check = ecc::CheckStatus::kOk;
-      return;
-    case ecc::CodecKind::kParity: {
-      const auto r = ecc::ParityCode(32).check(stored, way.check[word_idx]);
-      out.value = r.data;
-      out.check = r.status;
-      if (r.status == ecc::CheckStatus::kDetectedUncorrectable) {
-        ++*n_detected_uncorrectable_;
-      }
-      return;
+  if (codec_ == nullptr) {
+    out.value = stored;
+    out.check = ecc::CheckStatus::kOk;
+    return;
+  }
+  const auto r = codec_->decode(stored, way.check[word_idx]);
+  out.value = static_cast<u32>(r.data);
+  out.check = r.status;
+  if (ecc::is_corrected(r.status)) {
+    ++*n_corrected_;
+    if (r.status == ecc::CheckStatus::kCorrectedAdjacent) {
+      ++*n_corrected_adjacent_;
     }
-    case ecc::CodecKind::kSecded: {
-      const auto r = ecc::secded32().check(stored, way.check[word_idx]);
-      out.value = static_cast<u32>(r.data);
-      out.check = r.status;
-      if (r.status == ecc::CheckStatus::kCorrected) {
-        ++*n_corrected_;
-        if (cfg_.scrub_on_correct) {
-          const u32 fixed = static_cast<u32>(r.data);
-          std::memcpy(way.data.data() + word_idx * 4, &fixed, 4);
-          way.check[word_idx] = static_cast<u16>(r.check);
-        }
-      } else if (r.status == ecc::CheckStatus::kDetectedUncorrectable) {
-        ++*n_detected_uncorrectable_;
-      }
-      return;
+    if (cfg_.scrub_on_correct) {
+      const u32 fixed = static_cast<u32>(r.data);
+      std::memcpy(way.data.data() + word_idx * 4, &fixed, 4);
+      way.check[word_idx] = static_cast<u16>(r.check);
     }
+  } else if (r.status == ecc::CheckStatus::kDetectedUncorrectable) {
+    ++*n_detected_uncorrectable_;
   }
 }
 

@@ -1,7 +1,7 @@
 // Generic set-associative cache array with per-word ECC side-arrays.
 //
 // One class backs all three simulated caches (L1I, DL1, L2). It stores real
-// data bytes and real check bits (parity or Hsiao SECDED at 32-bit word
+// data bytes and real check bits (any registered ecc::Codec at 32-bit word
 // granularity), runs the real codec on every word read, and applies injected
 // faults to the stored arrays — so a flipped bit persists until the word is
 // rewritten, exactly like a soft error in SRAM.
@@ -16,12 +16,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "ecc/code.hpp"
+#include "ecc/codec.hpp"
 #include "ecc/injector.hpp"
-#include "ecc/parity.hpp"
-#include "ecc/secded.hpp"
+#include "ecc/registry.hpp"
 
 namespace laec::mem {
 
@@ -35,9 +37,12 @@ struct CacheConfig {
   u32 ways = 4;
   WritePolicy write_policy = WritePolicy::kWriteBack;
   AllocPolicy alloc_policy = AllocPolicy::kWriteAllocate;
-  ecc::CodecKind codec = ecc::CodecKind::kNone;
-  /// Write the corrected word back into the array after a SECDED single-bit
-  /// correction (scrubbing); prevents a second strike from accumulating.
+  /// Word codec; nullptr means unprotected. Construct by registry name
+  /// (ecc::make_codec("secded-39-32")) or via the CodecKind enum shim.
+  /// Must protect 32-bit words (the array's word granularity).
+  std::shared_ptr<const ecc::Codec> codec;
+  /// Write the corrected word back into the array after a correction
+  /// (scrubbing); prevents a second strike from accumulating.
   bool scrub_on_correct = true;
 
   [[nodiscard]] u32 num_sets() const {
@@ -135,6 +140,7 @@ class SetAssocCache {
   void inject_and_check(Way& way, u32 word_idx, WordRead& out);
 
   CacheConfig cfg_;
+  const ecc::Codec* codec_ = nullptr;  ///< raw view of cfg_.codec (hot path)
   std::vector<Way> ways_;
   u64 lru_clock_ = 1;
   ecc::FaultInjector* injector_ = nullptr;
@@ -146,6 +152,7 @@ class SetAssocCache {
   u64* n_fill_ = nullptr;
   u64* n_evict_dirty_ = nullptr;
   u64* n_corrected_ = nullptr;
+  u64* n_corrected_adjacent_ = nullptr;
   u64* n_detected_uncorrectable_ = nullptr;
 };
 

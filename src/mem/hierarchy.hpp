@@ -21,7 +21,7 @@ struct L2Params {
       .ways = 4,
       .write_policy = WritePolicy::kWriteBack,
       .alloc_policy = AllocPolicy::kWriteAllocate,
-      .codec = ecc::CodecKind::kSecded,
+      .codec = ecc::make_codec("secded-39-32"),
       .scrub_on_correct = true,
   };
   /// Array access latency for a hit; the SECDED check latency is folded in,

@@ -89,6 +89,7 @@ void accumulate(StatSet& totals, const PointResult& r) {
   totals.counter("laec_data_hazard") += r.stats.laec_data_hazard;
   totals.counter("laec_resource_hazard") += r.stats.laec_resource_hazard;
   totals.counter("ecc_corrected") += r.stats.ecc_corrected;
+  totals.counter("ecc_corrected_adjacent") += r.stats.ecc_corrected_adjacent;
   totals.counter("ecc_detected_uncorrectable") +=
       r.stats.ecc_detected_uncorrectable;
   totals.counter("parity_refetches") += r.stats.parity_refetches;
@@ -120,8 +121,16 @@ SweepGrid& SweepGrid::all_workloads() {
   return *this;
 }
 
-SweepGrid& SweepGrid::eccs(std::vector<cpu::EccPolicy> policies) {
-  eccs_ = std::move(policies);
+SweepGrid& SweepGrid::schemes(std::vector<std::string> keys) {
+  schemes_ = std::move(keys);
+  return *this;
+}
+
+SweepGrid& SweepGrid::eccs(const std::vector<cpu::EccPolicy>& policies) {
+  schemes_.clear();
+  for (const auto p : policies) {
+    schemes_.emplace_back(to_string(p));
+  }
   return *this;
 }
 
@@ -157,12 +166,20 @@ std::vector<SweepPoint> SweepGrid::points() const {
   const std::vector<ConfigVariant> identity{kIdentity};
   if (variants->empty()) variants = &identity;
 
+  // Parse every scheme key once up front (throws for unknown keys before
+  // any simulation runs).
+  std::vector<core::EccDeployment> deployments;
+  deployments.reserve(schemes_.size());
+  for (const auto& s : schemes_) {
+    deployments.push_back(core::EccDeployment::parse(s));
+  }
+
   std::vector<SweepPoint> out;
-  out.reserve(workloads_.size() * variants->size() * eccs_.size() *
+  out.reserve(workloads_.size() * variants->size() * deployments.size() *
               hazards_.size());
   for (const auto& w : workloads_) {
     for (const auto& v : *variants) {
-      for (const auto ecc : eccs_) {
+      for (const auto& dep : deployments) {
         for (const auto hz : hazards_) {
           SweepPoint p;
           p.index = out.size();
@@ -170,7 +187,8 @@ std::vector<SweepPoint> SweepGrid::points() const {
           p.variant = v.name;
           p.config = base_;
           if (v.tweak) v.tweak(p.config);
-          p.config.ecc = ecc;
+          p.config.deployment = dep;
+          p.config.ecc = dep.timing;
           p.config.hazard_rule = hz;
           p.mode = mode_;
           p.trace_ops = trace_ops_;
@@ -196,23 +214,34 @@ const std::vector<cpu::EccPolicy>& fig8_schemes() {
   return kSchemes;
 }
 
+const std::vector<std::string>& fig8_scheme_keys() {
+  static const std::vector<std::string> kKeys = [] {
+    std::vector<std::string> keys;
+    for (const auto p : fig8_schemes()) keys.emplace_back(to_string(p));
+    return keys;
+  }();
+  return kKeys;
+}
+
 const std::vector<std::string>& row_headers() {
   static const std::vector<std::string> kHeaders = {
-      "workload", "variant", "mode", "ecc", "hazard", "completed",
+      "workload", "variant", "mode", "ecc", "codec", "hazard", "completed",
       "cycles", "instructions", "cpi", "loads", "load_hits", "dep_loads",
       "stores", "laec_anticipated", "laec_data_hazard",
-      "laec_resource_hazard", "ecc_corrected", "ecc_detected_uncorrectable",
-      "parity_refetches", "bus_transactions", "bus_wait_cycles",
-      "self_check"};
+      "laec_resource_hazard", "ecc_corrected", "ecc_corrected_adjacent",
+      "ecc_detected_uncorrectable", "parity_refetches", "bus_transactions",
+      "bus_wait_cycles", "self_check"};
   return kHeaders;
 }
 
 std::vector<std::string> to_row(const PointResult& r) {
   const auto& s = r.stats;
+  const core::EccDeployment dep = r.point.config.effective_deployment();
   return {r.point.workload,
           r.point.variant,
           std::string(to_string(r.point.mode)),
-          std::string(to_string(r.point.config.ecc)),
+          dep.name,
+          dep.codec,
           std::string(to_string(r.point.config.hazard_rule)),
           s.completed ? "1" : "0",
           fmt_u64(s.cycles),
@@ -226,6 +255,7 @@ std::vector<std::string> to_row(const PointResult& r) {
           fmt_u64(s.laec_data_hazard),
           fmt_u64(s.laec_resource_hazard),
           fmt_u64(s.ecc_corrected),
+          fmt_u64(s.ecc_corrected_adjacent),
           fmt_u64(s.ecc_detected_uncorrectable),
           fmt_u64(s.parity_refetches),
           fmt_u64(s.bus_transactions),
@@ -238,12 +268,20 @@ SweepSummary run_sweep(const std::vector<SweepPoint>& points,
   if (opts.shard_count == 0 || opts.shard_index >= opts.shard_count) {
     throw std::invalid_argument("run_sweep: shard_index/shard_count invalid");
   }
-  // Validate every workload up front so worker threads cannot throw.
+  // Validate every point up front so worker threads cannot throw: workload
+  // names must resolve, and trace (oracle) points cannot carry fault
+  // injection (there are no arrays to inject into).
   {
     std::set<std::string> seen;
     for (const auto& p : points) {
       if (seen.insert(p.workload).second) {
         (void)workloads::kernel_by_name(p.workload);  // throws if unknown
+      }
+      if (p.mode == RunMode::kTrace && p.config.dl1_faults.has_value()) {
+        throw std::invalid_argument(
+            "run_sweep: point " + std::to_string(p.index) +
+            " combines trace mode with dl1_faults; fault injection "
+            "requires program mode");
       }
     }
   }

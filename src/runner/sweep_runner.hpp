@@ -68,25 +68,31 @@ struct ConfigVariant {
 };
 
 /// Cross-product grid builder. Order of expansion is fixed:
-/// workload (outer) × variant × ecc × hazard (inner).
+/// workload (outer) × variant × scheme × hazard (inner).
 class SweepGrid {
  public:
   SweepGrid& workloads(std::vector<std::string> names);
   /// All 16 EEMBC-like kernels, Table II order.
   SweepGrid& all_workloads();
-  SweepGrid& eccs(std::vector<cpu::EccPolicy> policies);
+  /// The scheme axis, string-keyed: each entry is an EccDeployment key —
+  /// a policy name ("laec"), a registered codec name ("sec-daec-39-32"),
+  /// or "placement:codec". This is the native axis; eccs() is the enum shim.
+  SweepGrid& schemes(std::vector<std::string> keys);
+  /// Enum shim: forwards the policies' canonical keys to schemes().
+  SweepGrid& eccs(const std::vector<cpu::EccPolicy>& policies);
   SweepGrid& hazards(std::vector<cpu::HazardRule> rules);
   SweepGrid& variants(std::vector<ConfigVariant> variants);
   SweepGrid& base_config(core::SimConfig cfg);
   SweepGrid& mode(RunMode m);
   SweepGrid& trace_ops(u64 ops);
 
-  /// Expand into the deterministic point list.
+  /// Expand into the deterministic point list. Throws std::invalid_argument
+  /// when a scheme key does not parse (unknown codec/placement).
   [[nodiscard]] std::vector<SweepPoint> points() const;
 
  private:
   std::vector<std::string> workloads_;
-  std::vector<cpu::EccPolicy> eccs_{cpu::EccPolicy::kLaec};
+  std::vector<std::string> schemes_{"laec"};
   std::vector<cpu::HazardRule> hazards_{cpu::HazardRule::kExact};
   std::vector<ConfigVariant> variants_;
   core::SimConfig base_;
@@ -124,6 +130,9 @@ struct SweepSummary {
 /// (fig8, ablations, CLI sweeps) relies on kNoEcc leading each workload
 /// block to form overhead ratios — always sweep via this list.
 [[nodiscard]] const std::vector<cpu::EccPolicy>& fig8_schemes();
+
+/// String-keyed spelling of fig8_schemes(), for SweepGrid::schemes().
+[[nodiscard]] const std::vector<std::string>& fig8_scheme_keys();
 
 /// Column names of the per-point result row, in emission order.
 [[nodiscard]] const std::vector<std::string>& row_headers();

@@ -24,7 +24,7 @@ struct CoreConfig {
                 .ways = 4,
                 .write_policy = mem::WritePolicy::kWriteBack,
                 .alloc_policy = mem::AllocPolicy::kWriteAllocate,
-                .codec = ecc::CodecKind::kSecded,
+                .codec = ecc::make_codec("secded-39-32"),
                 .scrub_on_correct = true},
       .oracle = {}};
   mem::L1Params l1i{
@@ -34,7 +34,7 @@ struct CoreConfig {
                 .ways = 4,
                 .write_policy = mem::WritePolicy::kWriteBack,  // never written
                 .alloc_policy = mem::AllocPolicy::kWriteAllocate,
-                .codec = ecc::CodecKind::kParity,
+                .codec = ecc::make_codec("parity-32"),
                 .scrub_on_correct = false},
       .oracle = {}};
   mem::WriteBufferParams wbuf;

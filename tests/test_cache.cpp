@@ -13,7 +13,7 @@ CacheConfig small_cfg(ecc::CodecKind codec = ecc::CodecKind::kNone) {
   c.size_bytes = 1024;
   c.line_bytes = 32;
   c.ways = 2;
-  c.codec = codec;
+  c.codec = ecc::make_codec(codec);  // enum shim onto the registry
   return c;
 }
 

@@ -27,7 +27,7 @@ L1Params dl1_params(WritePolicy wp = WritePolicy::kWriteBack,
   p.cache.line_bytes = 32;
   p.cache.ways = 2;
   p.cache.write_policy = wp;
-  p.cache.codec = codec;
+  p.cache.codec = ecc::make_codec(codec);  // enum shim onto the registry
   return p;
 }
 

@@ -62,6 +62,26 @@ TEST(Injector, DoubleFlipsAreDistinctPositions) {
   EXPECT_EQ(inj.injected_double(), 500u);
 }
 
+TEST(Injector, AdjacentDoublesStrikeNeighbouringBits) {
+  InjectorConfig cfg;
+  cfg.double_flip_prob = 1.0;
+  cfg.adjacent_doubles = true;
+  cfg.word_bits = 39;
+  FaultInjector inj(cfg);
+  bool saw_low = false, saw_high = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto f = inj.flips_for_access(static_cast<u64>(i));
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_EQ(f[1], f[0] + 1) << "double upset must hit an adjacent pair";
+    EXPECT_LT(f[1], 39u);
+    saw_low |= f[0] < 8;
+    saw_high |= f[0] >= 30;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+  EXPECT_EQ(inj.injected_double(), 500u);
+}
+
 TEST(Injector, DeterministicAcrossInstances) {
   InjectorConfig cfg;
   cfg.single_flip_prob = 0.5;

@@ -77,6 +77,52 @@ TEST(SweepGrid, VariantsApplyTweaksOnTopOfBaseConfig) {
   EXPECT_EQ(pts[0].config.ecc, EccPolicy::kLaec);
 }
 
+TEST(SweepGrid, StringSchemeAxisCarriesDeploymentsIntoPoints) {
+  SweepGrid g;
+  g.workloads({"tblook"})
+      .schemes({"no-ecc", "sec-daec-39-32", "extra-stage:sec-daec-39-32"})
+      .mode(RunMode::kTrace);
+  const auto pts = g.points();
+  ASSERT_EQ(pts.size(), 3u);
+  ASSERT_TRUE(pts[1].config.deployment.has_value());
+  EXPECT_EQ(pts[1].config.deployment->codec, "sec-daec-39-32");
+  EXPECT_EQ(pts[1].config.ecc, EccPolicy::kLaec);
+  EXPECT_EQ(pts[2].config.deployment->timing, EccPolicy::kExtraStage);
+  // The enum shim spells policies through the same path.
+  SweepGrid shim;
+  shim.workloads({"tblook"}).eccs({EccPolicy::kWtParity});
+  const auto spts = shim.points();
+  ASSERT_EQ(spts.size(), 1u);
+  EXPECT_EQ(spts[0].config.effective_deployment().codec, "parity-32");
+}
+
+TEST(SweepGrid, UnknownSchemeKeyThrowsOnExpansion) {
+  SweepGrid g;
+  g.workloads({"tblook"}).schemes({"laec", "not-a-scheme"});
+  EXPECT_THROW((void)g.points(), std::invalid_argument);
+}
+
+TEST(SweepRunner, RowsCarrySchemeAndCodecNames) {
+  SweepGrid g;
+  g.workloads({"tblook"})
+      .schemes({"secded-39-32", "sec-daec-39-32"})
+      .mode(RunMode::kTrace)
+      .trace_ops(1'000);
+  const std::string csv = csv_at(g, 2);
+  EXPECT_NE(csv.find(",codec,"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("secded-39-32"), std::string::npos);
+  EXPECT_NE(csv.find("sec-daec-39-32"), std::string::npos);
+  // Column count of every row matches the header arity.
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);
+  const auto commas = std::count(line.begin(), line.end(), ',');
+  EXPECT_EQ(static_cast<std::size_t>(commas) + 1, row_headers().size());
+  while (std::getline(in, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), commas);
+  }
+}
+
 TEST(PointSeed, DependsOnWorkloadIdentityNotGridPosition) {
   const auto pts = small_trace_grid().points();
   // Same workload, different ecc -> same seed (fair scheme comparisons).
@@ -155,6 +201,15 @@ TEST(SweepRunner, InvalidShardOptionsThrow) {
   bad.shard_count = 2;
   bad.shard_index = 2;
   EXPECT_THROW((void)run_sweep(g, bad), std::invalid_argument);
+}
+
+TEST(SweepRunner, TraceModeWithFaultInjectionThrowsBeforeRunning) {
+  core::SimConfig faulty;
+  faulty.dl1_faults.emplace();
+  faulty.dl1_faults->single_flip_prob = 0.01;
+  SweepGrid g;
+  g.workloads({"tblook"}).base_config(faulty).mode(RunMode::kTrace);
+  EXPECT_THROW((void)run_sweep(g, {}), std::invalid_argument);
 }
 
 TEST(SweepRunner, UnknownWorkloadThrowsBeforeRunning) {

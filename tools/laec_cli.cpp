@@ -2,6 +2,8 @@
 //
 //   laec_cli list
 //       List the built-in EEMBC-like kernels.
+//   laec_cli schemes
+//       List the ECC deployment keys and every registered codec.
 //   laec_cli run <kernel> [options]
 //       Run a kernel and print statistics (and verify its self-checks).
 //   laec_cli trace <kernel|custom> [options]
@@ -14,11 +16,18 @@
 //       kernel argument this is the Fig. 8 grid (16 kernels x 4 schemes).
 //
 // Options:
-//   --ecc=<no-ecc|extra-cycle|extra-stage|laec|wt-parity>   (default laec)
+//   --ecc=<scheme>[,<scheme>...] (default laec). A scheme key is a policy
+//       name (no-ecc, extra-cycle, extra-stage, laec, wt-parity), a
+//       registered codec name (e.g. secded-39-32, sec-daec-39-32), or
+//       placement:codec (e.g. extra-stage:sec-daec-39-32). The comma list
+//       is sweep-only and becomes the sweep's scheme axis.
 //   --hazard=<exact|paper>       LAEC hazard rule
 //   --stride-predictor           enable the A4 extension
 //   --dl1-kb=<n> --dl1-ways=<n> --wbuf=<n> --div=<n> --mem=<n>
 //   --ops=<n>                    trace length (trace mode)
+//   --inject-single=<p>          per-access single-bit-flip probability
+//   --inject-double=<p>          per-access double-bit-flip probability
+//   --inject-adjacent            make double flips strike adjacent bits
 //   --csv                        machine-readable one-line output
 //
 // Sweep options:
@@ -35,7 +44,10 @@
 #include <string>
 #include <vector>
 
+#include "core/deployment.hpp"
 #include "core/simulator.hpp"
+#include "ecc/registry.hpp"
+#include "ecc/xor_tree.hpp"
 #include "report/sink.hpp"
 #include "report/table.hpp"
 #include "runner/sweep_runner.hpp"
@@ -55,7 +67,8 @@ struct CliOptions {
   bool ok = true;
 
   // Sweep mode.
-  bool ecc_explicit = false;  ///< --ecc given: sweep only that scheme
+  bool ecc_explicit = false;  ///< --ecc given: sweep only those schemes
+  std::vector<std::string> ecc_schemes;  ///< parsed --ecc comma list
   bool sweep_trace = false;
   unsigned threads = 0;
   unsigned shard_index = 0;
@@ -68,14 +81,39 @@ struct CliOptions {
   std::vector<std::string> sweep_only_flags;
 };
 
-cpu::EccPolicy parse_ecc(const std::string& v, bool& ok) {
-  if (v == "no-ecc") return cpu::EccPolicy::kNoEcc;
-  if (v == "extra-cycle") return cpu::EccPolicy::kExtraCycle;
-  if (v == "extra-stage") return cpu::EccPolicy::kExtraStage;
-  if (v == "laec") return cpu::EccPolicy::kLaec;
-  if (v == "wt-parity") return cpu::EccPolicy::kWtParity;
-  ok = false;
-  return cpu::EccPolicy::kLaec;
+/// Split a comma-separated --ecc value into scheme keys and validate each
+/// against EccDeployment::parse. The first key also configures the single-
+/// run config (run/trace/compare use exactly one scheme).
+void parse_ecc(const std::string& v, CliOptions& o) {
+  std::size_t start = 0;
+  while (start <= v.size()) {
+    const auto comma = v.find(',', start);
+    const std::string key =
+        v.substr(start, comma == std::string::npos ? v.size() - start
+                                                   : comma - start);
+    if (!key.empty()) {
+      try {
+        (void)core::EccDeployment::parse(key);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--ecc: %s\n", e.what());
+        o.ok = false;
+        return;
+      }
+      o.ecc_schemes.push_back(key);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (o.ecc_schemes.empty()) {
+    std::fprintf(stderr, "--ecc wants at least one scheme key\n");
+    o.ok = false;
+    return;
+  }
+  o.cfg.set_scheme(o.ecc_schemes.front());
+  o.ecc_explicit = true;
+  if (o.ecc_schemes.size() > 1) {
+    o.sweep_only_flags.push_back("--ecc=<comma list>");
+  }
 }
 
 CliOptions parse(int argc, char** argv) {
@@ -102,11 +140,16 @@ CliOptions parse(int argc, char** argv) {
       return "";
     };
     if (auto v = value("--ecc"); !v.empty()) {
-      o.cfg.ecc = parse_ecc(v, o.ok);
-      o.ecc_explicit = true;
+      parse_ecc(v, o);
     } else if (auto h = value("--hazard"); !h.empty()) {
-      o.cfg.hazard_rule = (h == "paper") ? cpu::HazardRule::kPaperLiteral
-                                         : cpu::HazardRule::kExact;
+      const auto rule = cpu::hazard_rule_from_string(h);
+      if (!rule.has_value()) {
+        std::fprintf(stderr, "--hazard wants exact or paper, not %s\n",
+                     h.c_str());
+        o.ok = false;
+      } else {
+        o.cfg.hazard_rule = *rule;
+      }
     } else if (arg == "--stride-predictor") {
       o.cfg.stride_predictor = true;
     } else if (auto v2 = value("--dl1-kb"); !v2.empty()) {
@@ -121,6 +164,15 @@ CliOptions parse(int argc, char** argv) {
       o.cfg.memory_cycles = static_cast<unsigned>(std::stoul(v6));
     } else if (auto v7 = value("--ops"); !v7.empty()) {
       o.trace_ops = std::stoull(v7);
+    } else if (auto is = value("--inject-single"); !is.empty()) {
+      if (!o.cfg.dl1_faults.has_value()) o.cfg.dl1_faults.emplace();
+      o.cfg.dl1_faults->single_flip_prob = std::stod(is);
+    } else if (auto id = value("--inject-double"); !id.empty()) {
+      if (!o.cfg.dl1_faults.has_value()) o.cfg.dl1_faults.emplace();
+      o.cfg.dl1_faults->double_flip_prob = std::stod(id);
+    } else if (arg == "--inject-adjacent") {
+      if (!o.cfg.dl1_faults.has_value()) o.cfg.dl1_faults.emplace();
+      o.cfg.dl1_faults->adjacent_doubles = true;
     } else if (arg == "--csv") {
       o.csv = true;
     } else if (auto t = value("--threads"); !t.empty()) {
@@ -159,10 +211,11 @@ CliOptions parse(int argc, char** argv) {
 
 void print_stats(const CliOptions& o, const core::RunStats& s,
                  int check_failures) {
+  const core::EccDeployment dep = o.cfg.effective_deployment();
   if (o.csv) {
     std::printf(
         "%s,%s,%llu,%llu,%.4f,%llu,%llu,%llu,%llu,%llu,%d\n",
-        o.kernel.c_str(), std::string(to_string(o.cfg.ecc)).c_str(),
+        o.kernel.c_str(), dep.name.c_str(),
         static_cast<unsigned long long>(s.cycles),
         static_cast<unsigned long long>(s.instructions), s.cpi,
         static_cast<unsigned long long>(s.loads),
@@ -173,8 +226,8 @@ void print_stats(const CliOptions& o, const core::RunStats& s,
         check_failures);
     return;
   }
-  std::printf("scheme            : %s\n",
-              std::string(to_string(o.cfg.ecc)).c_str());
+  std::printf("scheme            : %s   (codec %s)\n", dep.name.c_str(),
+              dep.codec.c_str());
   std::printf("cycles            : %llu\n",
               static_cast<unsigned long long>(s.cycles));
   std::printf("instructions      : %llu   (CPI %.3f)\n",
@@ -182,7 +235,7 @@ void print_stats(const CliOptions& o, const core::RunStats& s,
   std::printf("loads             : %llu   (%.1f%% hit, %.1f%% dependent)\n",
               static_cast<unsigned long long>(s.loads),
               100.0 * s.hit_fraction(), 100.0 * s.dep_fraction());
-  if (o.cfg.ecc == cpu::EccPolicy::kLaec) {
+  if (dep.timing == cpu::EccPolicy::kLaec) {
     std::printf("LAEC anticipated  : %llu   (data hz %llu, resource hz %llu)\n",
                 static_cast<unsigned long long>(s.laec_anticipated),
                 static_cast<unsigned long long>(s.laec_data_hazard),
@@ -195,9 +248,12 @@ void print_stats(const CliOptions& o, const core::RunStats& s,
                       s.pipeline_stats.value("pred_mispredict")));
     }
   }
-  std::printf("ECC events        : %llu corrected, %llu detected-uncorrectable\n",
-              static_cast<unsigned long long>(s.ecc_corrected),
-              static_cast<unsigned long long>(s.ecc_detected_uncorrectable));
+  std::printf(
+      "ECC events        : %llu corrected (%llu adjacent-double), "
+      "%llu detected-uncorrectable\n",
+      static_cast<unsigned long long>(s.ecc_corrected),
+      static_cast<unsigned long long>(s.ecc_corrected_adjacent),
+      static_cast<unsigned long long>(s.ecc_detected_uncorrectable));
   if (check_failures >= 0) {
     std::printf("self-check        : %s\n",
                 check_failures == 0
@@ -216,6 +272,45 @@ int cmd_list() {
                    std::to_string(k.paper.load_pct)});
   }
   std::printf("%s", t.to_text().c_str());
+  return 0;
+}
+
+int cmd_schemes() {
+  std::printf("Deployment keys (policy names):\n");
+  report::Table d({"key", "codec", "write policy", "check placement"});
+  for (const auto& key : core::EccDeployment::policy_keys()) {
+    const auto dep = core::EccDeployment::parse(key);
+    d.add_row({dep.name, dep.codec,
+               dep.write_policy == mem::WritePolicy::kWriteBack
+                   ? "write-back"
+                   : "write-through",
+               std::string(to_string(dep.timing))});
+  }
+  std::printf("%s\n", d.to_text().c_str());
+
+  std::printf(
+      "Registered codecs (32-bit-word codecs are deployable in the DL1 as\n"
+      "--ecc=<name> or placement:<name>; 64-bit geometries are library-only\n"
+      "for now):\n");
+  report::Table t({"name", "k", "r", "corrects", "adj-double", "DED", "DL1"});
+  for (const auto& name : ecc::registered_codecs()) {
+    const auto c = ecc::make_codec(name);
+    t.add_row({name, std::to_string(c->data_bits()),
+               std::to_string(c->check_bits()),
+               c->corrects_single() ? "yes" : "no",
+               c->corrects_adjacent_double() ? "yes" : "no",
+               c->detects_double() ? "yes" : "no",
+               c->data_bits() == 32 ? "yes" : "no"});
+  }
+  std::printf("%s\n", t.to_text().c_str());
+
+  const auto chk39 = ecc::estimate_checker(ecc::secded32());
+  const auto daec39 = ecc::estimate_checker(ecc::sec_daec32());
+  std::printf(
+      "Checker logic (gate model): secded-39-32 depth %u (%.0f ps), "
+      "sec-daec-39-32 depth %u (%.0f ps)\n",
+      chk39.depth_levels, ecc::estimate_delay_ps(chk39), daec39.depth_levels,
+      ecc::estimate_delay_ps(daec39));
   return 0;
 }
 
@@ -245,14 +340,12 @@ int cmd_compare(const CliOptions& o) {
   const auto built = entry.build();
   report::Table t({"scheme", "cycles", "CPI", "vs no-ECC"});
   u64 base = 0;
-  for (cpu::EccPolicy p :
-       {cpu::EccPolicy::kNoEcc, cpu::EccPolicy::kExtraCycle,
-        cpu::EccPolicy::kExtraStage, cpu::EccPolicy::kLaec}) {
+  for (const auto& key : runner::fig8_scheme_keys()) {
     core::SimConfig cfg = o.cfg;
-    cfg.ecc = p;
+    cfg.set_scheme(key);
     const auto s = core::run_program(cfg, built.program);
-    if (p == cpu::EccPolicy::kNoEcc) base = s.cycles;
-    t.add_row({std::string(to_string(p)), std::to_string(s.cycles),
+    if (key == "no-ecc") base = s.cycles;
+    t.add_row({key, std::to_string(s.cycles),
                report::Table::num(s.cpi, 3),
                report::Table::pct(
                    base == 0 ? 0.0
@@ -272,9 +365,9 @@ int cmd_sweep(const CliOptions& o) {
     grid.workloads({o.kernel});
   }
   if (o.ecc_explicit) {
-    grid.eccs({o.cfg.ecc});
+    grid.schemes(o.ecc_schemes);
   } else {
-    grid.eccs(runner::fig8_schemes());
+    grid.schemes(runner::fig8_scheme_keys());
   }
   // The hazard axis would otherwise overwrite a --hazard choice with its
   // default; sweep exactly the requested rule.
@@ -320,10 +413,14 @@ int cmd_sweep(const CliOptions& o) {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: laec_cli <list|run|trace|compare|sweep> [kernel] [options]\n"
-      "  --ecc=no-ecc|extra-cycle|extra-stage|laec|wt-parity\n"
+      "usage: laec_cli <list|schemes|run|trace|compare|sweep> [kernel] "
+      "[options]\n"
+      "  --ecc=SCHEME[,SCHEME...]   policy name, codec name, or\n"
+      "                             placement:codec (see `laec_cli schemes`;\n"
+      "                             comma list is sweep-only)\n"
       "  --hazard=exact|paper  --stride-predictor  --csv\n"
       "  --dl1-kb=N --dl1-ways=N --wbuf=N --div=N --mem=N --ops=N\n"
+      "  --inject-single=P  --inject-double=P  --inject-adjacent\n"
       "sweep mode:\n"
       "  --threads=N  --shard=I/N  --format=csv|jsonl  --out=FILE\n"
       "  --trace  --seed=N\n");
@@ -345,6 +442,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (o.command == "list") return cmd_list();
+    if (o.command == "schemes") return cmd_schemes();
     if (o.command == "run") return cmd_run(o);
     if (o.command == "trace") return cmd_trace(o);
     if (o.command == "compare") return cmd_compare(o);
