@@ -42,11 +42,7 @@ int main(int argc, char** argv) {
       .mode(runner::RunMode::kProgram);
 
   auto points = plain.points();
-  const std::size_t split = points.size();
-  for (auto& p : stride.points()) {
-    p.index = points.size();
-    points.push_back(std::move(p));
-  }
+  const std::size_t split = bench::append_points(points, stride);
   const auto summary = runner::run_sweep(points, opts);
   const auto& rs = summary.results;
   const std::size_t kernels = split / 2;

@@ -74,4 +74,17 @@ inline double ratio(u64 num, u64 den) {
   return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
 }
 
+/// Append `grid`'s points to an existing point list, re-indexing them to
+/// follow on (one run_sweep call = one pool, one header, grid-ordered
+/// rows). Returns the offset of the appended block.
+inline std::size_t append_points(std::vector<runner::SweepPoint>& points,
+                                 const runner::SweepGrid& grid) {
+  const std::size_t split = points.size();
+  for (auto& p : grid.points()) {
+    p.index = points.size();
+    points.push_back(std::move(p));
+  }
+  return split;
+}
+
 }  // namespace laec::bench

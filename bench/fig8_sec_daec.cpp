@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
   ecc::InjectorConfig inj;
   inj.double_flip_prob = rate;
   inj.adjacent_doubles = true;
-  stormy.dl1_faults = inj;
+  stormy.faults = inj;
 
   // Clean baseline first, storm grid second — one thread pool, one header.
   runner::SweepGrid clean;
@@ -88,11 +88,7 @@ int main(int argc, char** argv) {
       .mode(runner::RunMode::kProgram);
 
   auto points = clean.points();
-  const std::size_t split = points.size();
-  for (auto& p : storm.points()) {
-    p.index = points.size();
-    points.push_back(std::move(p));
-  }
+  const std::size_t split = bench::append_points(points, storm);
   const auto summary = runner::run_sweep(points, opts);
   const auto& rs = summary.results;
   const std::size_t ns = storm_schemes().size();

@@ -73,11 +73,7 @@ int main(int argc, char** argv) {
   kernels.all_workloads().schemes({"no-ecc"}).mode(runner::RunMode::kProgram);
 
   auto points = calibrated.points();
-  const std::size_t split = points.size();
-  for (auto& p : kernels.points()) {
-    p.index = points.size();
-    points.push_back(std::move(p));
-  }
+  const std::size_t split = bench::append_points(points, kernels);
 
   const auto summary = runner::run_sweep(points, opts);
   print_sweep("(a) calibrated traces (match by construction):",

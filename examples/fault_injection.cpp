@@ -29,11 +29,10 @@ int main() {
     ecc::InjectorConfig inj;
     inj.single_flip_prob = 0.002;  // one flip every ~500 word reads
     inj.seed = 2024;
-    cfg.dl1_faults = inj;
+    cfg.faults = inj;
 
     sim::System sys(core::make_system_config(cfg));
-    ecc::FaultInjector injector(inj);
-    sys.core(0).dl1().set_injector(&injector);
+    const auto injector = core::attach_injector(sys, cfg);
     sys.load_program(kernel.program);
     sys.run();
     const auto stats = core::collect_stats(sys, true);

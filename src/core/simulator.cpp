@@ -29,9 +29,10 @@ sim::SystemConfig make_system_config(const SimConfig& cfg, bool trace_mode) {
   pp.lookahead_under_branch_shadow = cfg.lookahead_under_branch_shadow;
   pp.max_cycles = cfg.max_cycles;
 
-  // Expand the scheme descriptor: codec, write policy and stage placement
-  // all flow from the (possibly string-keyed) deployment.
-  const EccDeployment dep = cfg.effective_deployment();
+  // Expand the scheme descriptor: per-cache codec, scrub and recovery plus
+  // the DL1 write policy and stage placement all flow from the (possibly
+  // string-keyed) hierarchy deployment.
+  const HierarchyDeployment dep = cfg.effective_deployment();
   pp.ecc = dep.timing;
 
   mem::CacheConfig& dc = sc.core.dl1.cache;
@@ -41,11 +42,23 @@ sim::SystemConfig make_system_config(const SimConfig& cfg, bool trace_mode) {
   dc.write_policy = dep.write_policy;
   dc.alloc_policy = dep.alloc_policy;
   dc.codec = ecc::make_codec(dep.codec);
+  dc.scrub_on_correct = dep.scrub_on_correct;
+  dc.recovery = dep.recovery;
   sc.core.dl1.oracle.enabled = trace_mode;
   sc.core.dl1.oracle.miss_cycles = cfg.oracle_miss_cycles;
 
-  sc.core.l1i.cache.size_bytes = cfg.l1i_size_bytes;
-  sc.core.l1i.cache.line_bytes = cfg.dl1_line_bytes;
+  mem::CacheConfig& ic = sc.core.l1i.cache;
+  ic.size_bytes = cfg.l1i_size_bytes;
+  ic.line_bytes = cfg.dl1_line_bytes;
+  ic.codec = ecc::make_codec(dep.l1i.codec);
+  ic.scrub_on_correct = dep.l1i.scrub_on_correct;
+  ic.recovery = dep.l1i.recovery;
+
+  mem::CacheConfig& l2c = sc.memsys.l2.cache;
+  l2c.codec = ecc::make_codec(dep.l2.codec);
+  l2c.scrub_on_correct = dep.l2.scrub_on_correct;
+  l2c.recovery = dep.l2.recovery;
+
   sc.core.wbuf.depth = cfg.write_buffer_depth;
   return sc;
 }
@@ -76,8 +89,38 @@ RunStats collect_stats(sim::System& system, bool completed) {
   r.ecc_detected_uncorrectable = cs.value("ecc_detected_uncorrectable");
   r.parity_refetches = ds.value("parity_refetches");
   r.data_loss_events = ds.value("data_loss_events");
+  r.dl1_fill_words =
+      cs.value("fills") * (system.core(0).dl1().cache().line_bytes() / 4);
   r.bus_transactions = bs.value("transactions");
   r.bus_wait_cycles = bs.value("wait_cycles");
+
+  // Per-level ECC events. Trace (oracle) mode feeds core 0 synthetic
+  // operations and keeps no L1I at all.
+  if (system.core(0).has_l1i()) {
+    const StatSet& is = system.core(0).l1i().stats();
+    const StatSet& ics = system.core(0).l1i().cache().stats();
+    r.l1i_fetches = is.value("fetches");
+    r.l1i_fill_words =
+        ics.value("fills") * (system.core(0).l1i().cache().line_bytes() / 4);
+    r.l1i_corrected = ics.value("ecc_corrected");
+    r.l1i_detected_uncorrectable = ics.value("ecc_detected_uncorrectable");
+    r.l1i_refetches = is.value("parity_refetches");
+    r.l1i_stats.add(is);
+    r.l1i_stats.add(ics);
+  }
+  const StatSet& l2cs = system.memsys().l2().stats();
+  const StatSet& mss = system.memsys().stats();
+  r.l2_reads = l2cs.value("reads");
+  r.l2_writes = l2cs.value("writes");
+  r.l2_fill_words =
+      l2cs.value("fills") * (system.memsys().l2().line_bytes() / 4);
+  r.l2_corrected = l2cs.value("ecc_corrected");
+  r.l2_corrected_adjacent = l2cs.value("ecc_corrected_adjacent");
+  r.l2_detected_uncorrectable = l2cs.value("ecc_detected_uncorrectable");
+  r.l2_refetches = mss.value("l2_refetches");
+  r.l2_data_loss_events = mss.value("l2_data_loss_events");
+  r.l2_stats.add(l2cs);
+  r.l2_stats.add(mss);
 
   r.pipeline_stats.add(ps);
   r.dl1_stats.add(ds);
@@ -86,21 +129,45 @@ RunStats collect_stats(sim::System& system, bool completed) {
   return r;
 }
 
+std::unique_ptr<ecc::FaultInjector> attach_injector(sim::System& system,
+                                                    const SimConfig& cfg) {
+  if (!cfg.faults.has_value()) return nullptr;
+  // Size the flip universe to the targeted level's deployed codec codeword
+  // (data + check bits) so fault rates stay comparable across schemes.
+  const HierarchyDeployment dep = cfg.effective_deployment();
+  std::string_view codec_key = dep.codec;
+  if (cfg.inject_target == InjectTarget::kL1i) codec_key = dep.l1i.codec;
+  if (cfg.inject_target == InjectTarget::kL2) codec_key = dep.l2.codec;
+  ecc::InjectorConfig icfg = *cfg.faults;
+  const auto codec = ecc::make_codec(codec_key);
+  icfg.word_bits = codec->check_bits() == 0 ? codec->data_bits()
+                                            : codec->codeword_bits();
+  auto injector = std::make_unique<ecc::FaultInjector>(icfg);
+  switch (cfg.inject_target) {
+    case InjectTarget::kDl1:
+      system.core(0).dl1().set_injector(injector.get());
+      break;
+    case InjectTarget::kL1i:
+      if (!system.core(0).has_l1i()) {
+        throw std::invalid_argument(
+            "inject_target=l1i requires program mode: the calibrated-trace "
+            "(oracle) core keeps no instruction cache");
+      }
+      system.core(0).l1i().set_injector(injector.get());
+      break;
+    case InjectTarget::kL2:
+      system.memsys().l2().set_injector(injector.get());
+      break;
+  }
+  return injector;
+}
+
 ProgramRun run_program_keep_system(const SimConfig& cfg,
                                    const isa::Program& program) {
   ProgramRun r;
   r.system =
       std::make_unique<sim::System>(make_system_config(cfg, /*trace_mode=*/false));
-  if (cfg.dl1_faults.has_value()) {
-    // Size the flip universe to the deployed codec's codeword (data + check
-    // bits) so fault rates stay comparable across schemes.
-    ecc::InjectorConfig icfg = *cfg.dl1_faults;
-    const auto codec = ecc::make_codec(cfg.effective_deployment().codec);
-    icfg.word_bits = codec->check_bits() == 0 ? codec->data_bits()
-                                              : codec->codeword_bits();
-    r.injector = std::make_unique<ecc::FaultInjector>(icfg);
-    r.system->core(0).dl1().set_injector(r.injector.get());
-  }
+  r.injector = attach_injector(*r.system, cfg);
   r.system->load_program(program);
   const auto run = r.system->run();
   r.stats = collect_stats(*r.system, run.completed);
@@ -112,7 +179,7 @@ RunStats run_program(const SimConfig& cfg, const isa::Program& program) {
 }
 
 RunStats run_trace(const SimConfig& cfg, cpu::TraceSource& trace) {
-  if (cfg.dl1_faults.has_value()) {
+  if (cfg.faults.has_value()) {
     throw std::invalid_argument(
         "fault injection requires program mode: the calibrated-trace "
         "(oracle) DL1 keeps no arrays to inject into");

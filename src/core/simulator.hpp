@@ -20,32 +20,54 @@
 
 namespace laec::core {
 
+/// Which cache array a SimConfig's fault storm strikes.
+enum class InjectTarget { kDl1, kL1i, kL2 };
+
+[[nodiscard]] constexpr std::string_view to_string(InjectTarget t) {
+  switch (t) {
+    case InjectTarget::kDl1: return "dl1";
+    case InjectTarget::kL1i: return "l1i";
+    case InjectTarget::kL2: return "l2";
+  }
+  return "invalid-inject-target";
+}
+
+[[nodiscard]] constexpr std::optional<InjectTarget> inject_target_from_string(
+    std::string_view s) {
+  if (s == "dl1") return InjectTarget::kDl1;
+  if (s == "l1i") return InjectTarget::kL1i;
+  if (s == "l2") return InjectTarget::kL2;
+  return std::nullopt;
+}
+
 struct SimConfig {
   /// DL1 ECC deployment under study (legacy enum axis). When `deployment`
-  /// is unset this policy is expanded via EccDeployment::from_policy:
+  /// is unset this policy is expanded via HierarchyDeployment::from_policy:
   /// kNoEcc -> unprotected write-back; kExtraCycle/kExtraStage/kLaec ->
-  /// SECDED write-back; kWtParity -> parity write-through.
+  /// SECDED write-back; kWtParity -> parity write-through. The L1I and L2
+  /// keep their canonical deployments (parity-32 / secded-39-32).
   cpu::EccPolicy ecc = cpu::EccPolicy::kLaec;
-  /// Full string-keyed scheme descriptor (codec + write policy + stage
-  /// placement). Takes precedence over `ecc` when set; set_scheme() keeps
-  /// the two in sync. New code should select schemes this way.
-  std::optional<EccDeployment> deployment;
+  /// Full string-keyed scheme descriptor for the whole hierarchy (per-cache
+  /// codec + scrub + recovery, DL1 write policy + stage placement). Takes
+  /// precedence over `ecc` when set; set_scheme() keeps the two in sync.
+  /// New code should select schemes this way.
+  std::optional<HierarchyDeployment> deployment;
 
-  /// Select the scheme by key (policy name, codec name, or
-  /// "placement:codec" — see EccDeployment::parse). Keeps the legacy `ecc`
-  /// enum in sync for timing-model consumers. Throws std::invalid_argument
-  /// for unknown keys.
+  /// Select the scheme by key (policy name, codec name, "placement:codec",
+  /// or a compound key like "laec+l2:sec-daec-39-32" — see
+  /// HierarchyDeployment::parse). Keeps the legacy `ecc` enum in sync for
+  /// timing-model consumers. Throws std::invalid_argument for unknown keys.
   SimConfig& set_scheme(std::string_view key) {
-    deployment = EccDeployment::parse(key);
+    deployment = HierarchyDeployment::parse(key);
     ecc = deployment->timing;
     return *this;
   }
 
   /// The effective deployment: `deployment` when set, else the canonical
   /// expansion of `ecc`.
-  [[nodiscard]] EccDeployment effective_deployment() const {
+  [[nodiscard]] HierarchyDeployment effective_deployment() const {
     return deployment.has_value() ? *deployment
-                                  : EccDeployment::from_policy(ecc);
+                                  : HierarchyDeployment::from_policy(ecc);
   }
   cpu::HazardRule hazard_rule = cpu::HazardRule::kExact;
   cpu::EccSlotPolicy ecc_slot = cpu::EccSlotPolicy::kAuto;
@@ -72,10 +94,13 @@ struct SimConfig {
   unsigned num_cores = 1;
   std::vector<sim::TrafficPattern> traffic;  ///< co-runner bus pressure
 
-  // Fault injection into the DL1 arrays (soft errors). Program mode only:
-  // trace (oracle) mode keeps no arrays to inject into, so run_trace and
-  // the sweep runner reject configs that combine the two.
-  std::optional<ecc::InjectorConfig> dl1_faults;
+  // Fault injection into one of the cache arrays (soft errors). Program
+  // mode only: trace (oracle) mode keeps no arrays to inject into, so
+  // run_trace and the sweep runner reject configs that combine the two.
+  std::optional<ecc::InjectorConfig> faults;
+  /// Which array the storm strikes (the flip universe is sized to that
+  /// level's deployed codec).
+  InjectTarget inject_target = InjectTarget::kDl1;
 
   // Trace (oracle) mode tuning: forced-miss service time. Calibrated so
   // the trace-mode baseline CPI lands near the paper's effective ~1.3
@@ -109,8 +134,25 @@ struct RunStats {
   u64 ecc_detected_uncorrectable = 0;
   u64 parity_refetches = 0;
   u64 data_loss_events = 0;
+  u64 dl1_fill_words = 0;  ///< words (re-)encoded by refills, line-size aware
   u64 bus_transactions = 0;
   u64 bus_wait_cycles = 0;
+
+  // Per-level ECC events of the other protected arrays (the DL1's live in
+  // the ecc_* fields above, kept under their original names).
+  u64 l1i_fetches = 0;
+  u64 l1i_fill_words = 0;  ///< words (re-)encoded by refills, line-size aware
+  u64 l1i_corrected = 0;
+  u64 l1i_detected_uncorrectable = 0;
+  u64 l1i_refetches = 0;  ///< invalidate-and-refetch recoveries
+  u64 l2_reads = 0;
+  u64 l2_writes = 0;
+  u64 l2_fill_words = 0;  ///< words (re-)encoded by refills, line-size aware
+  u64 l2_corrected = 0;
+  u64 l2_corrected_adjacent = 0;
+  u64 l2_detected_uncorrectable = 0;
+  u64 l2_refetches = 0;         ///< L2 lines dropped and refetched from memory
+  u64 l2_data_loss_events = 0;  ///< DUE on a dirty L2 line (writeback lost)
 
   /// Table II ratios.
   [[nodiscard]] double load_fraction() const {
@@ -131,20 +173,31 @@ struct RunStats {
 
   StatSet pipeline_stats;
   StatSet dl1_stats;
+  StatSet l1i_stats;
+  StatSet l2_stats;
   StatSet bus_stats;
 };
 
 /// Assemble, run `program` on core 0 of a fresh system, digest the stats.
-/// A fault injector described by cfg.dl1_faults is attached to core 0's DL1.
+/// A fault injector described by cfg.faults is attached to the array named
+/// by cfg.inject_target (core 0's DL1 or L1I, or the shared L2).
 [[nodiscard]] RunStats run_program(const SimConfig& cfg,
                                    const isa::Program& program);
+
+/// Build the injector described by cfg.faults (flip universe sized to the
+/// targeted level's deployed codec) and attach it to the targeted array of
+/// `system`. Returns nullptr when cfg.faults is unset. Shared by
+/// run_program_keep_system and the test harnesses so target wiring cannot
+/// diverge.
+[[nodiscard]] std::unique_ptr<ecc::FaultInjector> attach_injector(
+    sim::System& system, const SimConfig& cfg);
 
 /// run_program, but keep the finished system alive for post-mortem
 /// inspection (final-memory self-checks, chronograms). run_program and the
 /// sweep runner both build on this so the wiring cannot diverge.
 struct ProgramRun {
   std::unique_ptr<sim::System> system;
-  std::unique_ptr<ecc::FaultInjector> injector;  ///< when cfg.dl1_faults set
+  std::unique_ptr<ecc::FaultInjector> injector;  ///< when cfg.faults set
   RunStats stats;
 };
 [[nodiscard]] ProgramRun run_program_keep_system(const SimConfig& cfg,

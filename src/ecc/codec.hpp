@@ -54,6 +54,12 @@ class Codec {
   [[nodiscard]] virtual bool detects_double() const { return false; }
   /// Can an adjacent double-bit error be corrected in place?
   [[nodiscard]] virtual bool corrects_adjacent_double() const { return false; }
+  /// Is every ADJACENT double-bit error flagged or repaired? Weaker than
+  /// detects_double (interleaved parity has it without full DED); implied
+  /// by full double detection or adjacent correction.
+  [[nodiscard]] virtual bool detects_adjacent_double() const {
+    return detects_double() || corrects_adjacent_double();
+  }
 };
 
 /// Unprotected array: zero check bits, every word decodes clean.

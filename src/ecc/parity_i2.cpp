@@ -1,0 +1,42 @@
+#include "ecc/parity_i2.hpp"
+
+#include <cassert>
+
+#include "common/bitops.hpp"
+
+namespace laec::ecc {
+
+InterleavedParityCodec::InterleavedParityCodec(unsigned data_bits,
+                                               unsigned ways,
+                                               std::string_view name)
+    : data_bits_(data_bits), ways_(ways), name_(name) {
+  assert(data_bits >= 1 && data_bits <= 64);
+  assert(ways >= 2 && ways <= 8);
+}
+
+u64 InterleavedParityCodec::encode(u64 data) const {
+  data &= low_mask(data_bits_);
+  u64 check = 0;
+  for (unsigned w = 0; w < ways_; ++w) {
+    u64 cls = 0;
+    for (unsigned i = w; i < data_bits_; i += ways_) {
+      cls ^= (data >> i) & 1u;
+    }
+    check |= cls << w;
+  }
+  return check;
+}
+
+Codec::Decoded InterleavedParityCodec::decode(u64 data, u64 check) const {
+  Decoded d;
+  d.data = data & low_mask(data_bits_);
+  d.check = check & low_mask(ways_);
+  const u64 syndrome = encode(data) ^ d.check;
+  // Parity locates nothing: any nonzero syndrome is detect-only; the data
+  // is delivered as stored and recovery is the caller's refetch path.
+  d.status = syndrome == 0 ? CheckStatus::kOk
+                           : CheckStatus::kDetectedUncorrectable;
+  return d;
+}
+
+}  // namespace laec::ecc

@@ -1,0 +1,41 @@
+// Interleaved parity: one even-parity bit per bit-interleave class.
+//
+// A 2-way interleaved parity code keeps two check bits per 32-bit word —
+// parity of the even data bits and parity of the odd data bits. A single
+// flip disturbs exactly one class; an ADJACENT double flip (the dominant
+// multi-bit upset geometry in scaled SRAM) disturbs both classes, so every
+// adjacent pair is detected at a cost of just 2 check bits/word — the cheap
+// MBU-aware upgrade of the LEON write-through parity arrangement, and a
+// natural L1I deployment (recovery is invalidate-and-refetch either way).
+// Non-adjacent even-weight flips within one class remain silent, exactly
+// like plain parity.
+//
+// This file is the registry's "one-file drop-in" template: the class plus
+// a CodecRegistry builtin ("parity-i2-32") is all a new scheme needs.
+#pragma once
+
+#include "ecc/codec.hpp"
+
+namespace laec::ecc {
+
+class InterleavedParityCodec final : public Codec {
+ public:
+  /// `ways` interleave classes over `data_bits` bits; check bit w is the
+  /// even parity of data bits i with i % ways == w.
+  InterleavedParityCodec(unsigned data_bits, unsigned ways,
+                         std::string_view name);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] unsigned data_bits() const override { return data_bits_; }
+  [[nodiscard]] unsigned check_bits() const override { return ways_; }
+  [[nodiscard]] u64 encode(u64 data) const override;
+  [[nodiscard]] Decoded decode(u64 data, u64 check) const override;
+  [[nodiscard]] bool detects_adjacent_double() const override { return true; }
+
+ private:
+  unsigned data_bits_;
+  unsigned ways_;
+  std::string_view name_;
+};
+
+}  // namespace laec::ecc

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ecc/parity_i2.hpp"
+
 namespace laec::ecc {
 
 CodecRegistry& CodecRegistry::instance() {
@@ -17,6 +19,10 @@ CodecRegistry::CodecRegistry() {
   builtin("none", [] { return std::make_shared<const NoneCodec>(); });
   builtin("parity-32",
           [] { return std::make_shared<const ParityCodec>(32); });
+  builtin("parity-i2-32", [] {
+    return std::make_shared<const InterleavedParityCodec>(32, 2,
+                                                          "parity-i2-32");
+  });
   builtin("secded-39-32", [] {
     return std::make_shared<const SecdedCodec>(secded32(), "secded-39-32");
   });

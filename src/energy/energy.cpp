@@ -1,11 +1,61 @@
 #include "energy/energy.hpp"
 
+#include <string_view>
+
 #include "ecc/registry.hpp"
 
 namespace laec::energy {
 
+namespace {
+
+/// Calibrated per-codec check/encode energies, as multipliers of the
+/// (39,32) SECDED reference numbers in EnergyParams. Gate-level intuition:
+/// the encoder is the same XOR-tree forest for SECDED and SEC-DAEC (the
+/// H-matrix row weights match), while the SEC-DAEC checker adds the
+/// adjacent-pair syndrome comparators (~25% on top of the 7-tree checker);
+/// the 64-bit geometries amortize tree sharing slightly below the linear
+/// 8/7 check-bit ratio. Interleaved parity is two independent parity
+/// trees. Keyed by Codec::name() — NOT the registry key, so the legacy
+/// aliases resolve to their canonical row ("secded" constructs a codec
+/// named "secded-39-32"); anything unknown scales linearly by check-bit
+/// count (the pre-calibration behavior).
+struct Calibration {
+  std::string_view name;
+  double check_mult;
+  double encode_mult;
+};
+constexpr Calibration kCalibrated[] = {
+    {"secded-39-32", 1.00, 1.00},
+    {"secded-72-64", 1.10, 1.06},
+    {"sec-daec-39-32", 1.25, 1.00},
+    {"sec-daec-72-64", 1.38, 1.06},
+};
+
+}  // namespace
+
+CodecEnergy codec_energy(const EnergyParams& p, const ecc::Codec& codec) {
+  if (codec.check_bits() == 0) return {0.0, 0.0};
+  if (!codec.corrects_single()) {
+    // Parity-class detectors (no corrector logic): one independent parity
+    // tree per check bit, at any interleave width.
+    const double trees = static_cast<double>(codec.check_bits());
+    return {trees * p.parity_pj, trees * p.parity_pj};
+  }
+  for (const auto& c : kCalibrated) {
+    if (c.name == codec.name()) {
+      return {c.check_mult * p.secded_check_pj,
+              c.encode_mult * p.secded_encode_pj};
+    }
+  }
+  // Fallback: the reference energies are sized for the 7-tree (39,32)
+  // SECDED checker; unknown geometries scale with their check-bit
+  // (syndrome XOR tree) count.
+  const double scale = static_cast<double>(codec.check_bits()) / 7.0;
+  return {scale * p.secded_check_pj, scale * p.secded_encode_pj};
+}
+
 EnergyBreakdown compute(const EnergyParams& p, const core::RunStats& stats,
-                        const core::EccDeployment& deployment) {
+                        const core::HierarchyDeployment& deployment) {
   EnergyBreakdown b;
   const double insts = static_cast<double>(stats.instructions);
   const double loads = static_cast<double>(stats.loads);
@@ -16,18 +66,32 @@ EnergyBreakdown compute(const EnergyParams& p, const core::RunStats& stats,
   pj += loads * p.dl1_read_pj;
   pj += stores * p.dl1_write_pj;
 
-  const auto codec = ecc::make_codec(deployment.codec);
-  if (codec->check_bits() == 1 && !codec->corrects_single()) {
-    // Single-parity detector.
-    pj += loads * p.parity_pj + stores * p.parity_pj;
-  } else if (codec->check_bits() > 0) {
-    // Syndrome-decoder codecs: the reference energies are sized for the
-    // 7-tree (39,32) SECDED checker; other geometries scale with their
-    // check-bit (syndrome XOR tree) count.
-    const double scale = static_cast<double>(codec->check_bits()) / 7.0;
-    pj += loads * p.secded_check_pj * scale;
-    pj += stores * p.secded_encode_pj * scale;
-  }
+  // DL1: one check per load, one encode per store or refilled word (the
+  // fill-word counter accounts for the configured line size).
+  const CodecEnergy dl1 = codec_energy(p, *ecc::make_codec(deployment.codec));
+  const double dl1_pj =
+      loads * dl1.check_pj +
+      (stores + static_cast<double>(stats.dl1_fill_words)) * dl1.encode_pj;
+  pj += dl1_pj;
+
+  // L1I: one check per fetch, one encode per refilled word (the fill-word
+  // counters already account for the configured line size).
+  const CodecEnergy l1i =
+      codec_energy(p, *ecc::make_codec(deployment.l1i.codec));
+  const double l1i_pj =
+      static_cast<double>(stats.l1i_fetches) * l1i.check_pj +
+      static_cast<double>(stats.l1i_fill_words) * l1i.encode_pj;
+  pj += l1i_pj;
+
+  // L2: one check per word read, one encode per word write or refill.
+  const CodecEnergy l2 =
+      codec_energy(p, *ecc::make_codec(deployment.l2.codec));
+  const double l2_pj =
+      static_cast<double>(stats.l2_reads) * l2.check_pj +
+      (static_cast<double>(stats.l2_writes) +
+       static_cast<double>(stats.l2_fill_words)) *
+          l2.encode_pj;
+  pj += l2_pj;
 
   double laec_pj = 0.0;
   if (deployment.timing == cpu::EccPolicy::kLaec) {
@@ -42,12 +106,15 @@ EnergyBreakdown compute(const EnergyParams& p, const core::RunStats& stats,
   b.dynamic_uj = pj * 1e-6;
   b.leakage_uj = p.leak_core_mw * 1e-3 * seconds * 1e6;
   b.laec_adder_uj = laec_pj * 1e-6;
+  b.dl1_ecc_uj = dl1_pj * 1e-6;
+  b.l1i_ecc_uj = l1i_pj * 1e-6;
+  b.l2_ecc_uj = l2_pj * 1e-6;
   return b;
 }
 
 EnergyBreakdown compute(const EnergyParams& p, const core::RunStats& stats,
                         cpu::EccPolicy policy) {
-  return compute(p, stats, core::EccDeployment::from_policy(policy));
+  return compute(p, stats, core::HierarchyDeployment::from_policy(policy));
 }
 
 }  // namespace laec::energy

@@ -36,6 +36,10 @@ struct EnergyBreakdown {
   double dynamic_uj = 0.0;
   double leakage_uj = 0.0;
   double laec_adder_uj = 0.0;  ///< dynamic energy added by LAEC hardware
+  /// Per-level ECC (check + encode) energy, already folded into dynamic_uj.
+  double dl1_ecc_uj = 0.0;
+  double l1i_ecc_uj = 0.0;
+  double l2_ecc_uj = 0.0;
   [[nodiscard]] double total_uj() const { return dynamic_uj + leakage_uj; }
   /// LAEC hardware adder as a fraction of total dynamic energy.
   [[nodiscard]] double laec_dynamic_fraction() const {
@@ -43,13 +47,25 @@ struct EnergyBreakdown {
   }
 };
 
-/// Deployment-aware energy digest: the codec named by the deployment sets
-/// the per-access check/encode energies (scaled by its check-bit count
-/// relative to the (39,32) reference the CACTI-like numbers were drawn
-/// for), and the LAEC placement adds the look-ahead hardware energy.
+/// Per-access check / encode energies of one codec. Known registry codecs
+/// use a calibrated table (gate-counted relative to the 7-tree (39,32)
+/// SECDED reference the CACTI-like numbers were drawn for); anything else
+/// falls back to scaling the reference linearly by check-bit (syndrome
+/// XOR tree) count.
+struct CodecEnergy {
+  double check_pj = 0.0;
+  double encode_pj = 0.0;
+};
+[[nodiscard]] CodecEnergy codec_energy(const EnergyParams& p,
+                                       const ecc::Codec& codec);
+
+/// Deployment-aware energy digest across the hierarchy: each cache level's
+/// codec sets that level's per-access check/encode energies (calibrated
+/// table, geometry-scaling fallback — see codec_energy), and the LAEC
+/// placement adds the look-ahead hardware energy.
 [[nodiscard]] EnergyBreakdown compute(const EnergyParams& p,
                                       const core::RunStats& stats,
-                                      const core::EccDeployment& deployment);
+                                      const core::HierarchyDeployment& deployment);
 
 /// Legacy enum shim: expands `policy` to its canonical deployment.
 [[nodiscard]] EnergyBreakdown compute(const EnergyParams& p,

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <stdexcept>
 
 #include "common/bitops.hpp"
 
@@ -31,6 +32,7 @@ SetAssocCache::SetAssocCache(const CacheConfig& cfg)
   n_corrected_ = &stats_.counter("ecc_corrected");
   n_corrected_adjacent_ = &stats_.counter("ecc_corrected_adjacent");
   n_detected_uncorrectable_ = &stats_.counter("ecc_detected_uncorrectable");
+  n_rmw_laundered_ = &stats_.counter("ecc_rmw_laundered");
 }
 
 u32 SetAssocCache::set_index(Addr a) const {
@@ -136,6 +138,12 @@ WordRead SetAssocCache::read(Addr a, unsigned bytes) {
 }
 
 void SetAssocCache::write(Addr a, unsigned bytes, u32 value, bool mark_dirty) {
+  if (cfg_.read_only) {
+    throw std::logic_error("cache \"" + cfg_.name +
+                           "\" is read-only: lines are refilled, never "
+                           "written (invalidate-and-refetch is the only "
+                           "recovery path)");
+  }
   assert(bytes == 1 || bytes == 2 || bytes == 4);
   assert((a & (bytes - 1)) == 0 && "misaligned access");
   Way* way = find(a);
@@ -147,9 +155,27 @@ void SetAssocCache::write(Addr a, unsigned bytes, u32 value, bool mark_dirty) {
   const u32 word_idx = off / 4;
 
   // Sub-word writes are read-modify-write on the protected word (the check
-  // bits cover 32 bits, so hardware must merge before re-encoding).
+  // bits cover 32 bits, so hardware must merge before re-encoding). That
+  // read runs the codec: with scrubbing off a standing correctable error
+  // may sit in the array, and merging into the raw word would re-encode
+  // the flip under fresh check bits — corruption laundered into a valid
+  // codeword. Full-word writes overwrite everything, so only sub-word
+  // merges pay for the decode.
   u32 word;
   std::memcpy(&word, way->data.data() + word_idx * 4, 4);
+  if (codec_ != nullptr && ever_injected_ && bytes < 4) {
+    const auto r = codec_->decode(word, way->check[word_idx]);
+    if (ecc::is_corrected(r.status)) {
+      word = static_cast<u32>(r.data);
+    } else if (r.status == ecc::CheckStatus::kDetectedUncorrectable) {
+      // The store's bytes are architecturally new and the merge must
+      // proceed, but the untouched bytes are known-bad and about to be
+      // re-encoded under valid check bits — account the laundering so it
+      // can never be mistaken for a clean word downstream.
+      ++*n_detected_uncorrectable_;
+      ++*n_rmw_laundered_;
+    }
+  }
   const u32 shift = (off & 3u) * 8;
   const u32 mask = static_cast<u32>(low_mask(bytes * 8)) << shift;
   word = (word & ~mask) | ((value << shift) & mask);
@@ -162,6 +188,10 @@ void SetAssocCache::write(Addr a, unsigned bytes, u32 value, bool mark_dirty) {
 
 std::optional<Eviction> SetAssocCache::fill(Addr a, const u8* data,
                                             bool dirty) {
+  if (cfg_.read_only && dirty) {
+    throw std::logic_error("cache \"" + cfg_.name +
+                           "\" is read-only: it cannot hold dirty lines");
+  }
   const Addr base = line_base(a);
   const u32 set = set_index(a);
   ++*n_fill_;
@@ -181,7 +211,7 @@ std::optional<Eviction> SetAssocCache::fill(Addr a, const u8* data,
     ev.emplace();
     ev->line_addr = victim->tag_addr;
     ev->dirty = true;
-    ev->data.assign(victim->data.begin(), victim->data.end());
+    ev->data = corrected_line_copy(*victim);
     ++*n_evict_dirty_;
   }
 
@@ -202,10 +232,28 @@ bool SetAssocCache::invalidate(Addr a) {
   return true;
 }
 
+std::vector<u8> SetAssocCache::corrected_line_copy(const Way& way) const {
+  std::vector<u8> out = way.data;
+  // Without a fault source the array only ever holds words it encoded
+  // itself, so every decode would be a no-op — skip the whole pass (dirty
+  // evictions are on the simulator's hot path).
+  if (codec_ == nullptr || !ever_injected_) return out;
+  for (u32 w = 0; w < cfg_.line_bytes / 4; ++w) {
+    u32 v;
+    std::memcpy(&v, out.data() + w * 4, 4);
+    const auto r = codec_->decode(v, way.check[w]);
+    if (ecc::is_corrected(r.status)) {
+      const u32 fixed = static_cast<u32>(r.data);
+      std::memcpy(out.data() + w * 4, &fixed, 4);
+    }
+  }
+  return out;
+}
+
 std::vector<u8> SetAssocCache::peek_line(Addr a) const {
   const Way* way = find(a);
   assert(way != nullptr);
-  return way->data;
+  return corrected_line_copy(*way);
 }
 
 }  // namespace laec::mem

@@ -14,6 +14,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <memory>
@@ -23,12 +24,39 @@
 #include "ecc/code.hpp"
 #include "ecc/codec.hpp"
 #include "ecc/injector.hpp"
-#include "ecc/registry.hpp"
 
 namespace laec::mem {
 
 enum class WritePolicy { kWriteBack, kWriteThrough };
 enum class AllocPolicy { kWriteAllocate, kNoWriteAllocate };
+
+/// How a protected array's controller handles errors the codec reports.
+///  * kCorrectInPlace: trust the codec's in-line correction (SECDED and
+///    stronger); only a detected-uncorrectable word forces a refetch.
+///  * kInvalidateRefetch: treat any reported error as grounds to drop the
+///    line and refetch the clean copy from the next level — the only option
+///    for detect-only codes (parity), and the conservative arrangement the
+///    LEON family uses even where correction would be possible. A dirty
+///    line has no clean copy anywhere, so its corrections are always used
+///    and its uncorrectable errors are data-loss events.
+enum class RecoveryPolicy { kCorrectInPlace, kInvalidateRefetch };
+
+[[nodiscard]] constexpr std::string_view to_string(RecoveryPolicy p) {
+  return p == RecoveryPolicy::kCorrectInPlace ? "correct-in-place"
+                                              : "invalidate-refetch";
+}
+
+/// The one recovery predicate every cache controller applies to a word
+/// read: refetch on a detected-uncorrectable word always, and on a merely
+/// corrected word when the policy distrusts in-place correction — unless
+/// the line is dirty, in which case the correction is the only good copy.
+[[nodiscard]] constexpr bool needs_refetch(ecc::CheckStatus status,
+                                           RecoveryPolicy recovery,
+                                           bool line_dirty) {
+  if (status == ecc::CheckStatus::kDetectedUncorrectable) return true;
+  return ecc::is_corrected(status) &&
+         recovery == RecoveryPolicy::kInvalidateRefetch && !line_dirty;
+}
 
 struct CacheConfig {
   std::string name = "cache";
@@ -44,6 +72,12 @@ struct CacheConfig {
   /// Write the corrected word back into the array after a correction
   /// (scrubbing); prevents a second strike from accumulating.
   bool scrub_on_correct = true;
+  /// Error-recovery arrangement of the owning controller (carried here so
+  /// every consumer of the array sees one coherent per-cache descriptor).
+  RecoveryPolicy recovery = RecoveryPolicy::kCorrectInPlace;
+  /// Instruction-cache arrangement: the array is never written after a
+  /// fill and never holds dirty lines. write() and dirty fills throw.
+  bool read_only = false;
 
   [[nodiscard]] u32 num_sets() const {
     return size_bytes / (line_bytes * ways);
@@ -70,7 +104,10 @@ class SetAssocCache {
   [[nodiscard]] const CacheConfig& config() const { return cfg_; }
 
   /// Attach a fault injector (not owned). Pass nullptr to detach.
-  void set_injector(ecc::FaultInjector* inj) { injector_ = inj; }
+  void set_injector(ecc::FaultInjector* inj) {
+    injector_ = inj;
+    ever_injected_ = ever_injected_ || inj != nullptr;
+  }
 
   // --- presence ------------------------------------------------------------
   [[nodiscard]] bool contains(Addr a) const;
@@ -100,13 +137,15 @@ class SetAssocCache {
 
   /// Flush every dirty line through `sink(line_addr, data)`; leaves the
   /// cache clean. Used at end-of-run to make memory architecturally final.
+  /// Like hardware, the writeback read runs the codec: lines leave in
+  /// their corrected view even when scrubbing is off.
   template <typename Sink>
   void flush_dirty(Sink&& sink) {
     for (u32 set = 0; set < cfg_.num_sets(); ++set) {
       for (u32 w = 0; w < cfg_.ways; ++w) {
         Way& way = ways_[set * cfg_.ways + w];
         if (way.valid && way.dirty) {
-          sink(way.tag_addr, way.data.data());
+          sink(way.tag_addr, corrected_line_copy(way).data());
           way.dirty = false;
         }
       }
@@ -138,12 +177,21 @@ class SetAssocCache {
   /// Global word index used to key fault injection (unique per line-word).
   [[nodiscard]] u64 word_key(const Way& way, u32 word_idx) const;
   void inject_and_check(Way& way, u32 word_idx, WordRead& out);
+  /// The line as the codec delivers it: every correctable word repaired
+  /// (uncorrectable words stay as stored). The writeback/eviction view —
+  /// hardware re-decodes on the writeback read, so corrupted raw bytes
+  /// never escape just because scrubbing is off. No stats, no injection.
+  [[nodiscard]] std::vector<u8> corrected_line_copy(const Way& way) const;
 
   CacheConfig cfg_;
   const ecc::Codec* codec_ = nullptr;  ///< raw view of cfg_.codec (hot path)
   std::vector<Way> ways_;
   u64 lru_clock_ = 1;
   ecc::FaultInjector* injector_ = nullptr;
+  /// An injector has been attached at some point, so stored words may hold
+  /// unscrubbed faults. Sticky (survives detach): gates the re-decode work
+  /// on writeback/RMW paths so fault-free runs skip it entirely.
+  bool ever_injected_ = false;
   StatSet stats_;
 
   // Hot-path counters.
@@ -154,6 +202,10 @@ class SetAssocCache {
   u64* n_corrected_ = nullptr;
   u64* n_corrected_adjacent_ = nullptr;
   u64* n_detected_uncorrectable_ = nullptr;
+  /// Sub-word RMW merged over a word with a standing uncorrectable error,
+  /// re-encoding it under valid check bits (also counted as detected-
+  /// uncorrectable — this splits out the silent-laundering subset).
+  u64* n_rmw_laundered_ = nullptr;
 };
 
 }  // namespace laec::mem

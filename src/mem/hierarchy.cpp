@@ -7,6 +7,9 @@ namespace laec::mem {
 MemorySystem::MemorySystem(const MemorySystemParams& params)
     : params_(params), l2_(params.l2.cache) {
   bus_ = std::make_unique<Bus>(params.bus, *this, params.num_requesters);
+  n_l2_refetch_ = &stats_.counter("l2_refetches");
+  n_l2_data_loss_ = &stats_.counter("l2_data_loss_events");
+  n_l2_unrecovered_ = &stats_.counter("l2_unrecovered_reads");
 }
 
 unsigned MemorySystem::ensure_l2_line(Addr a) {
@@ -26,6 +29,40 @@ unsigned MemorySystem::ensure_l2_line(Addr a) {
   return extra;
 }
 
+WordRead MemorySystem::read_l2_word(Addr a, unsigned& lat) {
+  WordRead w = l2_.read(a, 4);
+  // Recovery on a detected error: drop the line and refetch the copy in
+  // memory. For an uncorrectable error on a CLEAN line that copy is good
+  // (lossless, like the L1 parity refetch); on a DIRTY line the writeback
+  // data exists nowhere else — the refetch restores a stale image and the
+  // event is logged as data loss (what a safety-critical system reports as
+  // a DUE). Under kInvalidateRefetch even corrected clean words are
+  // re-fetched rather than trusted. A fresh fault can strike the refetched
+  // word too (random storms inject per access), so recovery loops — the
+  // cap only bounds the pathological always-struck case, where the last
+  // read's status is surfaced to the caller rather than retried forever.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    if (!needs_refetch(w.check, l2_.config().recovery, l2_.line_dirty(a))) {
+      break;
+    }
+    if (w.check == ecc::CheckStatus::kDetectedUncorrectable &&
+        l2_.line_dirty(a)) {
+      ++*n_l2_data_loss_;
+    }
+    ++*n_l2_refetch_;
+    l2_.invalidate(a);
+    lat += ensure_l2_line(a);
+    w = l2_.read(a, 4);
+  }
+  if (needs_refetch(w.check, l2_.config().recovery, l2_.line_dirty(a))) {
+    // Every retry was re-struck (only reachable under pathological
+    // injection rates): the word goes out as read, and the event is
+    // accounted so the corruption is never mistaken for a clean serve.
+    ++*n_l2_unrecovered_;
+  }
+  return w;
+}
+
 unsigned MemorySystem::service(BusTransaction& t) {
   switch (t.op) {
     case BusOp::kReadLine: {
@@ -34,11 +71,11 @@ unsigned MemorySystem::service(BusTransaction& t) {
       unsigned lat = params_.l2.hit_cycles;
       const u32 n = t.bytes >= 4 ? t.bytes : l2_.line_bytes();
       t.line.resize(n);
-      // Read through the protected array word by word so L2 SECDED (and any
-      // injected L2 faults) take effect.
+      // Read through the protected array word by word so the L2 codec (and
+      // any injected L2 faults) take effect.
       for (u32 off = 0; off < n; off += 4) {
         lat += ensure_l2_line(t.addr + off);
-        const WordRead w = l2_.read(t.addr + off, 4);
+        const WordRead w = read_l2_word(t.addr + off, lat);
         t.line[off + 0] = static_cast<u8>(w.value & 0xff);
         t.line[off + 1] = static_cast<u8>((w.value >> 8) & 0xff);
         t.line[off + 2] = static_cast<u8>((w.value >> 16) & 0xff);

@@ -7,6 +7,8 @@
 
 #include <memory>
 
+#include "common/stats.hpp"
+#include "ecc/registry.hpp"
 #include "mem/bus.hpp"
 #include "mem/cache.hpp"
 #include "mem/memory.hpp"
@@ -48,6 +50,15 @@ class MemorySystem final : public BusTarget {
   [[nodiscard]] MainMemory& memory() { return memory_; }
   [[nodiscard]] SetAssocCache& l2() { return l2_; }
 
+  /// Memory-side recovery events: "l2_refetches" (lines dropped and
+  /// refetched from memory after a detected error), "l2_data_loss_events"
+  /// (uncorrectable error on a dirty line — the writeback copy is gone;
+  /// the refetch restores the stale memory image), and
+  /// "l2_unrecovered_reads" (every recovery retry was itself struck — the
+  /// word was served with a standing detected error).
+  [[nodiscard]] StatSet& stats() { return stats_; }
+  [[nodiscard]] const StatSet& stats() const { return stats_; }
+
   /// Advance one cycle (drives bus arbitration). Call after the cores.
   void tick(Cycle now) { bus_->tick(now); }
 
@@ -62,10 +73,19 @@ class MemorySystem final : public BusTarget {
   /// latency incurred (0 when it already hit).
   unsigned ensure_l2_line(Addr a);
 
+  /// Read one protected word from the L2, applying the configured recovery
+  /// on detected errors (invalidate + refetch from memory; a dirty line is
+  /// a data-loss event). Adds any recovery latency to `lat`.
+  WordRead read_l2_word(Addr a, unsigned& lat);
+
   MemorySystemParams params_;
   MainMemory memory_;
   SetAssocCache l2_;
   std::unique_ptr<Bus> bus_;
+  StatSet stats_;
+  u64* n_l2_refetch_ = nullptr;
+  u64* n_l2_data_loss_ = nullptr;
+  u64* n_l2_unrecovered_ = nullptr;
 };
 
 }  // namespace laec::mem

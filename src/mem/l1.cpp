@@ -92,10 +92,14 @@ L1LoadReply DL1Controller::load(Addr a, unsigned bytes, Cycle now,
     case State::kIdle: {
       if (cache_.contains(a)) {
         WordRead w = cache_.read(a, bytes);
-        if (w.check == ecc::CheckStatus::kDetectedUncorrectable) {
-          // Parity (or SECDED double error): recover by refetch. A dirty
-          // line has no clean copy anywhere -> data loss event.
-          if (cache_.line_dirty(a)) ++*n_data_loss_;
+        // Parity (or SECDED double error): recover by refetch. A dirty
+        // line has no clean copy anywhere -> data loss event.
+        if (needs_refetch(w.check, params_.cache.recovery,
+                          cache_.line_dirty(a))) {
+          if (w.check == ecc::CheckStatus::kDetectedUncorrectable &&
+              cache_.line_dirty(a)) {
+            ++*n_data_loss_;
+          }
           ++*n_parity_refetch_;
           cache_.invalidate(a);
           ++*n_loads_;  // counts as a (miss) access
@@ -122,6 +126,15 @@ L1LoadReply DL1Controller::load(Addr a, unsigned bytes, Cycle now,
         finish_fill(now);
         state_ = State::kIdle;
         WordRead w = cache_.read(a, bytes);
+        // The freshly refilled line is clean, but a new fault can strike
+        // this very read — apply the same recovery as the hit path: drop
+        // the line and let the next poll replay the miss.
+        if (needs_refetch(w.check, params_.cache.recovery,
+                          cache_.line_dirty(a))) {
+          ++*n_parity_refetch_;
+          cache_.invalidate(a);
+          return r;
+        }
         r.complete = true;
         r.hit = false;
         r.value = w.value;
@@ -237,9 +250,24 @@ L1StoreReply DL1Controller::store(Addr a, unsigned bytes, u32 value, Cycle now,
 // L1IController
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// The instruction cache is architecturally read-only: no store path, no
+/// dirty lines, invalidate-and-refetch as the only recovery. Enforced in
+/// the array itself so a stray write throws instead of corrupting state.
+L1Params read_only_l1i(L1Params p) {
+  p.cache.read_only = true;
+  return p;
+}
+
+}  // namespace
+
 L1IController::L1IController(const L1Params& params, Bus& bus,
                              unsigned core_id)
-    : params_(params), bus_(bus), core_id_(core_id), cache_(params.cache) {
+    : params_(read_only_l1i(params)),
+      bus_(bus),
+      core_id_(core_id),
+      cache_(params_.cache) {
   n_fetches_ = &stats_.counter("fetches");
   n_hits_ = &stats_.counter("hits");
   n_parity_refetch_ = &stats_.counter("parity_refetches");
@@ -250,8 +278,10 @@ L1IController::FetchReply L1IController::fetch(Addr a, Cycle now) {
   if (!miss_pending_) {
     if (cache_.contains(a)) {
       WordRead w = cache_.read(a, 4);
-      if (w.check == ecc::CheckStatus::kDetectedUncorrectable) {
-        // Instruction lines are always clean: recover by refetch.
+      if (needs_refetch(w.check, params_.cache.recovery,
+                        /*line_dirty=*/false)) {
+        // Instruction lines are always clean: recover by refetch (the only
+        // path — the array rejects in-place writes).
         ++*n_parity_refetch_;
         cache_.invalidate(a);
       } else {
@@ -279,6 +309,15 @@ L1IController::FetchReply L1IController::fetch(Addr a, Cycle now) {
     cache_.fill(t.addr, t.line.data(), /*dirty=*/false);
     miss_pending_ = false;
     WordRead w = cache_.read(a, 4);
+    // A fault can strike the post-refill read itself; recover exactly like
+    // the hit path (drop the line, replay the fetch as a fresh miss)
+    // rather than handing a known-bad instruction word to the pipeline.
+    if (needs_refetch(w.check, params_.cache.recovery,
+                      /*line_dirty=*/false)) {
+      ++*n_parity_refetch_;
+      cache_.invalidate(a);
+      return r;
+    }
     r.complete = true;
     r.hit = false;
     r.word = w.value;

@@ -49,8 +49,8 @@ PointResult run_point(const SweepPoint& point, u64 base_seed) {
 
   core::SimConfig cfg = point.config;
   const u64 seed = point_seed(base_seed, point);
-  if (cfg.dl1_faults.has_value()) {
-    cfg.dl1_faults->seed = splitmix64(seed ^ 0xfa17u);
+  if (cfg.faults.has_value()) {
+    cfg.faults->seed = splitmix64(seed ^ 0xfa17u);
   }
 
   const auto& entry = workloads::kernel_by_name(point.workload);
@@ -94,11 +94,23 @@ void accumulate(StatSet& totals, const PointResult& r) {
       r.stats.ecc_detected_uncorrectable;
   totals.counter("parity_refetches") += r.stats.parity_refetches;
   totals.counter("data_loss_events") += r.stats.data_loss_events;
+  totals.counter("l1i_corrected") += r.stats.l1i_corrected;
+  totals.counter("l1i_detected_uncorrectable") +=
+      r.stats.l1i_detected_uncorrectable;
+  totals.counter("l1i_refetches") += r.stats.l1i_refetches;
+  totals.counter("l2_corrected") += r.stats.l2_corrected;
+  totals.counter("l2_corrected_adjacent") += r.stats.l2_corrected_adjacent;
+  totals.counter("l2_detected_uncorrectable") +=
+      r.stats.l2_detected_uncorrectable;
+  totals.counter("l2_refetches") += r.stats.l2_refetches;
+  totals.counter("l2_data_loss_events") += r.stats.l2_data_loss_events;
   totals.counter("bus_transactions") += r.stats.bus_transactions;
   totals.counter("bus_wait_cycles") += r.stats.bus_wait_cycles;
   for (const auto& sub :
        {std::make_pair("pipeline.", &r.stats.pipeline_stats),
         std::make_pair("dl1.", &r.stats.dl1_stats),
+        std::make_pair("l1i.", &r.stats.l1i_stats),
+        std::make_pair("l2.", &r.stats.l2_stats),
         std::make_pair("bus.", &r.stats.bus_stats)}) {
     for (const auto& [name, value] : sub.second->items()) {
       totals.counter(std::string(sub.first) + name) += value;
@@ -224,24 +236,31 @@ const std::vector<std::string>& fig8_scheme_keys() {
 }
 
 const std::vector<std::string>& row_headers() {
+  // The ecc_* columns are the DL1's (original names retained); the l1i_*/
+  // l2_* blocks carry the other levels of the hierarchy deployment.
   static const std::vector<std::string> kHeaders = {
-      "workload", "variant", "mode", "ecc", "codec", "hazard", "completed",
-      "cycles", "instructions", "cpi", "loads", "load_hits", "dep_loads",
-      "stores", "laec_anticipated", "laec_data_hazard",
-      "laec_resource_hazard", "ecc_corrected", "ecc_corrected_adjacent",
-      "ecc_detected_uncorrectable", "parity_refetches", "bus_transactions",
-      "bus_wait_cycles", "self_check"};
+      "workload", "variant", "mode", "ecc", "codec_dl1", "codec_l1i",
+      "codec_l2", "hazard", "completed", "cycles", "instructions", "cpi",
+      "loads", "load_hits", "dep_loads", "stores", "laec_anticipated",
+      "laec_data_hazard", "laec_resource_hazard", "ecc_corrected",
+      "ecc_corrected_adjacent", "ecc_detected_uncorrectable",
+      "parity_refetches", "l1i_corrected", "l1i_due", "l1i_refetches",
+      "l2_corrected", "l2_corrected_adjacent", "l2_due", "l2_refetches",
+      "l2_data_loss", "bus_transactions", "bus_wait_cycles", "self_check"};
   return kHeaders;
 }
 
 std::vector<std::string> to_row(const PointResult& r) {
   const auto& s = r.stats;
-  const core::EccDeployment dep = r.point.config.effective_deployment();
+  const core::HierarchyDeployment dep =
+      r.point.config.effective_deployment();
   return {r.point.workload,
           r.point.variant,
           std::string(to_string(r.point.mode)),
           dep.name,
           dep.codec,
+          dep.l1i.codec,
+          dep.l2.codec,
           std::string(to_string(r.point.config.hazard_rule)),
           s.completed ? "1" : "0",
           fmt_u64(s.cycles),
@@ -258,6 +277,14 @@ std::vector<std::string> to_row(const PointResult& r) {
           fmt_u64(s.ecc_corrected_adjacent),
           fmt_u64(s.ecc_detected_uncorrectable),
           fmt_u64(s.parity_refetches),
+          fmt_u64(s.l1i_corrected),
+          fmt_u64(s.l1i_detected_uncorrectable),
+          fmt_u64(s.l1i_refetches),
+          fmt_u64(s.l2_corrected),
+          fmt_u64(s.l2_corrected_adjacent),
+          fmt_u64(s.l2_detected_uncorrectable),
+          fmt_u64(s.l2_refetches),
+          fmt_u64(s.l2_data_loss_events),
           fmt_u64(s.bus_transactions),
           fmt_u64(s.bus_wait_cycles),
           r.self_check_ok ? "ok" : "FAIL"};
@@ -277,11 +304,11 @@ SweepSummary run_sweep(const std::vector<SweepPoint>& points,
       if (seen.insert(p.workload).second) {
         (void)workloads::kernel_by_name(p.workload);  // throws if unknown
       }
-      if (p.mode == RunMode::kTrace && p.config.dl1_faults.has_value()) {
+      if (p.mode == RunMode::kTrace && p.config.faults.has_value()) {
         throw std::invalid_argument(
             "run_sweep: point " + std::to_string(p.index) +
-            " combines trace mode with dl1_faults; fault injection "
-            "requires program mode");
+            " combines trace mode with fault injection, which requires "
+            "program mode (the oracle keeps no arrays to inject into)");
       }
     }
   }

@@ -74,9 +74,11 @@ class SweepGrid {
   SweepGrid& workloads(std::vector<std::string> names);
   /// All 16 EEMBC-like kernels, Table II order.
   SweepGrid& all_workloads();
-  /// The scheme axis, string-keyed: each entry is an EccDeployment key —
-  /// a policy name ("laec"), a registered codec name ("sec-daec-39-32"),
-  /// or "placement:codec". This is the native axis; eccs() is the enum shim.
+  /// The scheme axis, string-keyed: each entry is a HierarchyDeployment
+  /// key — a policy name ("laec"), a registered codec name
+  /// ("sec-daec-39-32"), "placement:codec", or a compound hierarchy key
+  /// ("laec+l2:sec-daec-39-32"). This is the native axis; eccs() is the
+  /// enum shim.
   SweepGrid& schemes(std::vector<std::string> keys);
   /// Enum shim: forwards the policies' canonical keys to schemes().
   SweepGrid& eccs(const std::vector<cpu::EccPolicy>& policies);

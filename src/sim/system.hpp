@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cpu/pipeline.hpp"
+#include "ecc/registry.hpp"
 #include "mem/hierarchy.hpp"
 #include "sim/traffic.hpp"
 
@@ -27,15 +28,17 @@ struct CoreConfig {
                 .codec = ecc::make_codec("secded-39-32"),
                 .scrub_on_correct = true},
       .oracle = {}};
+  // The instruction cache is read-only: lines are refilled, never written,
+  // so it carries no write/alloc policy — L1IController marks the array
+  // read_only and recovers every detected error by invalidate-and-refetch.
   mem::L1Params l1i{
       .cache = {.name = "l1i",
                 .size_bytes = 16 * 1024,
                 .line_bytes = 32,
                 .ways = 4,
-                .write_policy = mem::WritePolicy::kWriteBack,  // never written
-                .alloc_policy = mem::AllocPolicy::kWriteAllocate,
                 .codec = ecc::make_codec("parity-32"),
-                .scrub_on_correct = false},
+                .scrub_on_correct = false,
+                .recovery = mem::RecoveryPolicy::kInvalidateRefetch},
       .oracle = {}};
   mem::WriteBufferParams wbuf;
 };
@@ -53,6 +56,9 @@ class Core {
   [[nodiscard]] const cpu::Pipeline& pipeline() const { return *pipe_; }
   [[nodiscard]] mem::DL1Controller& dl1() { return *dl1_; }
   [[nodiscard]] mem::L1IController& l1i() { return *l1i_; }
+  /// Trace (oracle) mode cores fetch from a synthetic source and keep no
+  /// instruction cache; l1i() is only valid when this returns true.
+  [[nodiscard]] bool has_l1i() const { return l1i_ != nullptr; }
   [[nodiscard]] mem::WriteBuffer& wbuf() { return wbuf_; }
   [[nodiscard]] unsigned id() const { return id_; }
 

@@ -51,7 +51,7 @@ inline core::RunStats run(const core::SimConfig& cfg, const isa::Program& p) {
 /// Run and also expose the system for post-mortem inspection.
 struct RunWithSystem {
   std::unique_ptr<sim::System> system;
-  std::unique_ptr<ecc::FaultInjector> injector;  // when cfg.dl1_faults set
+  std::unique_ptr<ecc::FaultInjector> injector;  // when cfg.faults set
   core::RunStats stats;
 };
 
@@ -61,10 +61,7 @@ inline RunWithSystem run_keep_system(const core::SimConfig& cfg,
   RunWithSystem r;
   r.system = std::make_unique<sim::System>(
       core::make_system_config(cfg, /*trace_mode=*/false));
-  if (cfg.dl1_faults.has_value()) {
-    r.injector = std::make_unique<ecc::FaultInjector>(*cfg.dl1_faults);
-    r.system->core(0).dl1().set_injector(r.injector.get());
-  }
+  r.injector = core::attach_injector(*r.system, cfg);
   r.system->load_program(p);
   if (warm_icache) prefill_icache(*r.system, p);
   const auto res = r.system->run();

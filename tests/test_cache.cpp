@@ -4,6 +4,8 @@
 
 #include <cstring>
 
+#include "ecc/registry.hpp"
+
 namespace laec::mem {
 namespace {
 
@@ -179,6 +181,65 @@ TEST(Cache, FlushDirtyVisitsDirtyLinesOnly) {
   });
   EXPECT_EQ(visited, 1);
   EXPECT_FALSE(c.line_dirty(0x020));
+}
+
+TEST(Cache, WritebacksLeaveInCorrectedViewEvenWithoutScrub) {
+  // scrub_on_correct=false keeps corrupted raw bytes in the array, but the
+  // writeback read re-runs the codec (as hardware does): dirty evictions,
+  // flush_dirty and peek_line must all deliver the corrected view, never
+  // the raw flipped bits.
+  CacheConfig cfg = small_cfg(ecc::CodecKind::kSecded);
+  cfg.scrub_on_correct = false;
+  SetAssocCache c(cfg);
+  std::vector<u8> data(32, 0);
+  const u32 word = 0x600df00d;
+  std::memcpy(data.data(), &word, 4);
+  c.fill(0x100, data.data(), /*dirty=*/true);
+
+  ecc::FaultInjector inj;
+  c.set_injector(&inj);
+  inj.script_flip(0x100 / 4, 3);
+  EXPECT_EQ(c.read(0x100, 4).check, ecc::CheckStatus::kCorrected);
+  // Unscrubbed: a re-read still sees (and re-corrects) the same flip.
+  EXPECT_EQ(c.read(0x100, 4).check, ecc::CheckStatus::kCorrected);
+
+  const auto peek = c.peek_line(0x100);
+  u32 got;
+  std::memcpy(&got, peek.data(), 4);
+  EXPECT_EQ(got, word);
+
+  bool flushed = false;
+  c.flush_dirty([&](Addr base, const u8* bytes) {
+    EXPECT_EQ(base, 0x100u);
+    std::memcpy(&got, bytes, 4);
+    flushed = true;
+  });
+  EXPECT_TRUE(flushed);
+  EXPECT_EQ(got, word);
+}
+
+TEST(Cache, SubWordWriteCorrectsBeforeMergingWithoutScrub) {
+  // A standing (unscrubbed) correctable error must not be re-encoded under
+  // fresh check bits by a byte store's read-modify-write — that would
+  // launder the flip into a valid codeword no later read could repair.
+  CacheConfig cfg = small_cfg(ecc::CodecKind::kSecded);
+  cfg.scrub_on_correct = false;
+  SetAssocCache c(cfg);
+  std::vector<u8> data(32, 0);
+  const u32 word = 0x11223344;
+  std::memcpy(data.data(), &word, 4);
+  c.fill(0x100, data.data(), /*dirty=*/true);
+
+  ecc::FaultInjector inj;
+  c.set_injector(&inj);
+  inj.script_flip(0x100 / 4, 12);  // lands in byte 1
+  EXPECT_EQ(c.read(0x100, 4).check, ecc::CheckStatus::kCorrected);
+
+  // Overwrite byte 0 only; bytes 1-3 must come out of the codec, clean.
+  c.write(0x100, 1, 0xaa, /*mark_dirty=*/true);
+  const auto after = c.read(0x100, 4);
+  EXPECT_EQ(after.check, ecc::CheckStatus::kOk);
+  EXPECT_EQ(after.value, 0x112233aau);
 }
 
 }  // namespace

@@ -96,6 +96,30 @@ TEST(SweepGrid, StringSchemeAxisCarriesDeploymentsIntoPoints) {
   EXPECT_EQ(spts[0].config.effective_deployment().codec, "parity-32");
 }
 
+TEST(SweepGrid, CompoundHierarchyKeysSweepPerLevelCodecs) {
+  SweepGrid g;
+  g.workloads({"tblook"})
+      .schemes({"laec", "laec+l2:sec-daec-39-32",
+                "laec+l1i:parity-i2-32+l2:sec-daec-39-32"})
+      .mode(RunMode::kTrace);
+  const auto pts = g.points();
+  ASSERT_EQ(pts.size(), 3u);
+  // All three points share the DL1 deployment; the levels differ.
+  for (const auto& p : pts) {
+    EXPECT_EQ(p.config.effective_deployment().codec, "secded-39-32");
+    EXPECT_EQ(p.config.ecc, cpu::EccPolicy::kLaec);
+  }
+  EXPECT_EQ(pts[0].config.deployment->l2.codec, "secded-39-32");
+  EXPECT_EQ(pts[1].config.deployment->l2.codec, "sec-daec-39-32");
+  EXPECT_EQ(pts[2].config.deployment->l1i.codec, "parity-i2-32");
+  // Rows carry the per-level codec columns.
+  const std::string csv = csv_at(g, 2);
+  EXPECT_NE(csv.find("laec+l1i:parity-i2-32+l2:sec-daec-39-32"),
+            std::string::npos)
+      << csv;
+  EXPECT_NE(csv.find("parity-i2-32"), std::string::npos);
+}
+
 TEST(SweepGrid, UnknownSchemeKeyThrowsOnExpansion) {
   SweepGrid g;
   g.workloads({"tblook"}).schemes({"laec", "not-a-scheme"});
@@ -109,7 +133,8 @@ TEST(SweepRunner, RowsCarrySchemeAndCodecNames) {
       .mode(RunMode::kTrace)
       .trace_ops(1'000);
   const std::string csv = csv_at(g, 2);
-  EXPECT_NE(csv.find(",codec,"), std::string::npos) << csv;
+  EXPECT_NE(csv.find(",codec_dl1,codec_l1i,codec_l2,"), std::string::npos)
+      << csv;
   EXPECT_NE(csv.find("secded-39-32"), std::string::npos);
   EXPECT_NE(csv.find("sec-daec-39-32"), std::string::npos);
   // Column count of every row matches the header arity.
@@ -205,8 +230,8 @@ TEST(SweepRunner, InvalidShardOptionsThrow) {
 
 TEST(SweepRunner, TraceModeWithFaultInjectionThrowsBeforeRunning) {
   core::SimConfig faulty;
-  faulty.dl1_faults.emplace();
-  faulty.dl1_faults->single_flip_prob = 0.01;
+  faulty.faults.emplace();
+  faulty.faults->single_flip_prob = 0.01;
   SweepGrid g;
   g.workloads({"tblook"}).base_config(faulty).mode(RunMode::kTrace);
   EXPECT_THROW((void)run_sweep(g, {}), std::invalid_argument);

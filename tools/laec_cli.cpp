@@ -18,8 +18,10 @@
 // Options:
 //   --ecc=<scheme>[,<scheme>...] (default laec). A scheme key is a policy
 //       name (no-ecc, extra-cycle, extra-stage, laec, wt-parity), a
-//       registered codec name (e.g. secded-39-32, sec-daec-39-32), or
-//       placement:codec (e.g. extra-stage:sec-daec-39-32). The comma list
+//       registered codec name (e.g. secded-39-32, sec-daec-39-32),
+//       placement:codec (e.g. extra-stage:sec-daec-39-32), or a compound
+//       hierarchy key with per-cache segments
+//       (e.g. laec+l1i:secded-39-32+l2:sec-daec-39-32). The comma list
 //       is sweep-only and becomes the sweep's scheme axis.
 //   --hazard=<exact|paper>       LAEC hazard rule
 //   --stride-predictor           enable the A4 extension
@@ -28,6 +30,7 @@
 //   --inject-single=<p>          per-access single-bit-flip probability
 //   --inject-double=<p>          per-access double-bit-flip probability
 //   --inject-adjacent            make double flips strike adjacent bits
+//   --inject-target=<dl1|l1i|l2> which cache array the storm strikes
 //   --csv                        machine-readable one-line output
 //
 // Sweep options:
@@ -65,6 +68,10 @@ struct CliOptions {
   u64 trace_ops = 120'000;
   bool csv = false;
   bool ok = true;
+
+  /// --inject-target given: must be paired with an injection rate, else
+  /// the storm silently never fires.
+  bool inject_target_explicit = false;
 
   // Sweep mode.
   bool ecc_explicit = false;  ///< --ecc given: sweep only those schemes
@@ -165,14 +172,24 @@ CliOptions parse(int argc, char** argv) {
     } else if (auto v7 = value("--ops"); !v7.empty()) {
       o.trace_ops = std::stoull(v7);
     } else if (auto is = value("--inject-single"); !is.empty()) {
-      if (!o.cfg.dl1_faults.has_value()) o.cfg.dl1_faults.emplace();
-      o.cfg.dl1_faults->single_flip_prob = std::stod(is);
+      if (!o.cfg.faults.has_value()) o.cfg.faults.emplace();
+      o.cfg.faults->single_flip_prob = std::stod(is);
     } else if (auto id = value("--inject-double"); !id.empty()) {
-      if (!o.cfg.dl1_faults.has_value()) o.cfg.dl1_faults.emplace();
-      o.cfg.dl1_faults->double_flip_prob = std::stod(id);
+      if (!o.cfg.faults.has_value()) o.cfg.faults.emplace();
+      o.cfg.faults->double_flip_prob = std::stod(id);
     } else if (arg == "--inject-adjacent") {
-      if (!o.cfg.dl1_faults.has_value()) o.cfg.dl1_faults.emplace();
-      o.cfg.dl1_faults->adjacent_doubles = true;
+      if (!o.cfg.faults.has_value()) o.cfg.faults.emplace();
+      o.cfg.faults->adjacent_doubles = true;
+    } else if (auto it = value("--inject-target"); !it.empty()) {
+      const auto target = core::inject_target_from_string(it);
+      if (!target.has_value()) {
+        std::fprintf(stderr, "--inject-target wants dl1, l1i or l2, not %s\n",
+                     it.c_str());
+        o.ok = false;
+      } else {
+        o.cfg.inject_target = *target;
+        o.inject_target_explicit = true;
+      }
     } else if (arg == "--csv") {
       o.csv = true;
     } else if (auto t = value("--threads"); !t.empty()) {
@@ -205,6 +222,12 @@ CliOptions parse(int argc, char** argv) {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       o.ok = false;
     }
+  }
+  if (o.inject_target_explicit && !o.cfg.faults.has_value()) {
+    std::fprintf(stderr,
+                 "--inject-target needs an injection rate "
+                 "(--inject-single=P or --inject-double=P)\n");
+    o.ok = false;
   }
   return o;
 }
@@ -249,11 +272,27 @@ void print_stats(const CliOptions& o, const core::RunStats& s,
     }
   }
   std::printf(
-      "ECC events        : %llu corrected (%llu adjacent-double), "
+      "ECC events (DL1)  : %llu corrected (%llu adjacent-double), "
       "%llu detected-uncorrectable\n",
       static_cast<unsigned long long>(s.ecc_corrected),
       static_cast<unsigned long long>(s.ecc_corrected_adjacent),
       static_cast<unsigned long long>(s.ecc_detected_uncorrectable));
+  std::printf(
+      "ECC events (L1I)  : %llu corrected, %llu DUE, %llu refetches "
+      "(codec %s)\n",
+      static_cast<unsigned long long>(s.l1i_corrected),
+      static_cast<unsigned long long>(s.l1i_detected_uncorrectable),
+      static_cast<unsigned long long>(s.l1i_refetches),
+      dep.l1i.codec.c_str());
+  std::printf(
+      "ECC events (L2)   : %llu corrected (%llu adjacent-double), %llu DUE, "
+      "%llu refetches, %llu data-loss (codec %s)\n",
+      static_cast<unsigned long long>(s.l2_corrected),
+      static_cast<unsigned long long>(s.l2_corrected_adjacent),
+      static_cast<unsigned long long>(s.l2_detected_uncorrectable),
+      static_cast<unsigned long long>(s.l2_refetches),
+      static_cast<unsigned long long>(s.l2_data_loss_events),
+      dep.l2.codec.c_str());
   if (check_failures >= 0) {
     std::printf("self-check        : %s\n",
                 check_failures == 0
@@ -278,8 +317,8 @@ int cmd_list() {
 int cmd_schemes() {
   std::printf("Deployment keys (policy names):\n");
   report::Table d({"key", "codec", "write policy", "check placement"});
-  for (const auto& key : core::EccDeployment::policy_keys()) {
-    const auto dep = core::EccDeployment::parse(key);
+  for (const auto& key : core::HierarchyDeployment::policy_keys()) {
+    const auto dep = core::HierarchyDeployment::parse(key);
     d.add_row({dep.name, dep.codec,
                dep.write_policy == mem::WritePolicy::kWriteBack
                    ? "write-back"
@@ -289,16 +328,26 @@ int cmd_schemes() {
   std::printf("%s\n", d.to_text().c_str());
 
   std::printf(
-      "Registered codecs (32-bit-word codecs are deployable in the DL1 as\n"
-      "--ecc=<name> or placement:<name>; 64-bit geometries are library-only\n"
-      "for now):\n");
-  report::Table t({"name", "k", "r", "corrects", "adj-double", "DED", "DL1"});
+      "Hierarchy deployments: join per-cache segments with '+'. The first\n"
+      "segment is the DL1 scheme (any key above, a codec name, or\n"
+      "placement:codec); l1i:<codec> and l2:<codec> override the other\n"
+      "levels (defaults: l1i parity-32, l2 secded-39-32). Segments accept\n"
+      ":scrub/:no-scrub and :correct/:refetch recovery flags.\n"
+      "  e.g. --ecc=laec+l1i:parity-i2-32+l2:sec-daec-39-32\n\n");
+
+  std::printf(
+      "Registered codecs (32-bit-word codecs are deployable in any cache\n"
+      "level as --ecc segments; 64-bit geometries are library-only for\n"
+      "now):\n");
+  report::Table t({"name", "k", "r", "corrects", "adj-corr", "adj-DED",
+                   "DED", "deployable"});
   for (const auto& name : ecc::registered_codecs()) {
     const auto c = ecc::make_codec(name);
     t.add_row({name, std::to_string(c->data_bits()),
                std::to_string(c->check_bits()),
                c->corrects_single() ? "yes" : "no",
                c->corrects_adjacent_double() ? "yes" : "no",
+               c->detects_adjacent_double() ? "yes" : "no",
                c->detects_double() ? "yes" : "no",
                c->data_bits() == 32 ? "yes" : "no"});
   }
@@ -415,12 +464,15 @@ void usage() {
       stderr,
       "usage: laec_cli <list|schemes|run|trace|compare|sweep> [kernel] "
       "[options]\n"
-      "  --ecc=SCHEME[,SCHEME...]   policy name, codec name, or\n"
-      "                             placement:codec (see `laec_cli schemes`;\n"
-      "                             comma list is sweep-only)\n"
+      "  --ecc=SCHEME[,SCHEME...]   policy name, codec name,\n"
+      "                             placement:codec, or compound hierarchy\n"
+      "                             key like laec+l2:sec-daec-39-32 (see\n"
+      "                             `laec_cli schemes`; comma list is\n"
+      "                             sweep-only)\n"
       "  --hazard=exact|paper  --stride-predictor  --csv\n"
       "  --dl1-kb=N --dl1-ways=N --wbuf=N --div=N --mem=N --ops=N\n"
       "  --inject-single=P  --inject-double=P  --inject-adjacent\n"
+      "  --inject-target=dl1|l1i|l2\n"
       "sweep mode:\n"
       "  --threads=N  --shard=I/N  --format=csv|jsonl  --out=FILE\n"
       "  --trace  --seed=N\n");
