@@ -1,5 +1,22 @@
 // Microbenchmark M2: host-side simulator throughput (simulated cycles per
-// wall second) for program mode and trace mode.
+// wall second).
+//
+// Five angles on the hot path:
+//  * BM_KernelMatrixLaec        — program mode, clean run (the devirtualized
+//                                 fast path end to end);
+//  * BM_KernelMatrixLaecInject  — program mode under an adjacent-MBU storm
+//                                 (every access may take the cold
+//                                 handle-error path: injection, decode,
+//                                 scrub, refetch recovery);
+//  * BM_KernelMatrixSelfCheck   — program mode plus the architectural
+//                                 self-check readback (flush + final-memory
+//                                 comparison, the sweep runner's per-point
+//                                 shape);
+//  * BM_SyntheticTraceLaec      — trace (oracle) mode;
+//  * BM_FullSuiteCharacterization — all 16 kernels, calibrated traces.
+//
+// The committed BENCH_sim_speed.json tracks these numbers per PR
+// (baseline vs refactor); CI's perf-smoke job re-runs them on every push.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
@@ -22,6 +39,54 @@ void BM_KernelMatrixLaec(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelMatrixLaec)->Unit(benchmark::kMillisecond);
 
+// Injection-heavy configuration: the slow path is what is being measured.
+// Rates are far above any physical storm so that a meaningful fraction of
+// accesses take the cold path (injection RNG, full decode, scrubbing, and
+// the occasional invalidate-and-refetch recovery).
+void BM_KernelMatrixLaecInject(benchmark::State& state) {
+  const auto built = workloads::kernel_by_name("matrix").build();
+  u64 cycles = 0;
+  u64 ecc_events = 0;
+  for (auto _ : state) {
+    auto cfg = bench::config_for(cpu::EccPolicy::kLaec);
+    cfg.faults.emplace();
+    cfg.faults->single_flip_prob = 0.01;
+    cfg.faults->double_flip_prob = 0.005;
+    cfg.faults->adjacent_doubles = true;
+    const auto s = core::run_program(cfg, built.program);
+    cycles += s.cycles;
+    ecc_events += s.ecc_corrected + s.ecc_detected_uncorrectable;
+    benchmark::DoNotOptimize(s.cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["ecc_events_per_iter"] = benchmark::Counter(
+      static_cast<double>(ecc_events), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_KernelMatrixLaecInject)->Unit(benchmark::kMillisecond);
+
+// The sweep runner's per-point shape: simulate, then verify every
+// architecturally-final word against the kernel's reference model (which
+// flushes the whole hierarchy into memory first).
+void BM_KernelMatrixSelfCheck(benchmark::State& state) {
+  const auto built = workloads::kernel_by_name("matrix").build();
+  u64 cycles = 0;
+  for (auto _ : state) {
+    auto cfg = bench::config_for(cpu::EccPolicy::kLaec);
+    auto run = core::run_program_keep_system(cfg, built.program);
+    bool ok = true;
+    for (const auto& [addr, expect] : built.expected) {
+      ok = ok && run.system->read_word_final(addr) == expect;
+    }
+    if (!ok) state.SkipWithError("self-check failed");
+    cycles += run.stats.cycles;
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KernelMatrixSelfCheck)->Unit(benchmark::kMillisecond);
+
 void BM_SyntheticTraceLaec(benchmark::State& state) {
   const auto& k = workloads::kernel_by_name("a2time");
   u64 cycles = 0;
@@ -36,13 +101,17 @@ void BM_SyntheticTraceLaec(benchmark::State& state) {
 BENCHMARK(BM_SyntheticTraceLaec)->Unit(benchmark::kMillisecond);
 
 void BM_FullSuiteCharacterization(benchmark::State& state) {
+  u64 cycles = 0;
   for (auto _ : state) {
     u64 total = 0;
     for (const auto& k : workloads::eembc_kernels()) {
       total += bench::run_calibrated(k, cpu::EccPolicy::kNoEcc, 10'000).cycles;
     }
+    cycles += total;
     benchmark::DoNotOptimize(total);
   }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FullSuiteCharacterization)->Unit(benchmark::kMillisecond);
 

@@ -102,6 +102,12 @@ struct SimConfig {
   /// level's deployed codec).
   InjectTarget inject_target = InjectTarget::kDl1;
 
+  /// Validation knob: run every cache word read through the generic decode
+  /// (slow) path, bypassing the devirtualized clean-word fast test in all
+  /// three arrays. The fast-path equivalence suite runs reference points
+  /// this way and asserts identical stats/rows; leave false otherwise.
+  bool force_generic_ecc_path = false;
+
   // Trace (oracle) mode tuning: forced-miss service time. Calibrated so
   // the trace-mode baseline CPI lands near the paper's effective ~1.3
   // (EXPERIMENTS.md, E3 calibration note).

@@ -54,6 +54,7 @@ Pipeline::Pipeline(const PipelineParams& params, mem::DL1Controller& dl1,
   c_la_data_hazard_ = &stats_.counter("laec_data_hazard");
   c_la_resource_hazard_ = &stats_.counter("laec_resource_hazard");
   c_la_fallback_ = &stats_.counter("laec_dynamic_fallback");
+  c_la_miss_cancel_ = &stats_.counter("laec_miss_cancel");
   c_la_shadow_ = &stats_.counter("laec_branch_shadow");
   c_due_events_ = &stats_.counter("due_events");
   c_pred_used_ = &stats_.counter("pred_used");
@@ -213,7 +214,7 @@ void Pipeline::squash_younger_than(Seq seq, Addr new_pc, Cycle now) {
         ifetch_discard_ = true;  // keep polling the L1I until it settles
         ifetch_discard_addr_ = s.pc;
       }
-      s = Slot{};
+      s.release();
     }
   }
   fetch_pc_ = new_pc;
@@ -312,7 +313,7 @@ void Pipeline::do_retire(Cycle now) {
     default:
       break;
   }
-  s = Slot{};
+  s.release();
 }
 
 void Pipeline::do_xc(Cycle now) {
@@ -323,7 +324,7 @@ void Pipeline::do_xc(Cycle now) {
   // accounting happens in the DL1 controller. Pass through.
   if (!slots_[kWB].valid) {
     slots_[kWB] = std::move(s);
-    s = Slot{};
+    s.release();
   }
 }
 
@@ -338,7 +339,7 @@ void Pipeline::do_ec(Cycle now) {
   }
   if (!slots_[kXC].valid) {
     slots_[kXC] = std::move(s);
-    s = Slot{};
+    s.release();
   }
 }
 
@@ -445,15 +446,15 @@ void Pipeline::do_m(Cycle now) {
   if (want_ec) {
     if (!slots_[kEC].valid) {
       slots_[kEC] = std::move(s);
-      s = Slot{};
+      s.release();
     }
   } else {
     if (!slots_[kXC].valid) {
       slots_[kXC] = std::move(s);
-      s = Slot{};
+      s.release();
     } else if (uses_ec_stage() && !slots_[kEC].valid) {
       slots_[kEC] = std::move(s);
-      s = Slot{};
+      s.release();
     }
   }
 }
@@ -559,7 +560,7 @@ void Pipeline::do_ex(Cycle now) {
             // miss timing identical preserves the paper's "never slower
             // than Extra Stage" guarantee even through bus arbitration.)
             s.anticipated = false;
-            stats_.counter("laec_miss_cancel")++;
+            ++*c_la_miss_cancel_;
           } else {
             claim_dl1_port(now);
             const auto reply = dl1_.load(
@@ -699,7 +700,7 @@ void Pipeline::do_ex(Cycle now) {
   if (!s.ex_done) return;
   if (!slots_[kM].valid) {
     slots_[kM] = std::move(s);
-    s = Slot{};
+    s.release();
   } else {
     ++*c_stall_struct_m_;
   }
@@ -743,7 +744,7 @@ void Pipeline::do_ra(Cycle now) {
 
   if (!slots_[kEX].valid) {
     slots_[kEX] = std::move(s);
-    s = Slot{};
+    s.release();
   }
 }
 
@@ -753,7 +754,7 @@ void Pipeline::do_d(Cycle now) {
   if (!s.valid) return;
   if (!slots_[kRA].valid) {
     slots_[kRA] = std::move(s);
-    s = Slot{};
+    s.release();
   }
 }
 
@@ -777,7 +778,7 @@ void Pipeline::do_f(Cycle now) {
     }
     if (slots_[kD].valid) return;  // D stalled; hold in F
     slots_[kD] = std::move(s);
-    s = Slot{};
+    s.release();
     return;  // F freed at end of cycle; the next fetch starts next cycle
   }
 

@@ -137,6 +137,13 @@ class Pipeline {
     // Trace mode.
     bool forced_mem = false;
     bool forced_hit = true;
+
+    /// Cheap empty-marking for the stage-advance hot path. Every other
+    /// field is only ever read behind `valid`, and every new instruction
+    /// enters as a freshly-constructed Slot moved in by do_f, so dropping
+    /// the flag is equivalent to — and much cheaper than — assigning a
+    /// default-constructed Slot over ~100 bytes of state.
+    void release() { valid = false; }
   };
 
   // --- per-cycle stage processing, called in WB -> F order ------------------
@@ -244,6 +251,7 @@ class Pipeline {
   u64* c_la_data_hazard_ = nullptr;
   u64* c_la_resource_hazard_ = nullptr;
   u64* c_la_fallback_ = nullptr;
+  u64* c_la_miss_cancel_ = nullptr;
   u64* c_la_shadow_ = nullptr;
   u64* c_due_events_ = nullptr;
   u64* c_pred_used_ = nullptr;

@@ -11,6 +11,7 @@
 // ecc::register_codec("my-code-39-32", ...) (see ecc/registry.hpp).
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string_view>
 
@@ -18,6 +19,7 @@
 #include "ecc/code.hpp"
 #include "ecc/parity.hpp"
 #include "ecc/sec_daec.hpp"
+#include "ecc/sec_daec_taec.hpp"
 #include "ecc/secded.hpp"
 
 namespace laec::ecc {
@@ -46,6 +48,42 @@ class Codec {
   /// Decode a stored (data, check) pair, repairing what the scheme can.
   [[nodiscard]] virtual Decoded decode(u64 data, u64 check) const = 0;
 
+  // --- line-granular batched API (simulator hot path) ----------------------
+  // The cache arrays move whole lines on fills and writebacks; these span
+  // entry points let them pay ONE virtual dispatch per line instead of one
+  // per 32-bit word. The default implementations loop over encode()/decode()
+  // so a drop-in scheme only has to implement the per-word pair; the
+  // built-in codecs override them with direct (devirtualized) loops.
+
+  /// Encode `n` consecutive 32-bit words into their check side-array slots.
+  virtual void encode_line(const u32* data, u16* check, std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) {
+      check[i] = static_cast<u16>(encode(data[i]));
+    }
+  }
+
+  /// Corrected view of `n` stored words: `out[i]` is the decoded data when
+  /// the scheme can repair it, the stored word otherwise (the writeback /
+  /// eviction read). No status reporting — error accounting happens on the
+  /// demand-access path, never on bulk copies.
+  virtual void decode_line(const u32* data, const u16* check, u32* out,
+                           std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Decoded r = decode(data[i], check[i]);
+      out[i] = is_corrected(r.status) ? static_cast<u32>(r.data) : data[i];
+    }
+  }
+
+  /// Devirtualization hook for the per-access clean-word test. The cache
+  /// arrays snapshot this plain function pointer once at construction and
+  /// call it on every read — a direct call into the final class's encode,
+  /// with no vtable dispatch on the clean path. The base fallback keeps
+  /// virtual dispatch so external drop-in schemes work unchanged.
+  using EncodeFn = u64 (*)(const Codec*, u64);
+  [[nodiscard]] virtual EncodeFn encode_thunk() const {
+    return +[](const Codec* c, u64 data) { return c->encode(data); };
+  }
+
   // --- capability flags (drive cache recovery policy and reporting) -------
   /// Can a single-bit error be corrected in place?
   [[nodiscard]] virtual bool corrects_single() const { return false; }
@@ -59,6 +97,35 @@ class Codec {
   /// by full double detection or adjacent correction.
   [[nodiscard]] virtual bool detects_adjacent_double() const {
     return detects_double() || corrects_adjacent_double();
+  }
+  /// Can an adjacent TRIPLE-bit error be corrected in place (SEC-DAEC-TAEC
+  /// class codes, arXiv:2002.07507)?
+  [[nodiscard]] virtual bool corrects_adjacent_triple() const { return false; }
+};
+
+/// CRTP mixin: derives the virtual encode(), the devirtualized per-word
+/// thunk and the span encoder from the final class's inlinable
+/// `encode_word(u64)`, so the three entry points can never disagree and a
+/// new scheme writes the XOR forest exactly once. (External drop-ins can
+/// still subclass Codec directly and live with the virtual-dispatch
+/// defaults.)
+template <typename Derived>
+class CodecWithFastEncode : public Codec {
+ public:
+  [[nodiscard]] u64 encode(u64 data) const final {
+    return static_cast<const Derived*>(this)->encode_word(data);
+  }
+  [[nodiscard]] EncodeFn encode_thunk() const final {
+    return +[](const Codec* c, u64 data) {
+      return static_cast<const Derived*>(c)->encode_word(data);
+    };
+  }
+  void encode_line(const u32* data, u16* check,
+                   std::size_t n) const final {
+    const auto* d = static_cast<const Derived*>(this);
+    for (std::size_t i = 0; i < n; ++i) {
+      check[i] = static_cast<u16>(d->encode_word(data[i]));
+    }
   }
 };
 
@@ -75,7 +142,7 @@ class NoneCodec final : public Codec {
 };
 
 /// Single even-parity bit per word (detect-only; LEON WT L1 arrangement).
-class ParityCodec final : public Codec {
+class ParityCodec final : public CodecWithFastEncode<ParityCodec> {
  public:
   explicit ParityCodec(unsigned data_bits) : code_(data_bits) {}
   [[nodiscard]] std::string_view name() const override { return "parity-32"; }
@@ -83,9 +150,7 @@ class ParityCodec final : public Codec {
     return code_.data_bits();
   }
   [[nodiscard]] unsigned check_bits() const override { return 1; }
-  [[nodiscard]] u64 encode(u64 data) const override {
-    return code_.encode(data);
-  }
+  [[nodiscard]] u64 encode_word(u64 data) const { return code_.encode(data); }
   [[nodiscard]] Decoded decode(u64 data, u64 check) const override;
 
  private:
@@ -93,7 +158,7 @@ class ParityCodec final : public Codec {
 };
 
 /// Hsiao SECDED adapter over the shared per-width SecdedCode instances.
-class SecdedCodec final : public Codec {
+class SecdedCodec final : public CodecWithFastEncode<SecdedCodec> {
  public:
   explicit SecdedCodec(const SecdedCode& code, std::string_view name)
       : code_(code), name_(name) {}
@@ -104,9 +169,7 @@ class SecdedCodec final : public Codec {
   [[nodiscard]] unsigned check_bits() const override {
     return code_.check_bits();
   }
-  [[nodiscard]] u64 encode(u64 data) const override {
-    return code_.encode(data);
-  }
+  [[nodiscard]] u64 encode_word(u64 data) const { return code_.encode(data); }
   [[nodiscard]] Decoded decode(u64 data, u64 check) const override;
   [[nodiscard]] bool corrects_single() const override { return true; }
   [[nodiscard]] bool detects_double() const override { return true; }
@@ -117,7 +180,7 @@ class SecdedCodec final : public Codec {
 };
 
 /// SEC-DAEC adapter over the shared per-width SecDaecCode instances.
-class SecDaecCodec final : public Codec {
+class SecDaecCodec final : public CodecWithFastEncode<SecDaecCodec> {
  public:
   explicit SecDaecCodec(const SecDaecCode& code, std::string_view name)
       : code_(code), name_(name) {}
@@ -128,9 +191,7 @@ class SecDaecCodec final : public Codec {
   [[nodiscard]] unsigned check_bits() const override {
     return code_.check_bits();
   }
-  [[nodiscard]] u64 encode(u64 data) const override {
-    return code_.encode(data);
-  }
+  [[nodiscard]] u64 encode_word(u64 data) const { return code_.encode(data); }
   [[nodiscard]] Decoded decode(u64 data, u64 check) const override;
   [[nodiscard]] bool corrects_single() const override { return true; }
   // Non-adjacent doubles may alias onto an adjacent pair (miscorrection) —
@@ -139,6 +200,34 @@ class SecDaecCodec final : public Codec {
 
  private:
   const SecDaecCode& code_;
+  std::string_view name_;
+};
+
+/// SEC-DAEC-TAEC adapter over the shared (45,32) SecDaecTaecCode instance.
+/// Triple-adjacent corrections report kCorrectedAdjacent — the adjacent-MBU
+/// family the per-cache counters aggregate.
+class SecDaecTaecCodec final : public CodecWithFastEncode<SecDaecTaecCodec> {
+ public:
+  explicit SecDaecTaecCodec(const SecDaecTaecCode& code, std::string_view name)
+      : code_(code), name_(name) {}
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] unsigned data_bits() const override {
+    return code_.data_bits();
+  }
+  [[nodiscard]] unsigned check_bits() const override {
+    return code_.check_bits();
+  }
+  [[nodiscard]] u64 encode_word(u64 data) const { return code_.encode(data); }
+  [[nodiscard]] Decoded decode(u64 data, u64 check) const override;
+  [[nodiscard]] bool corrects_single() const override { return true; }
+  // Like SEC-DAEC: a NON-adjacent multi-bit error may alias onto a
+  // correctable burst (miscorrection) — arbitrary-double detection is NOT
+  // guaranteed, but no error pattern is ever silently accepted.
+  [[nodiscard]] bool corrects_adjacent_double() const override { return true; }
+  [[nodiscard]] bool corrects_adjacent_triple() const override { return true; }
+
+ private:
+  const SecDaecTaecCode& code_;
   std::string_view name_;
 };
 

@@ -11,12 +11,16 @@ void FaultInjector::script_flip(u64 word_index, unsigned bit) {
   scripted_.emplace_back(word_index, bit);
 }
 
-std::vector<unsigned> FaultInjector::flips_for_access(u64 word_index) {
-  std::vector<unsigned> flips;
-  // Scripted flips first (all entries matching this word fire at once).
-  for (auto it = scripted_.begin(); it != scripted_.end();) {
+FlipSet FaultInjector::flips_for_access(u64 word_index) {
+  FlipSet flips;
+  // Scripted flips first (entries matching this word fire together). The
+  // inline FlipSet keeps two slots in reserve for the random draw below;
+  // an (absurdly long) scripted pile-up past that stays queued and fires
+  // on the word's NEXT access instead of overflowing.
+  for (auto it = scripted_.begin();
+       it != scripted_.end() && flips.size() + 2 < FlipSet::kMax;) {
     if (it->first == word_index) {
-      flips.push_back(it->second);
+      flips.push(it->second);
       ++injected_scripted_;
       it = scripted_.erase(it);
     } else {
@@ -26,18 +30,18 @@ std::vector<unsigned> FaultInjector::flips_for_access(u64 word_index) {
   if (cfg_.double_flip_prob > 0 && rng_.chance(cfg_.double_flip_prob)) {
     if (cfg_.adjacent_doubles) {
       const unsigned a = static_cast<unsigned>(rng_.below(cfg_.word_bits - 1));
-      flips.push_back(a);
-      flips.push_back(a + 1);
+      flips.push(a);
+      flips.push(a + 1);
     } else {
       const unsigned a = static_cast<unsigned>(rng_.below(cfg_.word_bits));
       unsigned b = static_cast<unsigned>(rng_.below(cfg_.word_bits - 1));
       if (b >= a) ++b;  // distinct second position
-      flips.push_back(a);
-      flips.push_back(b);
+      flips.push(a);
+      flips.push(b);
     }
     ++injected_double_;
   } else if (cfg_.single_flip_prob > 0 && rng_.chance(cfg_.single_flip_prob)) {
-    flips.push_back(static_cast<unsigned>(rng_.below(cfg_.word_bits)));
+    flips.push(static_cast<unsigned>(rng_.below(cfg_.word_bits)));
     ++injected_single_;
   }
   return flips;

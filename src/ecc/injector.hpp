@@ -10,14 +10,54 @@
 // ("we do not consider MBUs", §V).
 #pragma once
 
+#include <cassert>
 #include <deque>
 #include <utility>
-#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
 namespace laec::ecc {
+
+/// Flip positions sampled for one word access. A fixed-capacity inline
+/// array: the hot injection path (every read of every protected word under
+/// a fault storm) allocates nothing. Random storms produce at most 2 flips
+/// per access; scripted campaigns deliver at most kMax - 2 per access, with
+/// any surplus left queued for the word's next access (see
+/// FaultInjector::flips_for_access), so the capacity can never overflow.
+class FlipSet {
+ public:
+  static constexpr unsigned kMax = 8;
+
+  void push(unsigned bit) {
+    assert(count_ < kMax && "FlipSet overflow");
+    if (count_ >= kMax) return;  // release builds: drop rather than corrupt
+    bits_[count_++] = bit;
+  }
+
+  [[nodiscard]] bool full() const { return count_ >= kMax; }
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] unsigned size() const { return count_; }
+  [[nodiscard]] unsigned operator[](unsigned i) const {
+    assert(i < count_);
+    return bits_[i];
+  }
+  [[nodiscard]] const unsigned* begin() const { return bits_; }
+  [[nodiscard]] const unsigned* end() const { return bits_ + count_; }
+
+  [[nodiscard]] bool operator==(const FlipSet& o) const {
+    if (count_ != o.count_) return false;
+    for (unsigned i = 0; i < count_; ++i) {
+      if (bits_[i] != o.bits_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  unsigned bits_[kMax] = {};
+  unsigned count_ = 0;
+};
 
 struct InjectorConfig {
   /// Probability that an accessed stored word has suffered exactly one bit
@@ -44,8 +84,8 @@ class FaultInjector {
   void script_flip(u64 word_index, unsigned bit);
 
   /// Sample the flips to apply to an access of `word_index`. Returns bit
-  /// positions within the codeword ([0, word_bits)).
-  [[nodiscard]] std::vector<unsigned> flips_for_access(u64 word_index);
+  /// positions within the codeword ([0, word_bits)), allocation-free.
+  [[nodiscard]] FlipSet flips_for_access(u64 word_index);
 
   [[nodiscard]] bool enabled() const {
     return cfg_.single_flip_prob > 0 || cfg_.double_flip_prob > 0 ||

@@ -14,7 +14,7 @@ InterleavedParityCodec::InterleavedParityCodec(unsigned data_bits,
   assert(ways >= 2 && ways <= 8);
 }
 
-u64 InterleavedParityCodec::encode(u64 data) const {
+u64 InterleavedParityCodec::encode_word(u64 data) const {
   data &= low_mask(data_bits_);
   u64 check = 0;
   for (unsigned w = 0; w < ways_; ++w) {
@@ -31,7 +31,7 @@ Codec::Decoded InterleavedParityCodec::decode(u64 data, u64 check) const {
   Decoded d;
   d.data = data & low_mask(data_bits_);
   d.check = check & low_mask(ways_);
-  const u64 syndrome = encode(data) ^ d.check;
+  const u64 syndrome = encode_word(data) ^ d.check;
   // Parity locates nothing: any nonzero syndrome is detect-only; the data
   // is delivered as stored and recovery is the caller's refetch path.
   d.status = syndrome == 0 ? CheckStatus::kOk

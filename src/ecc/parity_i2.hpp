@@ -18,7 +18,8 @@
 
 namespace laec::ecc {
 
-class InterleavedParityCodec final : public Codec {
+class InterleavedParityCodec final
+    : public CodecWithFastEncode<InterleavedParityCodec> {
  public:
   /// `ways` interleave classes over `data_bits` bits; check bit w is the
   /// even parity of data bits i with i % ways == w.
@@ -28,7 +29,7 @@ class InterleavedParityCodec final : public Codec {
   [[nodiscard]] std::string_view name() const override { return name_; }
   [[nodiscard]] unsigned data_bits() const override { return data_bits_; }
   [[nodiscard]] unsigned check_bits() const override { return ways_; }
-  [[nodiscard]] u64 encode(u64 data) const override;
+  [[nodiscard]] u64 encode_word(u64 data) const;
   [[nodiscard]] Decoded decode(u64 data, u64 check) const override;
   [[nodiscard]] bool detects_adjacent_double() const override { return true; }
 

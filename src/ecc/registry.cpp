@@ -37,6 +37,10 @@ CodecRegistry::CodecRegistry() {
     return std::make_shared<const SecDaecCodec>(sec_daec64(),
                                                 "sec-daec-72-64");
   });
+  builtin("sec-daec-taec-45-32", [] {
+    return std::make_shared<const SecDaecTaecCodec>(sec_daec_taec32(),
+                                                    "sec-daec-taec-45-32");
+  });
   // Legacy spellings (the CodecKind vocabulary) alias the 32-bit defaults.
   builtin("parity", [] { return std::make_shared<const ParityCodec>(32); });
   builtin("secded", [] {

@@ -31,8 +31,8 @@ class CodecRegistry {
  public:
   /// The process-wide registry, pre-populated with the built-in schemes:
   /// none, parity-32, parity-i2-32, secded-39-32, secded-72-64,
-  /// sec-daec-39-32, sec-daec-72-64 (plus the legacy aliases parity,
-  /// secded, sec-daec).
+  /// sec-daec-39-32, sec-daec-72-64, sec-daec-taec-45-32 (plus the legacy
+  /// aliases parity, secded, sec-daec).
   [[nodiscard]] static CodecRegistry& instance();
 
   /// Register a scheme. Throws std::invalid_argument when `name` is empty

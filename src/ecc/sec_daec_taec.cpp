@@ -1,0 +1,258 @@
+#include "ecc/sec_daec_taec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "common/bitops.hpp"
+
+namespace laec::ecc {
+
+namespace {
+
+constexpr unsigned check_bits_for(unsigned k) {
+  switch (k) {
+    case 32: return 13;
+    default: return 0;
+  }
+}
+
+/// DFS column assignment, extending the SEC-DAEC builder with the triple
+/// constraints. Placing data bit `i` must keep
+///   * all single columns distinct (and odd-weight >= 3, so they can never
+///     collide with the unit check columns);
+///   * all adjacent-PAIR syndromes distinct among themselves;
+///   * all adjacent-TRIPLE syndromes distinct among themselves AND from
+///     every single column (both odd-weight classes).
+/// Pairs are even-weight, so they can never collide with singles/triples.
+/// The check-side pairs/triples (e_j patterns) and the data/check seam
+/// patterns are fixed by the layout and reserved up front / at the end.
+struct Builder {
+  unsigned k, r;
+  std::vector<u64> candidates;       // odd-weight >= 3 columns, fixed order
+  std::vector<u64> columns;          // chosen so far
+  std::set<u64> used_singles;        // unit columns + data columns
+  std::set<u64> used_pairs;          // adjacent-pair syndromes
+  std::set<u64> used_triples;        // adjacent-triple syndromes
+  std::vector<unsigned> row_weight;  // greedy balance bookkeeping
+
+  [[nodiscard]] bool triple_ok(u64 t) const {
+    return used_triples.count(t) == 0 && used_singles.count(t) == 0;
+  }
+
+  bool place(unsigned i) {
+    if (i == k) return true;
+    // Deterministic preference: smallest resulting max row weight, then
+    // smallest column value.
+    std::vector<std::size_t> order(candidates.size());
+    for (std::size_t c = 0; c < candidates.size(); ++c) order[c] = c;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const auto score = [&](u64 col) {
+        unsigned mx = 0;
+        for (unsigned row = 0; row < r; ++row) {
+          const unsigned v = row_weight[row] + get_bit(col, row);
+          if (v > mx) mx = v;
+        }
+        return mx;
+      };
+      const unsigned sa = score(candidates[a]);
+      const unsigned sb = score(candidates[b]);
+      return sa != sb ? sa < sb : candidates[a] < candidates[b];
+    });
+
+    for (const std::size_t ci : order) {
+      const u64 col = candidates[ci];
+      // A new single column must not collide with any earlier single OR
+      // any committed triple syndrome (both are odd-weight classes).
+      if (used_singles.count(col) != 0 || used_triples.count(col) != 0) {
+        continue;
+      }
+
+      // Patterns this placement commits. Seam patterns (involving e_0/e_1)
+      // only exist for the last data columns.
+      u64 pair_prev = 0, triple_prev = 0, pair_seam = 0;
+      u64 triple_seam1 = 0, triple_seam2 = 0;
+      bool ok = true;
+
+      if (i > 0) {
+        pair_prev = columns[i - 1] ^ col;
+        ok = used_pairs.count(pair_prev) == 0;
+      }
+      if (ok && i > 1) {
+        triple_prev = columns[i - 2] ^ columns[i - 1] ^ col;
+        ok = triple_ok(triple_prev) && triple_prev != col;
+      }
+      if (ok && i == k - 1) {
+        pair_seam = col ^ 1u;  // c_{k-1} ^ e_0
+        ok = pair_seam != pair_prev && used_pairs.count(pair_seam) == 0;
+        if (ok) {
+          triple_seam1 = columns[i - 1] ^ col ^ 1u;  // c_{k-2} c_{k-1} e_0
+          triple_seam2 = col ^ 1u ^ 2u;              // c_{k-1} e_0 e_1
+          ok = triple_ok(triple_seam1) && triple_ok(triple_seam2) &&
+               triple_seam1 != triple_prev && triple_seam2 != triple_prev &&
+               triple_seam1 != triple_seam2 && triple_seam1 != col &&
+               triple_seam2 != col;
+        }
+      }
+      if (!ok) continue;
+
+      // Commit.
+      columns.push_back(col);
+      used_singles.insert(col);
+      if (i > 0) used_pairs.insert(pair_prev);
+      if (i > 1) used_triples.insert(triple_prev);
+      if (i == k - 1) {
+        used_pairs.insert(pair_seam);
+        used_triples.insert(triple_seam1);
+        used_triples.insert(triple_seam2);
+      }
+      for (unsigned row = 0; row < r; ++row) {
+        row_weight[row] += get_bit(col, row);
+      }
+      if (place(i + 1)) return true;
+      // Backtrack.
+      for (unsigned row = 0; row < r; ++row) {
+        row_weight[row] -= get_bit(col, row);
+      }
+      if (i == k - 1) {
+        used_triples.erase(triple_seam2);
+        used_triples.erase(triple_seam1);
+        used_pairs.erase(pair_seam);
+      }
+      if (i > 1) used_triples.erase(triple_prev);
+      if (i > 0) used_pairs.erase(pair_prev);
+      used_singles.erase(col);
+      columns.pop_back();
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+SecDaecTaecCode::SecDaecTaecCode(unsigned data_bits) : k_(data_bits) {
+  r_ = check_bits_for(data_bits);
+  assert(r_ != 0 && "data_bits must be 32");
+  build_matrix();
+}
+
+void SecDaecTaecCode::build_matrix() {
+  Builder b;
+  b.k = k_;
+  b.r = r_;
+  b.row_weight.assign(r_, 0);
+  // Keep the candidate pool tight (weights 3 and 5 of 13 bits) — more than
+  // enough degrees of freedom for 32 columns, and shallow XOR trees.
+  for (u64 c = 0; c < (u64{1} << r_); ++c) {
+    const unsigned w = static_cast<unsigned>(popcount64(c));
+    if (w == 3 || w == 5) b.candidates.push_back(c);
+  }
+  // Unit (check) columns are singles too; triples must avoid them.
+  for (unsigned j = 0; j < r_; ++j) b.used_singles.insert(u64{1} << j);
+  // Check-side adjacent pairs and triples are fixed by the layout; reserve
+  // them before any data column is placed.
+  for (unsigned j = 0; j + 1 < r_; ++j) {
+    b.used_pairs.insert((u64{1} << j) | (u64{1} << (j + 1)));
+  }
+  for (unsigned j = 0; j + 2 < r_; ++j) {
+    b.used_triples.insert((u64{1} << j) | (u64{1} << (j + 1)) |
+                          (u64{1} << (j + 2)));
+  }
+  const bool ok = b.place(0);
+  assert(ok && "SEC-DAEC-TAEC column search failed");
+  (void)ok;
+  columns_ = std::move(b.columns);
+
+  row_masks_.assign(r_, 0);
+  for (unsigned i = 0; i < k_; ++i) {
+    for (unsigned row = 0; row < r_; ++row) {
+      if (get_bit(columns_[i], row)) {
+        row_masks_[row] = set_bit(row_masks_[row], i, 1);
+      }
+    }
+  }
+
+  // Syndrome lookup. Full codeword column c(p): data columns then unit
+  // vectors. Singles map to their position; adjacent pairs to n + first
+  // position; adjacent triples to 2n + first position.
+  const unsigned n = codeword_bits();
+  const auto cw_column = [&](unsigned p) -> u64 {
+    return p < k_ ? columns_[p] : (u64{1} << (p - k_));
+  };
+  syndrome_lut_.assign(std::size_t{1} << r_, -2);
+  for (unsigned p = 0; p < n; ++p) {
+    syndrome_lut_[static_cast<std::size_t>(cw_column(p))] =
+        static_cast<i32>(p);
+  }
+  for (unsigned p = 0; p + 1 < n; ++p) {
+    const u64 s = cw_column(p) ^ cw_column(p + 1);
+    assert(syndrome_lut_[static_cast<std::size_t>(s)] == -2 &&
+           "adjacent-pair syndrome collision");
+    syndrome_lut_[static_cast<std::size_t>(s)] = static_cast<i32>(n + p);
+  }
+  for (unsigned p = 0; p + 2 < n; ++p) {
+    const u64 s = cw_column(p) ^ cw_column(p + 1) ^ cw_column(p + 2);
+    assert(syndrome_lut_[static_cast<std::size_t>(s)] == -2 &&
+           "adjacent-triple syndrome collision");
+    syndrome_lut_[static_cast<std::size_t>(s)] =
+        static_cast<i32>(2 * n + p);
+  }
+}
+
+unsigned SecDaecTaecCode::row_weight(unsigned row) const {
+  assert(row < r_);
+  return static_cast<unsigned>(popcount64(row_masks_[row]));
+}
+
+u64 SecDaecTaecCode::encode(u64 data) const {
+  data &= low_mask(k_);
+  u64 check = 0;
+  for (unsigned row = 0; row < r_; ++row) {
+    check = set_bit(check, row, parity64(data & row_masks_[row]));
+  }
+  return check;
+}
+
+u64 SecDaecTaecCode::syndrome(u64 data, u64 check) const {
+  return encode(data) ^ (check & low_mask(r_));
+}
+
+SecDaecTaecCode::Result SecDaecTaecCode::check(u64 data, u64 check) const {
+  Result res;
+  res.data = data & low_mask(k_);
+  res.check = check & low_mask(r_);
+  const u64 s = syndrome(data, check);
+  if (s == 0) {
+    res.status = CheckStatus::kOk;
+    return res;
+  }
+  const i32 act = syndrome_lut_[static_cast<std::size_t>(s)];
+  if (act < 0) {
+    res.status = CheckStatus::kDetectedUncorrectable;
+    return res;
+  }
+  const unsigned n = codeword_bits();
+  const auto flip = [&](unsigned p) {
+    if (p < k_) {
+      res.data = flip_bit(res.data, p);
+    } else {
+      res.check = flip_bit(res.check, p - k_);
+    }
+  };
+  const unsigned a = static_cast<unsigned>(act);
+  const unsigned first = a % n;
+  const unsigned len = a / n + 1;  // 1 = single, 2 = pair, 3 = triple
+  res.corrected_pos = static_cast<int>(first);
+  res.corrected_len = static_cast<int>(len);
+  for (unsigned p = first; p < first + len; ++p) flip(p);
+  res.status =
+      len == 1 ? CheckStatus::kCorrected : CheckStatus::kCorrectedAdjacent;
+  return res;
+}
+
+const SecDaecTaecCode& sec_daec_taec32() {
+  static const SecDaecTaecCode c(32);
+  return c;
+}
+
+}  // namespace laec::ecc

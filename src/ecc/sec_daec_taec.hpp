@@ -1,0 +1,95 @@
+// SEC-DAEC-TAEC: single + double-ADJACENT + triple-ADJACENT error correction.
+//
+// Scaled SRAM multi-bit upsets cluster on physically neighbouring cells, and
+// at aggressive nodes the cluster increasingly spans THREE adjacent bits.
+// The SEC-DAEC-TAEC class (the companion construction paper of the fast-
+// codec work this repo tracks: arXiv:2002.07507, evaluated on FPGA in
+// arXiv:2307.16195) extends the SEC-DAEC idea one step: every single error,
+// every adjacent double, and every adjacent triple has its own unique
+// syndrome, so all three burst geometries are corrected in place. The cost
+// is check-bit budget — this (45, 32) geometry spends r = 13 bits per
+// 32-bit word (vs 7 for SEC-DAEC) to make room for the 3(n-2)+... distinct
+// correctable patterns.
+//
+// Construction (odd-weight columns + unique burst syndromes), extending the
+// SEC-DAEC DFS in ecc/sec_daec.cpp:
+//   * check bit j owns unit column e_j; data bit i gets a distinct
+//     odd-weight (>= 3) column c_i — singles are odd-weight syndromes,
+//     doubles even, triples odd again, so doubles can never alias singles
+//     or triples;
+//   * columns are chosen (DFS, deterministic candidate order with greedy
+//     row balancing) so that ALL adjacent-pair syndromes (c_i^c_{i+1},
+//     the data/check seam, e_j^e_{j+1}) are pairwise distinct, and ALL
+//     adjacent-triple syndromes (c_i^c_{i+1}^c_{i+2}, the two seam
+//     triples, e_j^e_{j+1}^e_{j+2}) are pairwise distinct AND distinct
+//     from every single-bit column.
+//
+// A non-adjacent double is never silent (even-weight syndrome, never zero);
+// it is either flagged or miscorrected onto an adjacent pair — the same
+// inherent trade-off SEC-DAEC carries. Triple corrections are reported as
+// CheckStatus::kCorrectedAdjacent (the adjacent-MBU family; the cache's
+// ecc_corrected_adjacent counter deliberately aggregates the burst
+// corrections). Codeword bit order is [0,k) data, [k,k+r) check, matching
+// the cache arrays' injection layout.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "ecc/code.hpp"
+
+namespace laec::ecc {
+
+class SecDaecTaecCode {
+ public:
+  /// Only the (45, 32) geometry is built for now.
+  explicit SecDaecTaecCode(unsigned data_bits);
+
+  [[nodiscard]] unsigned data_bits() const { return k_; }
+  [[nodiscard]] unsigned check_bits() const { return r_; }
+  [[nodiscard]] unsigned codeword_bits() const { return k_ + r_; }
+
+  /// Check bits for a data word (low `check_bits()` bits of the result).
+  [[nodiscard]] u64 encode(u64 data) const;
+
+  /// Raw syndrome of a stored (data, check) pair.
+  [[nodiscard]] u64 syndrome(u64 data, u64 check) const;
+
+  struct Result {
+    CheckStatus status = CheckStatus::kOk;
+    u64 data = 0;   ///< corrected data word
+    u64 check = 0;  ///< corrected check bits
+    /// First corrected bit in codeword space; -1 when nothing corrected.
+    int corrected_pos = -1;
+    /// Corrected burst length: 0 (clean/uncorrectable), 1, 2 or 3.
+    int corrected_len = 0;
+  };
+
+  /// Decode a stored pair: corrects any single flip, any adjacent double
+  /// and any adjacent triple; other patterns are detected-uncorrectable or
+  /// (even-weight aliases) miscorrected as adjacent pairs — never silent.
+  [[nodiscard]] Result check(u64 data, u64 check) const;
+
+  /// Column of data bit `i` in H (for tests and the XOR-tree estimator).
+  [[nodiscard]] u64 column(unsigned i) const { return columns_[i]; }
+
+  /// Number of data bits feeding check bit `row` (row weight of H).
+  [[nodiscard]] unsigned row_weight(unsigned row) const;
+
+ private:
+  void build_matrix();
+
+  unsigned k_ = 0;  // data bits
+  unsigned r_ = 0;  // check bits
+  std::vector<u64> columns_;    // per data bit: its r-bit column
+  std::vector<u64> row_masks_;  // per check bit: mask over data bits
+  // syndrome -> action: [0, n) correct that bit; [n, 2n) correct the pair
+  // starting at (value - n); [2n, 3n) correct the triple starting at
+  // (value - 2n); -2 detected-uncorrectable.
+  std::vector<i32> syndrome_lut_;  // size 2^r
+};
+
+/// Shared (45,32) instance (stateless after construction).
+[[nodiscard]] const SecDaecTaecCode& sec_daec_taec32();
+
+}  // namespace laec::ecc

@@ -45,96 +45,6 @@ std::string_view mnemonic(Op op) {
   return "?";
 }
 
-OpClass op_class(Op op) {
-  switch (op) {
-    case Op::kLw:
-    case Op::kLh:
-    case Op::kLhu:
-    case Op::kLb:
-    case Op::kLbu:
-      return OpClass::kLoad;
-    case Op::kSw:
-    case Op::kSh:
-    case Op::kSb:
-      return OpClass::kStore;
-    case Op::kBeq:
-    case Op::kBne:
-    case Op::kBlt:
-    case Op::kBge:
-    case Op::kBltu:
-    case Op::kBgeu:
-      return OpClass::kBranch;
-    case Op::kJal:
-    case Op::kJalr:
-      return OpClass::kJump;
-    case Op::kNop:
-      return OpClass::kNop;
-    case Op::kHalt:
-      return OpClass::kHalt;
-    default:
-      return OpClass::kAlu;
-  }
-}
-
-unsigned mem_access_bytes(Op op) {
-  switch (op) {
-    case Op::kLw:
-    case Op::kSw:
-      return 4;
-    case Op::kLh:
-    case Op::kLhu:
-    case Op::kSh:
-      return 2;
-    case Op::kLb:
-    case Op::kLbu:
-    case Op::kSb:
-      return 1;
-    default:
-      return 0;
-  }
-}
-
-std::optional<u8> DecodedInst::dest() const {
-  switch (cls()) {
-    case OpClass::kAlu:
-    case OpClass::kLoad:
-    case OpClass::kJump:
-      return (rd == 0) ? std::nullopt : std::optional<u8>(rd);
-    default:
-      return std::nullopt;
-  }
-}
-
-std::array<std::optional<u8>, 2> DecodedInst::exec_srcs() const {
-  std::array<std::optional<u8>, 2> s{std::nullopt, std::nullopt};
-  switch (cls()) {
-    case OpClass::kAlu:
-      if (op == Op::kLui) return s;
-      s[0] = rs1;
-      if (!uses_imm) s[1] = rs2;
-      return s;
-    case OpClass::kLoad:
-    case OpClass::kStore:
-      s[0] = rs1;
-      if (!uses_imm) s[1] = rs2;
-      return s;
-    case OpClass::kBranch:
-      s[0] = rs1;
-      s[1] = rs2;
-      return s;
-    case OpClass::kJump:
-      if (op == Op::kJalr) s[0] = rs1;
-      return s;
-    default:
-      return s;
-  }
-}
-
-std::optional<u8> DecodedInst::store_data_src() const {
-  if (!is_store()) return std::nullopt;
-  return rd;
-}
-
 u32 encode(const DecodedInst& d) {
   u32 w = static_cast<u32>(d.op) << 26;
   if (d.op == Op::kLui || d.op == Op::kJal) {

@@ -71,7 +71,39 @@ enum class Op : u8 {
 /// Coarse classes used by the pipeline's hazard/stat logic.
 enum class OpClass : u8 { kAlu, kLoad, kStore, kBranch, kJump, kNop, kHalt };
 
-[[nodiscard]] OpClass op_class(Op op);
+/// Defined inline: the pipeline classifies every in-flight instruction
+/// several times per simulated cycle, so this must compile down to a jump
+/// table the caller can inline rather than an out-of-line call.
+[[nodiscard]] constexpr OpClass op_class(Op op) {
+  switch (op) {
+    case Op::kLw:
+    case Op::kLh:
+    case Op::kLhu:
+    case Op::kLb:
+    case Op::kLbu:
+      return OpClass::kLoad;
+    case Op::kSw:
+    case Op::kSh:
+    case Op::kSb:
+      return OpClass::kStore;
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+      return OpClass::kBranch;
+    case Op::kJal:
+    case Op::kJalr:
+      return OpClass::kJump;
+    case Op::kNop:
+      return OpClass::kNop;
+    case Op::kHalt:
+      return OpClass::kHalt;
+    default:
+      return OpClass::kAlu;
+  }
+}
 
 /// A fully decoded instruction. This is also the form synthetic traces
 /// inject directly into the pipeline, bypassing fetch/decode of encodings.
@@ -83,32 +115,91 @@ struct DecodedInst {
   i32 imm = 0;
   bool uses_imm = false;
 
-  [[nodiscard]] OpClass cls() const { return op_class(op); }
-  [[nodiscard]] bool is_load() const { return cls() == OpClass::kLoad; }
-  [[nodiscard]] bool is_store() const { return cls() == OpClass::kStore; }
-  [[nodiscard]] bool is_mem() const { return is_load() || is_store(); }
-  [[nodiscard]] bool is_branch() const {
+  [[nodiscard]] constexpr OpClass cls() const { return op_class(op); }
+  [[nodiscard]] constexpr bool is_load() const {
+    return cls() == OpClass::kLoad;
+  }
+  [[nodiscard]] constexpr bool is_store() const {
+    return cls() == OpClass::kStore;
+  }
+  [[nodiscard]] constexpr bool is_mem() const {
+    return is_load() || is_store();
+  }
+  [[nodiscard]] constexpr bool is_branch() const {
     return cls() == OpClass::kBranch || cls() == OpClass::kJump;
   }
 
   /// Destination register, or nullopt when the instruction writes none
   /// (stores, branches, nop, halt; writes to r0 are also discarded).
-  [[nodiscard]] std::optional<u8> dest() const;
+  /// Inline: the hazard scans call this for every pipeline slot, every
+  /// cycle.
+  [[nodiscard]] constexpr std::optional<u8> dest() const {
+    switch (cls()) {
+      case OpClass::kAlu:
+      case OpClass::kLoad:
+      case OpClass::kJump:
+        return (rd == 0) ? std::nullopt : std::optional<u8>(rd);
+      default:
+        return std::nullopt;
+    }
+  }
 
   /// Source registers whose values feed address computation / the ALU /
   /// the branch comparison — i.e. values needed at the start of EX (or RA
   /// when a load is anticipated). Excludes the store-data register.
-  [[nodiscard]] std::array<std::optional<u8>, 2> exec_srcs() const;
+  [[nodiscard]] constexpr std::array<std::optional<u8>, 2> exec_srcs() const {
+    std::array<std::optional<u8>, 2> s{std::nullopt, std::nullopt};
+    switch (cls()) {
+      case OpClass::kAlu:
+        if (op == Op::kLui) return s;
+        s[0] = rs1;
+        if (!uses_imm) s[1] = rs2;
+        return s;
+      case OpClass::kLoad:
+      case OpClass::kStore:
+        s[0] = rs1;
+        if (!uses_imm) s[1] = rs2;
+        return s;
+      case OpClass::kBranch:
+        s[0] = rs1;
+        s[1] = rs2;
+        return s;
+      case OpClass::kJump:
+        if (op == Op::kJalr) s[0] = rs1;
+        return s;
+      default:
+        return s;
+    }
+  }
 
   /// The store-data register (SPARC rd convention), needed by the time the
   /// store enters the write buffer.
-  [[nodiscard]] std::optional<u8> store_data_src() const;
+  [[nodiscard]] constexpr std::optional<u8> store_data_src() const {
+    if (!is_store()) return std::nullopt;
+    return rd;
+  }
 
   bool operator==(const DecodedInst&) const = default;
 };
 
 /// Number of bytes a memory op transfers.
-[[nodiscard]] unsigned mem_access_bytes(Op op);
+[[nodiscard]] constexpr unsigned mem_access_bytes(Op op) {
+  switch (op) {
+    case Op::kLw:
+    case Op::kSw:
+      return 4;
+    case Op::kLh:
+    case Op::kLhu:
+    case Op::kSh:
+      return 2;
+    case Op::kLb:
+    case Op::kLbu:
+    case Op::kSb:
+      return 1;
+    default:
+      return 0;
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Binary encoding (32-bit words).

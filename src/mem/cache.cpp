@@ -6,6 +6,15 @@
 
 #include "common/bitops.hpp"
 
+// The correction/recovery/scrub machinery is deliberately out of the
+// instruction stream of the clean-hit fast path: annotate it cold so the
+// compiler keeps read()'s happy path branch-light and fall-through.
+#if defined(__GNUC__) || defined(__clang__)
+#define LAEC_COLD __attribute__((cold, noinline))
+#else
+#define LAEC_COLD
+#endif
+
 namespace laec::mem {
 
 SetAssocCache::SetAssocCache(const CacheConfig& cfg)
@@ -13,6 +22,14 @@ SetAssocCache::SetAssocCache(const CacheConfig& cfg)
   assert(is_pow2(cfg_.size_bytes) && is_pow2(cfg_.line_bytes));
   assert(cfg_.size_bytes % (cfg_.line_bytes * cfg_.ways) == 0);
   assert(cfg_.line_bytes % 4 == 0);
+  // Hard runtime bound (line_bytes is user-settable through SimConfig):
+  // the bulk-decode scratch on the writeback path is a fixed stack array.
+  if (cfg_.line_bytes > kMaxLineBytes) {
+    throw std::invalid_argument(
+        "cache \"" + cfg_.name + "\": line_bytes " +
+        std::to_string(cfg_.line_bytes) + " exceeds the supported maximum " +
+        std::to_string(kMaxLineBytes));
+  }
   assert((codec_ == nullptr || codec_->data_bits() == 32) &&
          "cache arrays protect 32-bit words");
   assert((codec_ == nullptr || codec_->check_bits() <= 16) &&
@@ -20,9 +37,10 @@ SetAssocCache::SetAssocCache(const CacheConfig& cfg)
   // A codec with no check bits is the same as no codec; drop it so the hot
   // path has a single "unprotected" test.
   if (codec_ != nullptr && codec_->check_bits() == 0) codec_ = nullptr;
+  if (codec_ != nullptr) encode_fn_ = codec_->encode_thunk();
   ways_.resize(static_cast<std::size_t>(cfg_.num_sets()) * cfg_.ways);
   for (Way& w : ways_) {
-    w.data.assign(cfg_.line_bytes, 0);
+    w.words.assign(cfg_.line_bytes / 4, 0);
     w.check.assign(cfg_.line_bytes / 4, 0);
   }
   n_read_ = &stats_.counter("reads");
@@ -35,6 +53,20 @@ SetAssocCache::SetAssocCache(const CacheConfig& cfg)
   n_rmw_laundered_ = &stats_.counter("ecc_rmw_laundered");
 }
 
+void SetAssocCache::flush_counters() const {
+  *n_read_ += live_.reads - flushed_.reads;
+  *n_write_ += live_.writes - flushed_.writes;
+  *n_fill_ += live_.fills - flushed_.fills;
+  *n_evict_dirty_ += live_.dirty_evictions - flushed_.dirty_evictions;
+  *n_corrected_ += live_.corrected - flushed_.corrected;
+  *n_corrected_adjacent_ +=
+      live_.corrected_adjacent - flushed_.corrected_adjacent;
+  *n_detected_uncorrectable_ +=
+      live_.detected_uncorrectable - flushed_.detected_uncorrectable;
+  *n_rmw_laundered_ += live_.rmw_laundered - flushed_.rmw_laundered;
+  flushed_ = live_;
+}
+
 u32 SetAssocCache::set_index(Addr a) const {
   return (a / cfg_.line_bytes) & (cfg_.num_sets() - 1);
 }
@@ -42,9 +74,9 @@ u32 SetAssocCache::set_index(Addr a) const {
 SetAssocCache::Way* SetAssocCache::find(Addr a) {
   const Addr base = line_base(a);
   const u32 set = set_index(a);
+  Way* ways = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
   for (u32 w = 0; w < cfg_.ways; ++w) {
-    Way& way = ways_[static_cast<std::size_t>(set) * cfg_.ways + w];
-    if (way.valid && way.tag_addr == base) return &way;
+    if (ways[w].valid && ways[w].tag_addr == base) return &ways[w];
   }
   return nullptr;
 }
@@ -65,71 +97,85 @@ u64 SetAssocCache::word_key(const Way& way, u32 word_idx) const {
 }
 
 void SetAssocCache::recompute_check(Way& way, u32 word_idx) {
-  if (codec_ == nullptr) {
-    way.check[word_idx] = 0;
-    return;
-  }
-  u32 v;
-  std::memcpy(&v, way.data.data() + word_idx * 4, 4);
-  way.check[word_idx] = static_cast<u16>(codec_->encode(v));
+  way.check[word_idx] =
+      codec_ == nullptr
+          ? u16{0}
+          : static_cast<u16>(encode_fn_(codec_, way.words[word_idx]));
 }
 
-void SetAssocCache::inject_and_check(Way& way, u32 word_idx, WordRead& out) {
-  u32 stored;
-  std::memcpy(&stored, way.data.data() + word_idx * 4, 4);
+LAEC_COLD void SetAssocCache::decode_and_account(Way& way, u32 word_idx,
+                                                 WordRead& out) {
+  const auto r = codec_->decode(way.words[word_idx], way.check[word_idx]);
+  out.value = static_cast<u32>(r.data);
+  out.check = r.status;
+  if (ecc::is_corrected(r.status)) {
+    ++live_.corrected;
+    if (r.status == ecc::CheckStatus::kCorrectedAdjacent) {
+      ++live_.corrected_adjacent;
+    }
+    if (cfg_.scrub_on_correct) {
+      way.words[word_idx] = static_cast<u32>(r.data);
+      way.check[word_idx] = static_cast<u16>(r.check);
+    }
+  } else if (r.status == ecc::CheckStatus::kDetectedUncorrectable) {
+    ++live_.detected_uncorrectable;
+  }
+}
 
+LAEC_COLD void SetAssocCache::inject_and_check(Way& way, u32 word_idx,
+                                               WordRead& out) {
   if (injector_ != nullptr && injector_->enabled()) {
     // Codeword layout for injection: bits [0,32) data, [32, 32+r) check.
     const auto flips = injector_->flips_for_access(word_key(way, word_idx));
-    u32 check = way.check[word_idx];
-    for (unsigned b : flips) {
-      if (b < 32) {
-        stored = static_cast<u32>(flip_bit(stored, b));
-      } else {
-        check = static_cast<u32>(flip_bit(check, b - 32));
-      }
-    }
     if (!flips.empty()) {
-      std::memcpy(way.data.data() + word_idx * 4, &stored, 4);
+      u32 stored = way.words[word_idx];
+      u32 check = way.check[word_idx];
+      for (unsigned b : flips) {
+        if (b < 32) {
+          stored = static_cast<u32>(flip_bit(stored, b));
+        } else {
+          check = static_cast<u32>(flip_bit(check, b - 32));
+        }
+      }
+      way.words[word_idx] = stored;
       way.check[word_idx] = static_cast<u16>(check);
     }
   }
 
   if (codec_ == nullptr) {
-    out.value = stored;
+    out.value = way.words[word_idx];
     out.check = ecc::CheckStatus::kOk;
     return;
   }
-  const auto r = codec_->decode(stored, way.check[word_idx]);
-  out.value = static_cast<u32>(r.data);
-  out.check = r.status;
-  if (ecc::is_corrected(r.status)) {
-    ++*n_corrected_;
-    if (r.status == ecc::CheckStatus::kCorrectedAdjacent) {
-      ++*n_corrected_adjacent_;
-    }
-    if (cfg_.scrub_on_correct) {
-      const u32 fixed = static_cast<u32>(r.data);
-      std::memcpy(way.data.data() + word_idx * 4, &fixed, 4);
-      way.check[word_idx] = static_cast<u16>(r.check);
-    }
-  } else if (r.status == ecc::CheckStatus::kDetectedUncorrectable) {
-    ++*n_detected_uncorrectable_;
-  }
+  decode_and_account(way, word_idx, out);
 }
 
-WordRead SetAssocCache::read(Addr a, unsigned bytes) {
+WordRead SetAssocCache::read(LineRef line, Addr a, unsigned bytes) {
   assert(bytes == 1 || bytes == 2 || bytes == 4);
   assert((a & (bytes - 1)) == 0 && "misaligned access");
-  Way* way = find(a);
+  Way* way = line.way_;
   assert(way != nullptr && "read() requires a resident line");
-  ++*n_read_;
+  ++live_.reads;
   way->lru_stamp = lru_clock_++;
 
   const u32 off = a & (cfg_.line_bytes - 1);
   const u32 word_idx = off / 4;
   WordRead word;
-  inject_and_check(*way, word_idx, word);
+  if (!inject_active() && !cfg_.force_generic_path) [[likely]] {
+    // Clean-hit fast path: re-encode the stored word through the
+    // devirtualized encoder and compare against the stored check bits. A
+    // zero syndrome delivers the word as stored; anything else (a standing
+    // fault left by a detached storm) drops to the cold decode path.
+    const u32 stored = way->words[word_idx];
+    if (codec_ == nullptr ||
+        encode_fn_(codec_, stored) == way->check[word_idx]) [[likely]] {
+      word.value = stored;
+    } else {
+      decode_and_account(*way, word_idx, word);
+    }
+  } else {
+    inject_and_check(*way, word_idx, word);
+  }
 
   // Extract the addressed bytes from the (corrected) word.
   const u32 shift = (off & 3u) * 8;
@@ -137,7 +183,8 @@ WordRead SetAssocCache::read(Addr a, unsigned bytes) {
   return word;
 }
 
-void SetAssocCache::write(Addr a, unsigned bytes, u32 value, bool mark_dirty) {
+void SetAssocCache::write(LineRef line, Addr a, unsigned bytes, u32 value,
+                          bool mark_dirty) {
   if (cfg_.read_only) {
     throw std::logic_error("cache \"" + cfg_.name +
                            "\" is read-only: lines are refilled, never "
@@ -146,9 +193,9 @@ void SetAssocCache::write(Addr a, unsigned bytes, u32 value, bool mark_dirty) {
   }
   assert(bytes == 1 || bytes == 2 || bytes == 4);
   assert((a & (bytes - 1)) == 0 && "misaligned access");
-  Way* way = find(a);
+  Way* way = line.way_;
   assert(way != nullptr && "write() requires a resident line");
-  ++*n_write_;
+  ++live_.writes;
   way->lru_stamp = lru_clock_++;
 
   const u32 off = a & (cfg_.line_bytes - 1);
@@ -160,9 +207,10 @@ void SetAssocCache::write(Addr a, unsigned bytes, u32 value, bool mark_dirty) {
   // may sit in the array, and merging into the raw word would re-encode
   // the flip under fresh check bits — corruption laundered into a valid
   // codeword. Full-word writes overwrite everything, so only sub-word
-  // merges pay for the decode.
-  u32 word;
-  std::memcpy(&word, way->data.data() + word_idx * 4, 4);
+  // merges pay for the decode — and only in runs that ever saw a fault
+  // source (a clean run's stored words always re-encode to their stored
+  // check bits).
+  u32 word = way->words[word_idx];
   if (codec_ != nullptr && ever_injected_ && bytes < 4) {
     const auto r = codec_->decode(word, way->check[word_idx]);
     if (ecc::is_corrected(r.status)) {
@@ -172,14 +220,14 @@ void SetAssocCache::write(Addr a, unsigned bytes, u32 value, bool mark_dirty) {
       // proceed, but the untouched bytes are known-bad and about to be
       // re-encoded under valid check bits — account the laundering so it
       // can never be mistaken for a clean word downstream.
-      ++*n_detected_uncorrectable_;
-      ++*n_rmw_laundered_;
+      ++live_.detected_uncorrectable;
+      ++live_.rmw_laundered;
     }
   }
   const u32 shift = (off & 3u) * 8;
   const u32 mask = static_cast<u32>(low_mask(bytes * 8)) << shift;
   word = (word & ~mask) | ((value << shift) & mask);
-  std::memcpy(way->data.data() + word_idx * 4, &word, 4);
+  way->words[word_idx] = word;
   recompute_check(*way, word_idx);
   if (mark_dirty && cfg_.write_policy == WritePolicy::kWriteBack) {
     way->dirty = true;
@@ -194,7 +242,7 @@ std::optional<Eviction> SetAssocCache::fill(Addr a, const u8* data,
   }
   const Addr base = line_base(a);
   const u32 set = set_index(a);
-  ++*n_fill_;
+  ++live_.fills;
 
   Way* victim = nullptr;
   for (u32 w = 0; w < cfg_.ways; ++w) {
@@ -212,15 +260,19 @@ std::optional<Eviction> SetAssocCache::fill(Addr a, const u8* data,
     ev->line_addr = victim->tag_addr;
     ev->dirty = true;
     ev->data = corrected_line_copy(*victim);
-    ++*n_evict_dirty_;
+    ++live_.dirty_evictions;
   }
 
   victim->valid = true;
   victim->dirty = dirty;
   victim->tag_addr = base;
   victim->lru_stamp = lru_clock_++;
-  std::memcpy(victim->data.data(), data, cfg_.line_bytes);
-  for (u32 w = 0; w < cfg_.line_bytes / 4; ++w) recompute_check(*victim, w);
+  const u32 nwords = cfg_.line_bytes / 4;
+  std::memcpy(victim->words.data(), data, cfg_.line_bytes);
+  if (codec_ != nullptr) {
+    // One virtual call per line, not one per word.
+    codec_->encode_line(victim->words.data(), victim->check.data(), nwords);
+  }
   return ev;
 }
 
@@ -233,20 +285,18 @@ bool SetAssocCache::invalidate(Addr a) {
 }
 
 std::vector<u8> SetAssocCache::corrected_line_copy(const Way& way) const {
-  std::vector<u8> out = way.data;
+  std::vector<u8> out(cfg_.line_bytes);
+  const u32 nwords = cfg_.line_bytes / 4;
   // Without a fault source the array only ever holds words it encoded
   // itself, so every decode would be a no-op — skip the whole pass (dirty
   // evictions are on the simulator's hot path).
-  if (codec_ == nullptr || !ever_injected_) return out;
-  for (u32 w = 0; w < cfg_.line_bytes / 4; ++w) {
-    u32 v;
-    std::memcpy(&v, out.data() + w * 4, 4);
-    const auto r = codec_->decode(v, way.check[w]);
-    if (ecc::is_corrected(r.status)) {
-      const u32 fixed = static_cast<u32>(r.data);
-      std::memcpy(out.data() + w * 4, &fixed, 4);
-    }
+  if (codec_ == nullptr || !ever_injected_) {
+    std::memcpy(out.data(), way.words.data(), cfg_.line_bytes);
+    return out;
   }
+  u32 fixed[kMaxLineWords];
+  codec_->decode_line(way.words.data(), way.check.data(), fixed, nwords);
+  std::memcpy(out.data(), fixed, cfg_.line_bytes);
   return out;
 }
 

@@ -1,10 +1,26 @@
 // Generic set-associative cache array with per-word ECC side-arrays.
 //
 // One class backs all three simulated caches (L1I, DL1, L2). It stores real
-// data bytes and real check bits (any registered ecc::Codec at 32-bit word
+// data words and real check bits (any registered ecc::Codec at 32-bit word
 // granularity), runs the real codec on every word read, and applies injected
 // faults to the stored arrays — so a flipped bit persists until the word is
 // rewritten, exactly like a soft error in SRAM.
+//
+// Hot-path structure (the simulator spends most of its time here):
+//  * the array stores 32-bit words directly, so a word read is one indexed
+//    load — no per-access byte reassembly;
+//  * controllers locate a line once via find_line() and then read/write
+//    through the returned LineRef, instead of re-walking the set for every
+//    contains()/read()/line_dirty() question about the same access;
+//  * the per-read clean test is a devirtualized re-encode (a plain function
+//    pointer snapshotted from the codec at construction) compared against
+//    the stored check bits; only a mismatch — or an active fault storm —
+//    takes the cold slow path that runs the full decoder, accounts ECC
+//    events and scrubs;
+//  * line fills encode through the codec's span API: one virtual call per
+//    line, not one per word;
+//  * statistics are plain struct members on the hot path, folded into the
+//    named StatSet whenever stats() is read (the batch boundary).
 //
 // Timing is *not* modeled here: the pipeline decides in which stage the data
 // read and the ECC check happen (that placement is the entire subject of the
@@ -78,6 +94,11 @@ struct CacheConfig {
   /// Instruction-cache arrangement: the array is never written after a
   /// fill and never holds dirty lines. write() and dirty fills throw.
   bool read_only = false;
+  /// Validation knob: route EVERY word read through the generic decode
+  /// (slow) path, skipping the devirtualized clean-word fast test. The
+  /// fast-path equivalence suite runs reference points through this and
+  /// asserts bit-identical stats/rows; production configs never set it.
+  bool force_generic_path = false;
 
   [[nodiscard]] u32 num_sets() const {
     return size_bytes / (line_bytes * ways);
@@ -98,10 +119,41 @@ struct Eviction {
 };
 
 class SetAssocCache {
+ private:
+  struct Way {
+    bool valid = false;
+    bool dirty = false;
+    Addr tag_addr = 0;  ///< line base address
+    u64 lru_stamp = 0;
+    std::vector<u32> words;  ///< line data, one 32-bit word per entry
+    std::vector<u16> check;  ///< per-32-bit-word check bits
+  };
+
  public:
+  /// Largest supported line size; bounds the stack scratch used by the
+  /// bulk (span) decode on writebacks.
+  static constexpr u32 kMaxLineBytes = 256;
+  static constexpr u32 kMaxLineWords = kMaxLineBytes / 4;
+
   explicit SetAssocCache(const CacheConfig& cfg);
 
   [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+
+  /// Opaque handle to a resident line, returned by find_line(). Lets a
+  /// controller resolve the set walk once per access and then ask
+  /// dirty()/read()/write() questions without re-searching. Invalidated by
+  /// the next fill() or invalidate() on this cache.
+  class LineRef {
+   public:
+    LineRef() = default;
+    explicit operator bool() const { return way_ != nullptr; }
+    [[nodiscard]] bool dirty() const { return way_->dirty; }
+
+   private:
+    friend class SetAssocCache;
+    explicit LineRef(Way* w) : way_(w) {}
+    Way* way_ = nullptr;
+  };
 
   /// Attach a fault injector (not owned). Pass nullptr to detach.
   void set_injector(ecc::FaultInjector* inj) {
@@ -110,17 +162,35 @@ class SetAssocCache {
   }
 
   // --- presence ------------------------------------------------------------
+  /// Locate the resident line containing `a`; a null handle means miss.
+  /// No LRU update, no fault injection, no stats.
+  [[nodiscard]] LineRef find_line(Addr a) { return LineRef{find(a)}; }
+
   [[nodiscard]] bool contains(Addr a) const;
   [[nodiscard]] bool line_dirty(Addr a) const;
 
   // --- word access (address must be inside a resident line) ----------------
-  /// Read `bytes` (1/2/4, naturally aligned) at `a`. Runs fault injection
-  /// and the codec on the containing 32-bit word. Updates LRU.
-  WordRead read(Addr a, unsigned bytes);
+  /// Read `bytes` (1/2/4, naturally aligned) at `a` through a resident-line
+  /// handle. Runs fault injection and the codec on the containing 32-bit
+  /// word. Updates LRU.
+  WordRead read(LineRef line, Addr a, unsigned bytes);
 
-  /// Write `bytes` of `value` at `a`; recomputes the word's check bits.
-  /// Marks the line dirty under write-back policy. Updates LRU.
-  void write(Addr a, unsigned bytes, u32 value, bool mark_dirty);
+  /// Convenience form: find_line + read (single-shot callers and tests).
+  WordRead read(Addr a, unsigned bytes) {
+    LineRef line = find_line(a);
+    return read(line, a, bytes);
+  }
+
+  /// Write `bytes` of `value` at `a` through a resident-line handle;
+  /// recomputes the word's check bits. Marks the line dirty under
+  /// write-back policy. Updates LRU.
+  void write(LineRef line, Addr a, unsigned bytes, u32 value, bool mark_dirty);
+
+  /// Convenience form: find_line + write.
+  void write(Addr a, unsigned bytes, u32 value, bool mark_dirty) {
+    LineRef line = find_line(a);
+    write(line, a, bytes, value, mark_dirty);
+  }
 
   // --- line management -------------------------------------------------------
   /// Install the line containing `a` with `line_bytes()` bytes of data.
@@ -130,6 +200,13 @@ class SetAssocCache {
   /// Invalidate the line containing `a` (no writeback). Used for parity
   /// recovery-by-refetch. Returns true when a line was present.
   bool invalidate(Addr a);
+
+  /// Invalidate through a handle (the controller already resolved the
+  /// line). The handle is dead afterwards.
+  void invalidate(LineRef line) {
+    line.way_->valid = false;
+    line.way_->dirty = false;
+  }
 
   /// Read a whole resident line (corrected view; no LRU update, no
   /// injection — used for writebacks and tests).
@@ -152,8 +229,16 @@ class SetAssocCache {
     }
   }
 
-  [[nodiscard]] StatSet& stats() { return stats_; }
-  [[nodiscard]] const StatSet& stats() const { return stats_; }
+  /// Named counters of this array. Reading the set is the batch boundary:
+  /// the plain hot-path counters are folded into it here.
+  [[nodiscard]] StatSet& stats() {
+    flush_counters();
+    return stats_;
+  }
+  [[nodiscard]] const StatSet& stats() const {
+    flush_counters();
+    return stats_;
+  }
 
   [[nodiscard]] u32 line_bytes() const { return cfg_.line_bytes; }
   [[nodiscard]] Addr line_base(Addr a) const {
@@ -161,30 +246,49 @@ class SetAssocCache {
   }
 
  private:
-  struct Way {
-    bool valid = false;
-    bool dirty = false;
-    Addr tag_addr = 0;  ///< line base address
-    u64 lru_stamp = 0;
-    std::vector<u8> data;
-    std::vector<u16> check;  ///< per-32-bit-word check bits
+  /// Hot-path event counts: plain members (one increment, no indirection),
+  /// folded into stats_ by flush_counters() at batch boundaries.
+  struct Counters {
+    u64 reads = 0;
+    u64 writes = 0;
+    u64 fills = 0;
+    u64 dirty_evictions = 0;
+    u64 corrected = 0;
+    u64 corrected_adjacent = 0;
+    u64 detected_uncorrectable = 0;
+    u64 rmw_laundered = 0;
   };
 
   [[nodiscard]] u32 set_index(Addr a) const;
   [[nodiscard]] Way* find(Addr a);
   [[nodiscard]] const Way* find(Addr a) const;
+  /// Is a fault storm live right now? (Attached AND has flips to deliver.)
+  [[nodiscard]] bool inject_active() const {
+    return injector_ != nullptr && injector_->enabled();
+  }
   void recompute_check(Way& way, u32 word_idx);
   /// Global word index used to key fault injection (unique per line-word).
   [[nodiscard]] u64 word_key(const Way& way, u32 word_idx) const;
+  /// Cold slow path: apply injector flips (when active), then run the full
+  /// decoder on the stored word — ECC event accounting, scrubbing, status
+  /// reporting. Everything read() does beyond the clean-word test.
   void inject_and_check(Way& way, u32 word_idx, WordRead& out);
+  /// Decode + account + scrub, without the injection step (standing faults
+  /// hit by the fast test after a storm was detached).
+  void decode_and_account(Way& way, u32 word_idx, WordRead& out);
   /// The line as the codec delivers it: every correctable word repaired
   /// (uncorrectable words stay as stored). The writeback/eviction view —
   /// hardware re-decodes on the writeback read, so corrupted raw bytes
   /// never escape just because scrubbing is off. No stats, no injection.
   [[nodiscard]] std::vector<u8> corrected_line_copy(const Way& way) const;
+  /// Fold the plain counters' deltas into the named StatSet.
+  void flush_counters() const;
 
   CacheConfig cfg_;
   const ecc::Codec* codec_ = nullptr;  ///< raw view of cfg_.codec (hot path)
+  /// Devirtualized encoder snapshot (codec_->encode_thunk()); the per-read
+  /// clean test calls it through a plain function pointer.
+  ecc::Codec::EncodeFn encode_fn_ = nullptr;
   std::vector<Way> ways_;
   u64 lru_clock_ = 1;
   ecc::FaultInjector* injector_ = nullptr;
@@ -192,9 +296,12 @@ class SetAssocCache {
   /// unscrubbed faults. Sticky (survives detach): gates the re-decode work
   /// on writeback/RMW paths so fault-free runs skip it entirely.
   bool ever_injected_ = false;
-  StatSet stats_;
 
-  // Hot-path counters.
+  mutable Counters live_;     ///< bumped on the hot path
+  mutable Counters flushed_;  ///< portion already folded into stats_
+  mutable StatSet stats_;
+
+  // Registered StatSet slots the counters fold into.
   u64* n_read_ = nullptr;
   u64* n_write_ = nullptr;
   u64* n_fill_ = nullptr;

@@ -15,9 +15,9 @@ MemorySystem::MemorySystem(const MemorySystemParams& params)
 unsigned MemorySystem::ensure_l2_line(Addr a) {
   if (l2_.contains(a)) return 0;
   const Addr base = l2_.line_base(a);
-  std::vector<u8> line(l2_.line_bytes());
-  memory_.read_block(base, line.data(), l2_.line_bytes());
-  auto ev = l2_.fill(base, line.data(), /*dirty=*/false);
+  refill_buf_.resize(l2_.line_bytes());  // no-op after the first miss
+  memory_.read_block(base, refill_buf_.data(), l2_.line_bytes());
+  auto ev = l2_.fill(base, refill_buf_.data(), /*dirty=*/false);
   unsigned extra = params_.l2.memory_cycles + params_.l2.refill_cycles;
   if (ev.has_value() && ev->dirty) {
     memory_.write_block(ev->line_addr, ev->data.data(),
@@ -30,7 +30,8 @@ unsigned MemorySystem::ensure_l2_line(Addr a) {
 }
 
 WordRead MemorySystem::read_l2_word(Addr a, unsigned& lat) {
-  WordRead w = l2_.read(a, 4);
+  SetAssocCache::LineRef line = l2_.find_line(a);
+  WordRead w = l2_.read(line, a, 4);
   // Recovery on a detected error: drop the line and refetch the copy in
   // memory. For an uncorrectable error on a CLEAN line that copy is good
   // (lossless, like the L1 parity refetch); on a DIRTY line the writeback
@@ -42,19 +43,20 @@ WordRead MemorySystem::read_l2_word(Addr a, unsigned& lat) {
   // cap only bounds the pathological always-struck case, where the last
   // read's status is surfaced to the caller rather than retried forever.
   for (int attempt = 0; attempt < 4; ++attempt) {
-    if (!needs_refetch(w.check, l2_.config().recovery, l2_.line_dirty(a))) {
+    if (!needs_refetch(w.check, l2_.config().recovery, line.dirty())) {
       break;
     }
     if (w.check == ecc::CheckStatus::kDetectedUncorrectable &&
-        l2_.line_dirty(a)) {
+        line.dirty()) {
       ++*n_l2_data_loss_;
     }
     ++*n_l2_refetch_;
-    l2_.invalidate(a);
+    l2_.invalidate(line);
     lat += ensure_l2_line(a);
-    w = l2_.read(a, 4);
+    line = l2_.find_line(a);
+    w = l2_.read(line, a, 4);
   }
-  if (needs_refetch(w.check, l2_.config().recovery, l2_.line_dirty(a))) {
+  if (needs_refetch(w.check, l2_.config().recovery, line.dirty())) {
     // Every retry was re-struck (only reachable under pathological
     // injection rates): the word goes out as read, and the event is
     // accounted so the corruption is never mistaken for a clean serve.

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "ecc/registry.hpp"
@@ -81,6 +82,8 @@ class MemorySystem final : public BusTarget {
   MemorySystemParams params_;
   MainMemory memory_;
   SetAssocCache l2_;
+  /// Refill staging buffer, reused across misses (no per-miss allocation).
+  std::vector<u8> refill_buf_;
   std::unique_ptr<Bus> bus_;
   StatSet stats_;
   u64* n_l2_refetch_ = nullptr;

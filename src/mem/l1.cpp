@@ -90,18 +90,17 @@ L1LoadReply DL1Controller::load(Addr a, unsigned bytes, Cycle now,
 
   switch (state_) {
     case State::kIdle: {
-      if (cache_.contains(a)) {
-        WordRead w = cache_.read(a, bytes);
+      if (SetAssocCache::LineRef line = cache_.find_line(a)) {
+        WordRead w = cache_.read(line, a, bytes);
         // Parity (or SECDED double error): recover by refetch. A dirty
         // line has no clean copy anywhere -> data loss event.
-        if (needs_refetch(w.check, params_.cache.recovery,
-                          cache_.line_dirty(a))) {
+        if (needs_refetch(w.check, params_.cache.recovery, line.dirty())) {
           if (w.check == ecc::CheckStatus::kDetectedUncorrectable &&
-              cache_.line_dirty(a)) {
+              line.dirty()) {
             ++*n_data_loss_;
           }
           ++*n_parity_refetch_;
-          cache_.invalidate(a);
+          cache_.invalidate(line);
           ++*n_loads_;  // counts as a (miss) access
           start_read_line(a, now, State::kLoadMiss);
           return r;
@@ -125,14 +124,14 @@ L1LoadReply DL1Controller::load(Addr a, unsigned bytes, Cycle now,
       if (bus_.done(token_)) {
         finish_fill(now);
         state_ = State::kIdle;
-        WordRead w = cache_.read(a, bytes);
+        SetAssocCache::LineRef line = cache_.find_line(a);
+        WordRead w = cache_.read(line, a, bytes);
         // The freshly refilled line is clean, but a new fault can strike
         // this very read — apply the same recovery as the hit path: drop
         // the line and let the next poll replay the miss.
-        if (needs_refetch(w.check, params_.cache.recovery,
-                          cache_.line_dirty(a))) {
+        if (needs_refetch(w.check, params_.cache.recovery, line.dirty())) {
           ++*n_parity_refetch_;
-          cache_.invalidate(a);
+          cache_.invalidate(line);
           return r;
         }
         r.complete = true;
@@ -192,9 +191,9 @@ L1StoreReply DL1Controller::store(Addr a, unsigned bytes, u32 value, Cycle now,
         // Update the local copy when present (clean), then post the word
         // write to the L2 over the bus.
         ++*n_stores_;
-        if (cache_.contains(a)) {
+        if (SetAssocCache::LineRef line = cache_.find_line(a)) {
           ++*n_store_hits_;
-          cache_.write(a, bytes, value, /*mark_dirty=*/false);
+          cache_.write(line, a, bytes, value, /*mark_dirty=*/false);
         }
         BusTransaction t;
         t.requester = core_id_;
@@ -208,10 +207,10 @@ L1StoreReply DL1Controller::store(Addr a, unsigned bytes, u32 value, Cycle now,
         return r;
       }
       // Write-back, write-allocate.
-      if (cache_.contains(a)) {
+      if (SetAssocCache::LineRef line = cache_.find_line(a)) {
         ++*n_stores_;
         ++*n_store_hits_;
-        cache_.write(a, bytes, value, /*mark_dirty=*/true);
+        cache_.write(line, a, bytes, value, /*mark_dirty=*/true);
         r.complete = true;
         r.hit = true;
         return r;
@@ -276,14 +275,14 @@ L1IController::L1IController(const L1Params& params, Bus& bus,
 L1IController::FetchReply L1IController::fetch(Addr a, Cycle now) {
   FetchReply r;
   if (!miss_pending_) {
-    if (cache_.contains(a)) {
-      WordRead w = cache_.read(a, 4);
+    if (SetAssocCache::LineRef line = cache_.find_line(a)) {
+      WordRead w = cache_.read(line, a, 4);
       if (needs_refetch(w.check, params_.cache.recovery,
                         /*line_dirty=*/false)) {
         // Instruction lines are always clean: recover by refetch (the only
         // path — the array rejects in-place writes).
         ++*n_parity_refetch_;
-        cache_.invalidate(a);
+        cache_.invalidate(line);
       } else {
         ++*n_fetches_;
         ++*n_hits_;
@@ -308,14 +307,15 @@ L1IController::FetchReply L1IController::fetch(Addr a, Cycle now) {
     BusTransaction t = bus_.take(token_);
     cache_.fill(t.addr, t.line.data(), /*dirty=*/false);
     miss_pending_ = false;
-    WordRead w = cache_.read(a, 4);
+    SetAssocCache::LineRef line = cache_.find_line(a);
+    WordRead w = cache_.read(line, a, 4);
     // A fault can strike the post-refill read itself; recover exactly like
     // the hit path (drop the line, replay the fetch as a fresh miss)
     // rather than handing a known-bad instruction word to the pipeline.
     if (needs_refetch(w.check, params_.cache.recovery,
                       /*line_dirty=*/false)) {
       ++*n_parity_refetch_;
-      cache_.invalidate(a);
+      cache_.invalidate(line);
       return r;
     }
     r.complete = true;

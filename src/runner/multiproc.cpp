@@ -1,0 +1,265 @@
+#include "runner/multiproc.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "report/sink.hpp"
+
+#if !defined(_WIN32)
+#include <sys/wait.h>
+#include <unistd.h>
+#define LAEC_HAVE_FORK 1
+#else
+#define LAEC_HAVE_FORK 0
+#endif
+
+namespace laec::runner {
+
+namespace {
+
+std::string shard_row_path(const std::string& prefix, unsigned j) {
+  return prefix + ".shard" + std::to_string(j) + ".rows";
+}
+
+std::string shard_meta_path(const std::string& prefix, unsigned j) {
+  return prefix + ".shard" + std::to_string(j) + ".meta";
+}
+
+/// Default scratch prefix: unique per process under the system tmp dir
+/// (two concurrent sweeps must not clobber each other's shard files).
+std::string default_prefix() {
+  static unsigned counter = 0;
+  const auto dir = std::filesystem::temp_directory_path();
+#if LAEC_HAVE_FORK
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return (dir / ("laec-sweep-" + std::to_string(pid) + "-" +
+                 std::to_string(counter++)))
+      .string();
+}
+
+/// The slice worker j runs: the parent's (I, N) shard subdivided P ways.
+SweepOptions worker_options(const ProcOptions& opts, unsigned j) {
+  SweepOptions o = opts.worker;
+  o.shard_index = opts.worker.shard_index + j * opts.worker.shard_count;
+  o.shard_count = opts.worker.shard_count * opts.procs;
+  // threads=0 means "hardware concurrency" — per process. Split the auto
+  // budget across the workers so --procs=N without --threads saturates the
+  // machine once, not N times over. (Thread count never affects rows.)
+  if (o.threads == 0) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    o.threads = std::max(1u, hw / opts.procs);
+  }
+  o.sink = nullptr;
+  o.on_result = nullptr;
+  return o;
+}
+
+/// Run one worker's slice to its shard row + meta files. Returns the
+/// sweep's exit status (0 ok, 1 self-check failures). Used by the forked
+/// child on POSIX and by the sequential fallback elsewhere.
+int run_worker(const std::vector<SweepPoint>& points, const ProcOptions& opts,
+               unsigned j) {
+  std::ofstream rows(shard_row_path(opts.scratch_prefix, j),
+                     std::ios::trunc);
+  if (!rows) return 2;
+  const auto sink = report::make_row_writer(opts.format, rows);
+  if (sink == nullptr) return 2;
+
+  SweepOptions o = worker_options(opts, j);
+  o.sink = sink.get();
+  const SweepSummary sum = run_sweep(points, o);
+  rows.flush();
+  if (!rows) return 2;
+
+  std::ofstream meta(shard_meta_path(opts.scratch_prefix, j),
+                     std::ios::trunc);
+  meta << sum.points_run << ' ' << sum.totals.value("cycles") << ' '
+       << sum.self_check_failures << '\n';
+  meta.flush();
+  if (!meta) return 2;
+  return sum.self_check_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+void merge_shard_rows(const std::vector<std::string>& shard_paths,
+                      bool csv_header, std::ostream& out) {
+  std::vector<std::ifstream> files;
+  files.reserve(shard_paths.size());
+  for (const auto& p : shard_paths) {
+    files.emplace_back(p);
+    if (!files.back()) {
+      throw std::runtime_error("merge_shard_rows: cannot open " + p);
+    }
+  }
+  std::string line;
+  if (csv_header) {
+    // Every shard wrote the same header; emit the first one that exists
+    // (shard 0's file can be empty when its worker died before flushing).
+    bool emitted = false;
+    for (std::size_t j = 0; j < files.size(); ++j) {
+      if (std::getline(files[j], line) && !emitted) {
+        out << line << '\n';
+        emitted = true;
+      }
+    }
+  }
+  // Round-robin: the g-th row of the merged slice lives in shard g mod P.
+  // In a complete run the files exhaust together (the partition guarantees
+  // it); an exhausted file is skipped rather than ending the merge, so a
+  // worker that died early still contributes every row it finished and the
+  // survivors' rows are all kept.
+  std::vector<char> exhausted(files.size(), 0);
+  std::size_t remaining = files.size();
+  for (std::size_t g = 0; remaining > 0; ++g) {
+    const std::size_t j = g % files.size();
+    if (exhausted[j]) continue;
+    if (!std::getline(files[j], line)) {
+      exhausted[j] = 1;
+      --remaining;
+      continue;
+    }
+    if (files[j].eof()) {
+      // The row writers terminate every line with '\n'; a final line with
+      // no newline is the torn tail of a worker killed mid-write. Drop it
+      // rather than merging a corrupt row.
+      exhausted[j] = 1;
+      --remaining;
+      continue;
+    }
+    out << line << '\n';
+  }
+}
+
+ProcSummary run_sweep_procs(const std::vector<SweepPoint>& points,
+                            const ProcOptions& opts, std::ostream& rows_out) {
+  if (opts.procs == 0) {
+    throw std::invalid_argument("run_sweep_procs: procs must be >= 1");
+  }
+  if (opts.worker.sink != nullptr || opts.worker.on_result) {
+    throw std::invalid_argument(
+        "run_sweep_procs: rows flow through shard files; worker.sink and "
+        "worker.on_result must be unset");
+  }
+
+  ProcSummary summary;
+
+  if (opts.procs == 1) {
+    // No fork, no scratch files: the classic in-process path.
+    const auto sink = report::make_row_writer(opts.format, rows_out);
+    if (sink == nullptr) {
+      throw std::invalid_argument("run_sweep_procs: unknown row format \"" +
+                                  opts.format + "\"");
+    }
+    SweepOptions o = opts.worker;
+    o.sink = sink.get();
+    const SweepSummary sum = run_sweep(points, o);
+    summary.points_run = sum.points_run;
+    summary.cycles = sum.totals.value("cycles");
+    summary.self_check_failures = sum.self_check_failures;
+    return summary;
+  }
+
+  ProcOptions effective = opts;
+  if (effective.scratch_prefix.empty()) {
+    effective.scratch_prefix = default_prefix();
+  }
+  // Validate the format (and the points — run_sweep would only throw
+  // inside the children otherwise, which reports poorly).
+  if (report::make_row_writer(effective.format, rows_out) == nullptr) {
+    throw std::invalid_argument("run_sweep_procs: unknown row format \"" +
+                                effective.format + "\"");
+  }
+
+  // Pre-create every shard row file so the merge can always open them,
+  // even for a worker that dies before its first row.
+  for (unsigned j = 0; j < effective.procs; ++j) {
+    std::ofstream touch(shard_row_path(effective.scratch_prefix, j),
+                        std::ios::trunc);
+    if (!touch) {
+      throw std::runtime_error("run_sweep_procs: cannot create " +
+                               shard_row_path(effective.scratch_prefix, j));
+    }
+  }
+
+  std::vector<char> worker_failed(effective.procs, 0);
+#if LAEC_HAVE_FORK
+  std::vector<pid_t> pids(effective.procs, -1);
+  for (unsigned j = 0; j < effective.procs; ++j) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      throw std::runtime_error("run_sweep_procs: fork failed");
+    }
+    if (pid == 0) {
+      // Worker: run the slice, then leave WITHOUT unwinding the parent's
+      // state (no atexit handlers, no double-flushed stdio buffers).
+      int code = 2;
+      try {
+        code = run_worker(points, effective, j);
+      } catch (...) {
+        code = 2;
+      }
+      std::_Exit(code);
+    }
+    pids[j] = pid;
+  }
+  for (unsigned j = 0; j < effective.procs; ++j) {
+    int status = 0;
+    if (::waitpid(pids[j], &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) >= 2) {
+      worker_failed[j] = 1;
+    }
+  }
+#else
+  // No fork on this platform: run the shards sequentially in-process. Same
+  // shard files, same merge, same bytes — just no parallelism.
+  for (unsigned j = 0; j < effective.procs; ++j) {
+    int code = 2;
+    try {
+      code = run_worker(points, effective, j);
+    } catch (...) {
+      code = 2;
+    }
+    if (code >= 2) worker_failed[j] = 1;
+  }
+#endif
+
+  // Sum the meta digests (a failed worker may not have written one).
+  std::vector<std::string> row_paths;
+  row_paths.reserve(effective.procs);
+  for (unsigned j = 0; j < effective.procs; ++j) {
+    row_paths.push_back(shard_row_path(effective.scratch_prefix, j));
+    std::ifstream meta(shard_meta_path(effective.scratch_prefix, j));
+    std::size_t pts = 0, failures = 0;
+    u64 cycles = 0;
+    if (meta >> pts >> cycles >> failures) {
+      summary.points_run += pts;
+      summary.cycles += cycles;
+      summary.self_check_failures += failures;
+    } else {
+      worker_failed[j] = 1;
+    }
+  }
+  for (const char f : worker_failed) {
+    summary.failed_workers += static_cast<unsigned>(f);
+  }
+
+  merge_shard_rows(row_paths, /*csv_header=*/effective.format == "csv",
+                   rows_out);
+
+  for (unsigned j = 0; j < effective.procs; ++j) {
+    std::remove(shard_row_path(effective.scratch_prefix, j).c_str());
+    std::remove(shard_meta_path(effective.scratch_prefix, j).c_str());
+  }
+  return summary;
+}
+
+}  // namespace laec::runner

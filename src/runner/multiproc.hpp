@@ -1,0 +1,77 @@
+// Multi-process sweep sharding: one worker process per shard.
+//
+// run_sweep() already scales across threads inside one process;
+// run_sweep_procs() is the next axis up, the ROADMAP's "spawn one process
+// per shard, merge row files" driver. The parent forks opts.procs workers;
+// worker j runs the existing --shard mechanism over the slice
+//
+//     index % (N * procs) == I + j * N
+//
+// where (I, N) is the parent's own shard assignment — so --procs composes
+// with --shard, and the union of every worker's slice is exactly the
+// parent's slice. Each worker streams its rows to a private shard file
+// (CSV or JSONL, the same RowWriter formats the in-process path uses) plus
+// a tiny meta digest; the parent waits for all of them, merges the row
+// files deterministically and sums the digests.
+//
+// Determinism: the g-th row of the parent's slice (grid order) has index
+// I + g*N, which lands in worker (g mod procs) — so a round-robin merge
+// over the shard files in worker order reconstructs grid order exactly,
+// and the merged stream is byte-identical to a --procs=1 run of the same
+// slice. The per-point RNG seeds derive from workload identity, never from
+// shard layout, so the rows themselves are identical too.
+//
+// Process isolation is the point: workers share nothing after the fork, so
+// sweeps scale past the allocator/cache contention a single address space
+// hits, and one crashing point cannot take down the whole experiment (the
+// parent reports the dead worker and still merges the survivors).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runner/sweep_runner.hpp"
+
+namespace laec::runner {
+
+struct ProcOptions {
+  /// Worker processes. 1 runs the sweep in-process (no fork) — byte-for-
+  /// byte the classic path.
+  unsigned procs = 1;
+  /// Per-worker options: threads, base_seed, and the parent's own
+  /// shard_index/shard_count (further subdivided across the workers).
+  /// `sink` and `on_result` must be null — rows flow through shard files.
+  SweepOptions worker;
+  /// Row format of the shard files and the merged stream: "csv" or
+  /// "jsonl"/"json".
+  std::string format = "csv";
+  /// Path prefix for the shard row/meta files. Empty picks a unique prefix
+  /// under the system temp directory. Files are removed after the merge.
+  std::string scratch_prefix;
+};
+
+struct ProcSummary {
+  std::size_t points_run = 0;
+  u64 cycles = 0;  ///< summed simulated cycles across every point
+  std::size_t self_check_failures = 0;
+  /// Workers that died (signal) or exited with an internal error. Their
+  /// rows are merged as far as they got; the caller should treat the sweep
+  /// as failed.
+  unsigned failed_workers = 0;
+};
+
+/// Run `points` across opts.procs forked worker processes and write the
+/// merged row stream (header included for CSV) to `rows_out`. Throws
+/// std::invalid_argument for bad options and std::runtime_error when a
+/// scratch file cannot be created.
+ProcSummary run_sweep_procs(const std::vector<SweepPoint>& points,
+                            const ProcOptions& opts, std::ostream& rows_out);
+
+/// Deterministic round-robin merge of per-shard row files (exposed for
+/// tests). With `csv_header` true, the first line of every file is a
+/// header; shard 0's is emitted once and the others are dropped.
+void merge_shard_rows(const std::vector<std::string>& shard_paths,
+                      bool csv_header, std::ostream& out);
+
+}  // namespace laec::runner

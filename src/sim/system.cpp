@@ -63,6 +63,7 @@ void System::tick() {
   for (auto& t : traffic_) t->tick(now_);
   memsys_->tick(now_);
   ++now_;
+  flushed_ = false;  // simulation resumed; memory is no longer final
 }
 
 System::RunResult System::run(unsigned core_id) {
@@ -76,6 +77,13 @@ System::RunResult System::run(unsigned core_id) {
 }
 
 void System::flush_all() {
+  // Flushing is idempotent — after one pass every line is clean, the write
+  // buffers are empty and the pending-writeback copies are retired — so a
+  // repeat call (the self-check loop reads hundreds of words back to back)
+  // would only re-walk every cache array to find nothing. Skip it until
+  // the simulation advances again.
+  if (flushed_) return;
+  flushed_ = true;
   mem::MainMemory& m = memsys_->memory();
   // Age order, oldest copies first: L2 dirty lines, then dirty evictions
   // whose bus writeback is still in flight, then resident dirty DL1 lines,

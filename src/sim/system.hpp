@@ -113,7 +113,9 @@ class System {
   /// the first time it is called after a run, then reads memory.
   u32 read_word_final(Addr a);
 
-  /// Flush every dirty line (all DL1s, then L2) into main memory.
+  /// Flush every dirty line (all DL1s, then L2) into main memory. A no-op
+  /// when nothing has simulated since the last flush (the state is already
+  /// final); tick() re-arms it.
   void flush_all();
 
  private:
@@ -122,6 +124,7 @@ class System {
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<std::unique_ptr<TrafficGenerator>> traffic_;
   Cycle now_ = 0;
+  bool flushed_ = false;  ///< memory is architecturally final right now
 };
 
 }  // namespace laec::sim

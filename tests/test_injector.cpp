@@ -31,6 +31,25 @@ TEST(Injector, ScriptedFlipsAccumulate) {
   EXPECT_EQ(f.size(), 2u);
 }
 
+TEST(Injector, ScriptedPileUpBeyondFlipSetCapacityStaysQueued) {
+  // The allocation-free FlipSet reserves two slots for the random draw;
+  // an oversized scripted pile-up on one word delivers across successive
+  // accesses instead of overflowing (or dropping) flips.
+  FaultInjector inj;
+  for (unsigned b = 0; b < 10; ++b) inj.script_flip(3, b);
+  unsigned delivered = 0;
+  int accesses = 0;
+  while (inj.enabled() && accesses < 10) {
+    const auto f = inj.flips_for_access(3);
+    ASSERT_LE(f.size(), FlipSet::kMax);
+    delivered += f.size();
+    ++accesses;
+  }
+  EXPECT_EQ(delivered, 10u);
+  EXPECT_EQ(inj.injected_scripted(), 10u);
+  EXPECT_GE(accesses, 2);  // could not have fit in one access
+}
+
 TEST(Injector, SingleFlipRateApproximatelyHonored) {
   InjectorConfig cfg;
   cfg.single_flip_prob = 0.1;

@@ -14,6 +14,8 @@
 //       Run the full (workload x scheme) experiment grid N-way parallel
 //       through runner::run_sweep and stream one row per point. Without a
 //       kernel argument this is the Fig. 8 grid (16 kernels x 4 schemes).
+//       --procs=N forks one worker process per shard on top of the thread
+//       pool; rows merge deterministically (byte-identical to --procs=1).
 //
 // Options:
 //   --ecc=<scheme>[,<scheme>...] (default laec). A scheme key is a policy
@@ -35,6 +37,8 @@
 //
 // Sweep options:
 //   --threads=<n>                worker threads (0 = hardware concurrency)
+//   --procs=<n>                  fork n worker processes (shards the grid,
+//                                merges rows byte-identically)
 //   --shard=<i>/<n>              run shard i of n (results union to the grid)
 //   --format=<csv|jsonl>         row format (default csv)
 //   --out=<file>                 write rows to a file instead of stdout
@@ -53,6 +57,7 @@
 #include "ecc/xor_tree.hpp"
 #include "report/sink.hpp"
 #include "report/table.hpp"
+#include "runner/multiproc.hpp"
 #include "runner/sweep_runner.hpp"
 #include "workloads/eembc.hpp"
 #include "workloads/synthetic.hpp"
@@ -78,6 +83,7 @@ struct CliOptions {
   std::vector<std::string> ecc_schemes;  ///< parsed --ecc comma list
   bool sweep_trace = false;
   unsigned threads = 0;
+  unsigned procs = 1;
   unsigned shard_index = 0;
   unsigned shard_count = 1;
   u64 base_seed = 0x1aec;
@@ -195,6 +201,13 @@ CliOptions parse(int argc, char** argv) {
     } else if (auto t = value("--threads"); !t.empty()) {
       o.threads = static_cast<unsigned>(std::stoul(t));
       o.sweep_only_flags.push_back("--threads");
+    } else if (auto pr = value("--procs"); !pr.empty()) {
+      o.procs = static_cast<unsigned>(std::stoul(pr));
+      o.sweep_only_flags.push_back("--procs");
+      if (o.procs == 0) {
+        std::fprintf(stderr, "--procs wants at least 1 process\n");
+        o.ok = false;
+      }
     } else if (auto s = value("--shard"); !s.empty()) {
       o.sweep_only_flags.push_back("--shard");
       const auto slash = s.find('/');
@@ -339,14 +352,15 @@ int cmd_schemes() {
       "Registered codecs (32-bit-word codecs are deployable in any cache\n"
       "level as --ecc segments; 64-bit geometries are library-only for\n"
       "now):\n");
-  report::Table t({"name", "k", "r", "corrects", "adj-corr", "adj-DED",
-                   "DED", "deployable"});
+  report::Table t({"name", "k", "r", "corrects", "adj-corr", "adj3-corr",
+                   "adj-DED", "DED", "deployable"});
   for (const auto& name : ecc::registered_codecs()) {
     const auto c = ecc::make_codec(name);
     t.add_row({name, std::to_string(c->data_bits()),
                std::to_string(c->check_bits()),
                c->corrects_single() ? "yes" : "no",
                c->corrects_adjacent_double() ? "yes" : "no",
+               c->corrects_adjacent_triple() ? "yes" : "no",
                c->detects_adjacent_double() ? "yes" : "no",
                c->detects_double() ? "yes" : "no",
                c->data_bits() == 32 ? "yes" : "no"});
@@ -435,27 +449,36 @@ int cmd_sweep(const CliOptions& o) {
     }
   }
   std::ostream& out = o.out_path.empty() ? std::cout : file;
-  const auto sink = report::make_row_writer(o.format, out);
-  if (sink == nullptr) {
+  if (report::make_row_writer(o.format, out) == nullptr) {
     std::fprintf(stderr, "unknown --format=%s (want csv or jsonl)\n",
                  o.format.c_str());
     return 2;
   }
 
-  runner::SweepOptions opts;
-  opts.threads = o.threads;
-  opts.shard_index = o.shard_index;
-  opts.shard_count = o.shard_count;
-  opts.base_seed = o.base_seed;
-  opts.sink = sink.get();
-  const auto summary = runner::run_sweep(grid, opts);
+  // One driver for both scales: --procs=1 runs the classic in-process
+  // sweep; --procs=N forks workers over sub-shards and merges their row
+  // files back into `out`, byte-identical either way.
+  runner::ProcOptions opts;
+  opts.procs = o.procs;
+  opts.format = o.format;
+  opts.worker.threads = o.threads;
+  opts.worker.shard_index = o.shard_index;
+  opts.worker.shard_count = o.shard_count;
+  opts.worker.base_seed = o.base_seed;
+  if (!o.out_path.empty()) opts.scratch_prefix = o.out_path;
+  const auto summary = runner::run_sweep_procs(grid.points(), opts, out);
 
   std::fprintf(stderr,
                "sweep: %zu points, %llu cycles simulated, "
                "%zu self-check failures\n",
                summary.points_run,
-               static_cast<unsigned long long>(summary.totals.value("cycles")),
+               static_cast<unsigned long long>(summary.cycles),
                summary.self_check_failures);
+  if (summary.failed_workers != 0) {
+    std::fprintf(stderr, "sweep: %u worker process(es) failed\n",
+                 summary.failed_workers);
+    return 2;
+  }
   return summary.self_check_failures == 0 ? 0 : 1;
 }
 
@@ -474,8 +497,8 @@ void usage() {
       "  --inject-single=P  --inject-double=P  --inject-adjacent\n"
       "  --inject-target=dl1|l1i|l2\n"
       "sweep mode:\n"
-      "  --threads=N  --shard=I/N  --format=csv|jsonl  --out=FILE\n"
-      "  --trace  --seed=N\n");
+      "  --threads=N  --procs=N  --shard=I/N  --format=csv|jsonl\n"
+      "  --out=FILE  --trace  --seed=N\n");
 }
 
 }  // namespace
