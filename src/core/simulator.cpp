@@ -132,19 +132,23 @@ RunStats collect_stats(sim::System& system, bool completed) {
   return r;
 }
 
+unsigned injector_word_bits(const SimConfig& cfg) {
+  const HierarchyDeployment dep = cfg.effective_deployment();
+  std::string_view codec_key = dep.codec;
+  if (cfg.inject_target == InjectTarget::kL1i) codec_key = dep.l1i.codec;
+  if (cfg.inject_target == InjectTarget::kL2) codec_key = dep.l2.codec;
+  const auto codec = ecc::make_codec(codec_key);
+  return codec->check_bits() == 0 ? codec->data_bits()
+                                  : codec->codeword_bits();
+}
+
 std::unique_ptr<ecc::FaultInjector> attach_injector(sim::System& system,
                                                     const SimConfig& cfg) {
   if (!cfg.faults.has_value()) return nullptr;
   // Size the flip universe to the targeted level's deployed codec codeword
   // (data + check bits) so fault rates stay comparable across schemes.
-  const HierarchyDeployment dep = cfg.effective_deployment();
-  std::string_view codec_key = dep.codec;
-  if (cfg.inject_target == InjectTarget::kL1i) codec_key = dep.l1i.codec;
-  if (cfg.inject_target == InjectTarget::kL2) codec_key = dep.l2.codec;
   ecc::InjectorConfig icfg = *cfg.faults;
-  const auto codec = ecc::make_codec(codec_key);
-  icfg.word_bits = codec->check_bits() == 0 ? codec->data_bits()
-                                            : codec->codeword_bits();
+  icfg.word_bits = injector_word_bits(cfg);
   auto injector = std::make_unique<ecc::FaultInjector>(icfg);
   switch (cfg.inject_target) {
     case InjectTarget::kDl1:

@@ -190,9 +190,16 @@ struct RunStats {
 [[nodiscard]] RunStats run_program(const SimConfig& cfg,
                                    const isa::Program& program);
 
-/// Build the injector described by cfg.faults (flip universe sized to the
-/// targeted level's deployed codec) and attach it to the targeted array of
-/// `system`. Returns nullptr when cfg.faults is unset. Shared by
+/// The injection flip universe of cfg's targeted cache level: the deployed
+/// codec's codeword width (data + check bits; data bits alone for an
+/// unprotected array). attach_injector sizes the injector with this, and
+/// the reliability campaign normalizes its Poisson rates over the same
+/// count — one definition, so the two can never disagree.
+[[nodiscard]] unsigned injector_word_bits(const SimConfig& cfg);
+
+/// Build the injector described by cfg.faults (flip universe sized by
+/// injector_word_bits) and attach it to the targeted array of `system`.
+/// Returns nullptr when cfg.faults is unset. Shared by
 /// run_program_keep_system and the test harnesses so target wiring cannot
 /// diverge.
 [[nodiscard]] std::unique_ptr<ecc::FaultInjector> attach_injector(

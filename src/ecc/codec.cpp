@@ -22,4 +22,9 @@ Codec::Decoded SecDaecTaecCodec::decode(u64 data, u64 check) const {
   return {r.status, r.data, r.check};
 }
 
+Codec::Decoded DecBchCodec::decode(u64 data, u64 check) const {
+  const auto r = code_.check(data, check);
+  return {r.status, r.data, r.check};
+}
+
 }  // namespace laec::ecc

@@ -17,6 +17,7 @@
 
 #include "common/types.hpp"
 #include "ecc/code.hpp"
+#include "ecc/dec_bch.hpp"
 #include "ecc/parity.hpp"
 #include "ecc/sec_daec.hpp"
 #include "ecc/sec_daec_taec.hpp"
@@ -101,6 +102,9 @@ class Codec {
   /// Can an adjacent TRIPLE-bit error be corrected in place (SEC-DAEC-TAEC
   /// class codes, arXiv:2002.07507)?
   [[nodiscard]] virtual bool corrects_adjacent_triple() const { return false; }
+  /// Can ANY double-bit error — adjacent or not — be corrected in place
+  /// (DEC class codes)? Implies corrects_adjacent_double.
+  [[nodiscard]] virtual bool corrects_double() const { return false; }
 };
 
 /// CRTP mixin: derives the virtual encode(), the devirtualized per-word
@@ -228,6 +232,36 @@ class SecDaecTaecCodec final : public CodecWithFastEncode<SecDaecTaecCodec> {
 
  private:
   const SecDaecTaecCode& code_;
+  std::string_view name_;
+};
+
+/// DEC-TED BCH adapter over the shared (45,32) DecBchCode instance. Any
+/// double is corrected (adjacent pairs report kCorrectedAdjacent so the
+/// adjacent-MBU counters stay comparable across codecs); triples are
+/// detected, never miscorrected.
+class DecBchCodec final : public CodecWithFastEncode<DecBchCodec> {
+ public:
+  explicit DecBchCodec(const DecBchCode& code, std::string_view name)
+      : code_(code), name_(name) {}
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] unsigned data_bits() const override {
+    return code_.data_bits();
+  }
+  [[nodiscard]] unsigned check_bits() const override {
+    return code_.check_bits();
+  }
+  [[nodiscard]] u64 encode_word(u64 data) const { return code_.encode(data); }
+  [[nodiscard]] Decoded decode(u64 data, u64 check) const override;
+  [[nodiscard]] bool corrects_single() const override { return true; }
+  // d = 6: every double is corrected and every triple is flagged — no
+  // multi-bit pattern of weight <= 3 is ever silently accepted or
+  // miscorrected.
+  [[nodiscard]] bool detects_double() const override { return true; }
+  [[nodiscard]] bool corrects_adjacent_double() const override { return true; }
+  [[nodiscard]] bool corrects_double() const override { return true; }
+
+ private:
+  const DecBchCode& code_;
   std::string_view name_;
 };
 

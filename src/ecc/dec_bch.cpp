@@ -1,0 +1,182 @@
+#include "ecc/dec_bch.hpp"
+
+#include <cassert>
+
+#include "common/bitops.hpp"
+
+namespace laec::ecc {
+
+namespace {
+
+constexpr unsigned check_bits_for(unsigned k) {
+  switch (k) {
+    case 32: return 13;  // 1 parity + 6 (alpha^p) + 6 (alpha^3p)
+    default: return 0;
+  }
+}
+
+/// GF(2^6) with primitive polynomial x^6 + x + 1.
+constexpr unsigned gf_mul_x(unsigned a) {
+  a <<= 1;
+  if (a & 0x40u) a ^= 0x43u;
+  return a & 0x3fu;
+}
+
+/// Unranked pair index of 0 <= p < q < n: pairs enumerated p-major.
+constexpr unsigned pair_index(unsigned p, unsigned q, unsigned n) {
+  // Offset of the p-block (pairs starting at p' < p) plus q's slot.
+  return p * n - p * (p + 1) / 2 + (q - p - 1);
+}
+
+}  // namespace
+
+DecBchCode::DecBchCode(unsigned data_bits) : k_(data_bits) {
+  r_ = check_bits_for(data_bits);
+  assert(r_ != 0 && "data_bits must be 32");
+  build_matrix();
+}
+
+void DecBchCode::build_matrix() {
+  const unsigned n = codeword_bits();
+
+  // Raw (non-systematic) H: column p = [1; alpha^p; alpha^(3p)].
+  std::vector<u64> alpha(63);
+  alpha[0] = 1;
+  for (unsigned i = 1; i < 63; ++i) {
+    alpha[i] = gf_mul_x(static_cast<unsigned>(alpha[i - 1]));
+  }
+  std::vector<u64> raw(n);
+  for (unsigned p = 0; p < n; ++p) {
+    raw[p] = 1u | (alpha[p % 63] << 1) | (alpha[(3 * p) % 63] << 7);
+  }
+
+  // Row-reduce so the last r_ columns become the identity (systematic
+  // form). Work on H as r_ rows of n-bit masks; the pivot for target row j
+  // is check column k_ + j's bit.
+  std::vector<u64> rows(r_, 0);
+  for (unsigned p = 0; p < n; ++p) {
+    for (unsigned row = 0; row < r_; ++row) {
+      if (get_bit(raw[p], row)) rows[row] = set_bit(rows[row], p, 1);
+    }
+  }
+  for (unsigned j = 0; j < r_; ++j) {
+    const unsigned pivot_col = k_ + j;
+    unsigned pivot_row = j;
+    while (pivot_row < r_ && !get_bit(rows[pivot_row], pivot_col)) {
+      ++pivot_row;
+    }
+    assert(pivot_row < r_ && "DEC-BCH check block must be invertible");
+    std::swap(rows[j], rows[pivot_row]);
+    for (unsigned i = 0; i < r_; ++i) {
+      if (i != j && get_bit(rows[i], pivot_col)) rows[i] ^= rows[j];
+    }
+  }
+
+  // Re-read the systematized columns and the encoder row masks.
+  columns_.assign(k_, 0);
+  row_masks_.assign(r_, 0);
+  for (unsigned row = 0; row < r_; ++row) {
+    for (unsigned i = 0; i < k_; ++i) {
+      if (get_bit(rows[row], i)) {
+        columns_[i] = set_bit(columns_[i], row, 1);
+        row_masks_[row] = set_bit(row_masks_[row], i, 1);
+      }
+    }
+  }
+
+  // Syndrome LUT over the full codeword: singles map to their position,
+  // doubles to n + pair_index. Distinctness is the d = 6 guarantee; the
+  // asserts re-prove it at construction.
+  const auto cw_column = [&](unsigned p) -> u64 {
+    return p < k_ ? columns_[p] : (u64{1} << (p - k_));
+  };
+  syndrome_lut_.assign(std::size_t{1} << r_, -2);
+  for (unsigned p = 0; p < n; ++p) {
+    const u64 s = cw_column(p);
+    assert(s != 0 && syndrome_lut_[static_cast<std::size_t>(s)] == -2 &&
+           "single-bit syndrome collision");
+    syndrome_lut_[static_cast<std::size_t>(s)] = static_cast<i32>(p);
+  }
+  for (unsigned p = 0; p < n; ++p) {
+    for (unsigned q = p + 1; q < n; ++q) {
+      const u64 s = cw_column(p) ^ cw_column(q);
+      assert(s != 0 && syndrome_lut_[static_cast<std::size_t>(s)] == -2 &&
+             "double-bit syndrome collision");
+      syndrome_lut_[static_cast<std::size_t>(s)] =
+          static_cast<i32>(n + pair_index(p, q, n));
+    }
+  }
+}
+
+unsigned DecBchCode::row_weight(unsigned row) const {
+  assert(row < r_);
+  return static_cast<unsigned>(popcount64(row_masks_[row]));
+}
+
+u64 DecBchCode::encode(u64 data) const {
+  data &= low_mask(k_);
+  u64 check = 0;
+  for (unsigned row = 0; row < r_; ++row) {
+    check = set_bit(check, row, parity64(data & row_masks_[row]));
+  }
+  return check;
+}
+
+u64 DecBchCode::syndrome(u64 data, u64 check) const {
+  return encode(data) ^ (check & low_mask(r_));
+}
+
+DecBchCode::Result DecBchCode::check(u64 data, u64 check) const {
+  Result res;
+  res.data = data & low_mask(k_);
+  res.check = check & low_mask(r_);
+  const u64 s = syndrome(data, check);
+  if (s == 0) {
+    res.status = CheckStatus::kOk;
+    return res;
+  }
+  const i32 act = syndrome_lut_[static_cast<std::size_t>(s)];
+  if (act < 0) {
+    res.status = CheckStatus::kDetectedUncorrectable;
+    return res;
+  }
+  const unsigned n = codeword_bits();
+  const auto flip = [&](unsigned p) {
+    if (p < k_) {
+      res.data = flip_bit(res.data, p);
+    } else {
+      res.check = flip_bit(res.check, p - k_);
+    }
+  };
+  unsigned a = static_cast<unsigned>(act);
+  if (a < n) {
+    flip(a);
+    res.corrected_pos[0] = static_cast<int>(a);
+    res.corrected_count = 1;
+    res.status = CheckStatus::kCorrected;
+    return res;
+  }
+  // Unrank the pair index: find the first position p, then q.
+  a -= n;
+  unsigned p = 0;
+  while (a >= n - p - 1) {
+    a -= n - p - 1;
+    ++p;
+  }
+  const unsigned q = p + 1 + a;
+  flip(p);
+  flip(q);
+  res.corrected_pos[0] = static_cast<int>(p);
+  res.corrected_pos[1] = static_cast<int>(q);
+  res.corrected_count = 2;
+  res.status = q == p + 1 ? CheckStatus::kCorrectedAdjacent
+                          : CheckStatus::kCorrected;
+  return res;
+}
+
+const DecBchCode& dec_bch32() {
+  static const DecBchCode c(32);
+  return c;
+}
+
+}  // namespace laec::ecc

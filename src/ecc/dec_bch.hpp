@@ -1,0 +1,90 @@
+// DEC-TED BCH (45, 32): double-error CORRECTION, triple-error detection.
+//
+// The SEC-DAEC(-TAEC) family bets on upsets being spatially adjacent; a
+// double-error-correcting BCH code drops that assumption and repairs ANY
+// two flipped bits, adjacent or not — the classic alternative the ECC
+// design-space papers (arXiv:2002.07507 and the surveys it cites) weigh
+// against adjacent-only codes: stronger random-double coverage for a wider
+// and slower checker.
+//
+// Construction: a two-error-correcting binary BCH code over GF(2^6)
+// (primitive polynomial x^6 + x + 1), shortened from n = 63 to 45, plus an
+// overall parity row for triple detection:
+//
+//     H column of codeword position p = [ 1 ; alpha^p ; alpha^(3p) ]
+//
+// giving r = 1 + 6 + 6 = 13 check bits and minimum distance 6. The matrix
+// is row-reduced at construction so the last 13 codeword positions carry
+// the identity (systematic form: stored words are (data, check) exactly
+// like every other codec here); row operations do not change the code, so
+// d = 6 survives and
+//   * all 45 single and all C(45,2) = 990 double error patterns have
+//     pairwise-distinct syndromes -> corrected via one LUT probe;
+//   * every triple pattern misses the correctable set -> detected, never
+//     miscorrected (TED).
+// Corrected adjacent pairs report CheckStatus::kCorrectedAdjacent (the
+// adjacent-MBU family the per-cache counters aggregate); non-adjacent
+// doubles report kCorrected. Codeword bit order is [0,32) data, [32,45)
+// check, matching the cache arrays' injection layout.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "ecc/code.hpp"
+
+namespace laec::ecc {
+
+class DecBchCode {
+ public:
+  /// Only the (45, 32) geometry is built for now.
+  explicit DecBchCode(unsigned data_bits);
+
+  [[nodiscard]] unsigned data_bits() const { return k_; }
+  [[nodiscard]] unsigned check_bits() const { return r_; }
+  [[nodiscard]] unsigned codeword_bits() const { return k_ + r_; }
+
+  /// Check bits for a data word (low `check_bits()` bits of the result).
+  [[nodiscard]] u64 encode(u64 data) const;
+
+  /// Raw syndrome of a stored (data, check) pair.
+  [[nodiscard]] u64 syndrome(u64 data, u64 check) const;
+
+  struct Result {
+    CheckStatus status = CheckStatus::kOk;
+    u64 data = 0;   ///< corrected data word
+    u64 check = 0;  ///< corrected check bits
+    /// Corrected codeword positions (ascending); -1 entries unused.
+    int corrected_pos[2] = {-1, -1};
+    /// Number of corrected bits: 0 (clean/uncorrectable), 1 or 2.
+    int corrected_count = 0;
+  };
+
+  /// Decode a stored pair: corrects any single flip and any double flip
+  /// (adjacent or not); triples — and all heavier odd patterns reachable
+  /// by d = 6 — are detected-uncorrectable.
+  [[nodiscard]] Result check(u64 data, u64 check) const;
+
+  /// Column of data bit `i` in the systematized H (tests, XOR-tree sizing).
+  [[nodiscard]] u64 column(unsigned i) const { return columns_[i]; }
+
+  /// Number of data bits feeding check bit `row` (row weight of H).
+  [[nodiscard]] unsigned row_weight(unsigned row) const;
+
+ private:
+  void build_matrix();
+
+  unsigned k_ = 0;  // data bits
+  unsigned r_ = 0;  // check bits
+  std::vector<u64> columns_;    // per data bit: its r-bit column
+  std::vector<u64> row_masks_;  // per check bit: mask over data bits
+  // syndrome -> action: [0, n) correct that bit; n + pair_index corrects
+  // the pair unranked from pair_index (see dec_bch.cpp); -2 detected-
+  // uncorrectable. Size 2^r.
+  std::vector<i32> syndrome_lut_;
+};
+
+/// Shared (45,32) instance (stateless after construction).
+[[nodiscard]] const DecBchCode& dec_bch32();
+
+}  // namespace laec::ecc

@@ -14,11 +14,13 @@ void FaultInjector::script_flip(u64 word_index, unsigned bit) {
 FlipSet FaultInjector::flips_for_access(u64 word_index) {
   FlipSet flips;
   // Scripted flips first (entries matching this word fire together). The
-  // inline FlipSet keeps two slots in reserve for the random draw below;
-  // an (absurdly long) scripted pile-up past that stays queued and fires
-  // on the word's NEXT access instead of overflowing.
+  // inline FlipSet keeps the random modes' worst case in reserve — 2 slots
+  // for the Bernoulli draw plus 4 for a clustered pattern event; an
+  // (absurdly long) scripted pile-up past that stays queued and fires on
+  // the word's NEXT access instead of overflowing.
+  const unsigned reserve = 2u + (cfg_.event_prob > 0 ? 4u : 0u);
   for (auto it = scripted_.begin();
-       it != scripted_.end() && flips.size() + 2 < FlipSet::kMax;) {
+       it != scripted_.end() && flips.size() + reserve < FlipSet::kMax;) {
     if (it->first == word_index) {
       flips.push(it->second);
       ++injected_scripted_;
@@ -44,7 +46,53 @@ FlipSet FaultInjector::flips_for_access(u64 word_index) {
     flips.push(static_cast<unsigned>(rng_.below(cfg_.word_bits)));
     ++injected_single_;
   }
+  if (cfg_.event_prob > 0 && rng_.chance(cfg_.event_prob)) {
+    push_pattern_event(flips);
+  }
   return flips;
+}
+
+void FaultInjector::push_pattern_event(FlipSet& flips) {
+  const MbuPatternTable& t = cfg_.patterns;
+  const double total = t.total();
+  if (total <= 0) return;
+  const unsigned n = cfg_.word_bits;
+  double u = rng_.uniform() * total;
+  ++injected_pattern_;
+  if ((u -= t.single) < 0 || n < 3) {
+    flips.push(static_cast<unsigned>(rng_.below(n)));
+    return;
+  }
+  if ((u -= t.adjacent_double) < 0) {
+    const unsigned a = static_cast<unsigned>(rng_.below(n - 1));
+    flips.push(a);
+    flips.push(a + 1);
+    return;
+  }
+  if ((u -= t.adjacent_triple) < 0) {
+    const unsigned a = static_cast<unsigned>(rng_.below(n - 2));
+    flips.push(a);
+    flips.push(a + 1);
+    flips.push(a + 2);
+    return;
+  }
+  // Clustered: 2-4 distinct flips inside an 8-bit physical window (narrower
+  // when the codeword itself is).
+  const unsigned window = n < 8 ? n : 8;
+  const unsigned start =
+      static_cast<unsigned>(rng_.below(n - window + 1));
+  unsigned want = 2 + static_cast<unsigned>(rng_.below(3));
+  if (want > window) want = window;
+  unsigned chosen[4];
+  unsigned count = 0;
+  while (count < want) {
+    const unsigned off = static_cast<unsigned>(rng_.below(window));
+    bool dup = false;
+    for (unsigned i = 0; i < count; ++i) dup = dup || chosen[i] == off;
+    if (dup) continue;
+    chosen[count++] = off;
+    flips.push(start + off);
+  }
 }
 
 }  // namespace laec::ecc

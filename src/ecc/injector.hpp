@@ -1,13 +1,17 @@
 // Soft-error (bit flip) injection for the simulated memory arrays.
 //
-// Two modes compose:
+// Three modes compose:
 //  * scripted faults — exact (word index, bit position) pairs queued by tests
 //    and examples; injected on the next matching access;
 //  * random faults — Bernoulli per-word-access flip probabilities for single
-//    and double upsets, driven by the deterministic library RNG.
-//
-// MBUs beyond 2 bits are out of scope, mirroring the paper's fault model
-// ("we do not consider MBUs", §V).
+//    and double upsets, driven by the deterministic library RNG (the paper's
+//    fault model: "we do not consider MBUs", §V);
+//  * pattern-table events — the reliability campaign mode: each access
+//    suffers an upset EVENT with probability event_prob, and the event's
+//    spatial shape (single / adjacent-double / adjacent-triple / clustered)
+//    is drawn from a configurable MBU pattern-probability table, matching
+//    the scaled-node multi-cell-upset geometries the SEC-DAEC(-TAEC)
+//    literature evaluates against.
 #pragma once
 
 #include <cassert>
@@ -22,9 +26,11 @@ namespace laec::ecc {
 /// Flip positions sampled for one word access. A fixed-capacity inline
 /// array: the hot injection path (every read of every protected word under
 /// a fault storm) allocates nothing. Random storms produce at most 2 flips
-/// per access; scripted campaigns deliver at most kMax - 2 per access, with
-/// any surplus left queued for the word's next access (see
-/// FaultInjector::flips_for_access), so the capacity can never overflow.
+/// per access and a pattern-table event at most 4 (the largest clustered
+/// MBU); scripted campaigns fill whatever capacity the enabled random
+/// modes do not reserve, with any surplus left queued for the word's next
+/// access (see FaultInjector::flips_for_access), so the capacity can never
+/// overflow.
 class FlipSet {
  public:
   static constexpr unsigned kMax = 8;
@@ -59,6 +65,24 @@ class FlipSet {
   unsigned count_ = 0;
 };
 
+/// Relative probabilities of the spatial shape of one upset event
+/// (campaign mode). Weights need not sum to 1; they are normalized by
+/// total(). The default table is SEU-only.
+struct MbuPatternTable {
+  double single = 1.0;
+  double adjacent_double = 0.0;
+  double adjacent_triple = 0.0;
+  /// 2-4 distinct flips inside an 8-bit physical neighbourhood — the
+  /// diagonal/split cluster geometry adjacent-correcting codes do NOT
+  /// guarantee to handle.
+  double clustered = 0.0;
+
+  [[nodiscard]] double total() const {
+    return single + adjacent_double + adjacent_triple + clustered;
+  }
+  [[nodiscard]] bool operator==(const MbuPatternTable&) const = default;
+};
+
 struct InjectorConfig {
   /// Probability that an accessed stored word has suffered exactly one bit
   /// flip since it was written.
@@ -69,6 +93,12 @@ struct InjectorConfig {
   /// real-world MBU geometry, and the case SEC-DAEC corrects while SECDED
   /// only detects. When false, double-flip positions are independent.
   bool adjacent_doubles = false;
+  /// Campaign (pattern-table) mode: per-access probability that the word
+  /// suffered one upset event since its last access; the event's shape is
+  /// drawn from `patterns`. Composes with (but is normally used instead
+  /// of) the single/double Bernoulli rates above.
+  double event_prob = 0.0;
+  MbuPatternTable patterns;
   /// Bits eligible for flipping: data bits plus check bits of one word.
   unsigned word_bits = 39;  // (39,32) SECDED codeword by default
   u64 seed = 0x5eed;
@@ -89,20 +119,31 @@ class FaultInjector {
 
   [[nodiscard]] bool enabled() const {
     return cfg_.single_flip_prob > 0 || cfg_.double_flip_prob > 0 ||
-           !scripted_.empty();
+           cfg_.event_prob > 0 || !scripted_.empty();
   }
 
   [[nodiscard]] u64 injected_single() const { return injected_single_; }
   [[nodiscard]] u64 injected_double() const { return injected_double_; }
   [[nodiscard]] u64 injected_scripted() const { return injected_scripted_; }
+  /// Pattern-table events delivered (campaign mode), by drawn shape.
+  [[nodiscard]] u64 injected_pattern() const { return injected_pattern_; }
+  /// Every injection event this injector delivered, across all modes.
+  [[nodiscard]] u64 injected_total() const {
+    return injected_single_ + injected_double_ + injected_scripted_ +
+           injected_pattern_;
+  }
 
  private:
+  /// Append one pattern-table event's flips (campaign mode).
+  void push_pattern_event(FlipSet& flips);
+
   InjectorConfig cfg_;
   Rng rng_;
   std::deque<std::pair<u64, unsigned>> scripted_;
   u64 injected_single_ = 0;
   u64 injected_double_ = 0;
   u64 injected_scripted_ = 0;
+  u64 injected_pattern_ = 0;
 };
 
 }  // namespace laec::ecc

@@ -41,6 +41,9 @@ CodecRegistry::CodecRegistry() {
     return std::make_shared<const SecDaecTaecCodec>(sec_daec_taec32(),
                                                     "sec-daec-taec-45-32");
   });
+  builtin("dec-bch-45-32", [] {
+    return std::make_shared<const DecBchCodec>(dec_bch32(), "dec-bch-45-32");
+  });
   // Legacy spellings (the CodecKind vocabulary) alias the 32-bit defaults.
   builtin("parity", [] { return std::make_shared<const ParityCodec>(32); });
   builtin("secded", [] {

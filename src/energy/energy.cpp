@@ -33,6 +33,14 @@ constexpr Calibration kCalibrated[] = {
     // AND adjacent-triple comparator banks on the checker side (~20% over
     // the scaled trees); the encoder is the 13-tree forest alone.
     {"sec-daec-taec-45-32", 2.23, 1.86},
+    // DEC-TED BCH: 13 trees like the TAEC code but with the DENSE
+    // alpha^3-derived rows of the systematized H (~16-per-row vs the
+    // Hsiao-style minimum-weight forests), and a two-error locator on the
+    // checker side in place of the burst comparators (~30% over the
+    // trees). NOTE (provenance): like every row here, gate-count
+    // proportions relative to the (39,32) SECDED reference — pending
+    // calibration against real CACTI / gate-level synthesis numbers.
+    {"dec-bch-45-32", 2.95, 2.27},
 };
 
 }  // namespace

@@ -1,0 +1,433 @@
+#include "reliability/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/deployment.hpp"
+#include "ecc/registry.hpp"
+#include "runner/multiproc.hpp"
+#include "workloads/eembc.hpp"
+
+namespace laec::reliability {
+
+namespace {
+
+std::string fmt_u64(u64 v) { return std::to_string(v); }
+
+std::string fmt_g(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const std::vector<RatePoint>& tech_presets() {
+  // Raw per-bit SER shrinks with the node while the multi-cell-upset share
+  // grows — the published scaling trend, in placeholder absolute units.
+  static const std::vector<RatePoint> kPresets = {
+      {"65nm", 1400.0, {0.88, 0.09, 0.02, 0.01}},
+      {"40nm", 1100.0, {0.72, 0.18, 0.07, 0.03}},
+      {"28nm", 900.0, {0.55, 0.25, 0.13, 0.07}},
+  };
+  return kPresets;
+}
+
+std::optional<RatePoint> tech_preset(std::string_view name) {
+  for (const auto& p : tech_presets()) {
+    if (p.label == name) return p;
+  }
+  return std::nullopt;
+}
+
+std::optional<RatePoint> parse_rate(
+    std::string_view token, const ecc::MbuPatternTable& default_patterns) {
+  if (auto p = tech_preset(token); p.has_value()) return p;
+  try {
+    std::size_t used = 0;
+    const std::string s(token);
+    const double fit = std::stod(s, &used);
+    if (used != s.size() || !(fit > 0.0)) return std::nullopt;
+    RatePoint r;
+    r.label = s;
+    r.fit_per_mbit = fit;
+    r.patterns = default_patterns;
+    return r;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+CampaignGrid& CampaignGrid::workloads(std::vector<std::string> names) {
+  workloads_ = std::move(names);
+  return *this;
+}
+
+CampaignGrid& CampaignGrid::all_workloads() {
+  workloads_.clear();
+  for (const auto& k : workloads::eembc_kernels()) {
+    workloads_.push_back(k.name);
+  }
+  return *this;
+}
+
+CampaignGrid& CampaignGrid::schemes(std::vector<std::string> keys) {
+  schemes_ = std::move(keys);
+  return *this;
+}
+
+CampaignGrid& CampaignGrid::rates(std::vector<RatePoint> rates) {
+  rates_ = std::move(rates);
+  return *this;
+}
+
+std::vector<CampaignCell> CampaignGrid::cells() const {
+  if (rates_.empty()) {
+    throw std::invalid_argument("CampaignGrid: the rates axis is empty");
+  }
+  for (const auto& r : rates_) {
+    if (!(r.fit_per_mbit > 0.0) || !(r.patterns.total() > 0.0)) {
+      throw std::invalid_argument("CampaignGrid: rate \"" + r.label +
+                                  "\" needs a positive FIT rate and a "
+                                  "non-empty pattern table");
+    }
+  }
+  // Parse every scheme key once up front (throws for unknown keys).
+  for (const auto& s : schemes_) {
+    (void)core::HierarchyDeployment::parse(s);
+  }
+  std::vector<CampaignCell> out;
+  out.reserve(workloads_.size() * schemes_.size() * rates_.size());
+  for (const auto& w : workloads_) {
+    for (const auto& s : schemes_) {
+      for (const auto& r : rates_) {
+        CampaignCell c;
+        c.index = out.size();
+        c.workload = w;
+        c.scheme = s;
+        c.rate = r;
+        out.push_back(std::move(c));
+      }
+    }
+  }
+  return out;
+}
+
+TrialOutcome classify_trial(const runner::PointResult& r) {
+  const core::RunStats& s = r.stats;
+  // Severity precedence, worst first. Detected-but-lost beats SDC: a trial
+  // with data-loss accounting had its failure FLAGGED even when the
+  // self-check also caught it.
+  if (s.data_loss_events + s.l2_data_loss_events > 0) {
+    return TrialOutcome::kDataLoss;
+  }
+  if (!r.self_check_ok || !s.completed) return TrialOutcome::kSdc;
+  if (s.ecc_detected_uncorrectable + s.parity_refetches +
+          s.l1i_detected_uncorrectable + s.l1i_refetches +
+          s.l2_detected_uncorrectable + s.l2_refetches >
+      0) {
+    return TrialOutcome::kDueRecovered;
+  }
+  if (s.ecc_corrected + s.l1i_corrected + s.l2_corrected > 0) {
+    return TrialOutcome::kCorrected;
+  }
+  return TrialOutcome::kMasked;
+}
+
+double event_prob_for(const CampaignSpec& spec, double fit_per_mbit,
+                      unsigned codeword_bits) {
+  // FIT/Mbit -> upsets per bit-hour -> accelerated upsets per word-hour.
+  const double per_bit_hour = fit_per_mbit * 1e-9 / (1024.0 * 1024.0);
+  const double per_word_hour =
+      per_bit_hour * static_cast<double>(codeword_bits) * spec.accel;
+  const double exposure_hours = static_cast<double>(spec.exposure_cycles) /
+                                (spec.freq_mhz * 1e6) / 3600.0;
+  // P(at least one Poisson arrival during the exposure window).
+  return 1.0 - std::exp(-per_word_hour * exposure_hours);
+}
+
+unsigned target_codeword_bits(const core::SimConfig& cfg) {
+  // The one definition attach_injector also uses: the Poisson rate is
+  // normalized over exactly the bits the injector can flip.
+  return core::injector_word_bits(cfg);
+}
+
+const std::vector<std::string>& campaign_row_headers() {
+  static const std::vector<std::string> kHeaders = {
+      "workload",      "ecc",       "codec_dl1", "codec_l1i",
+      "codec_l2",      "target",    "rate",      "fit_mbit_raw",
+      "trials",        "events",    "masked",    "corrected",
+      "due_recovered", "sdc",       "data_loss", "p_fail",
+      "ci_lo",         "ci_hi",     "avf",       "fit",
+      "fit_lo",        "fit_hi",    "mttf_hours", "device_hours",
+      "cycles"};
+  return kHeaders;
+}
+
+std::vector<std::string> campaign_to_row(const CellResult& r) {
+  const core::HierarchyDeployment dep =
+      core::HierarchyDeployment::parse(r.cell.scheme);
+  return {r.cell.workload,
+          dep.name,
+          dep.codec,
+          dep.l1i.codec,
+          dep.l2.codec,
+          std::string(to_string(r.target)),
+          r.cell.rate.label,
+          fmt_g(r.cell.rate.fit_per_mbit),
+          fmt_u64(r.trials),
+          fmt_u64(r.events),
+          fmt_u64(r.masked),
+          fmt_u64(r.corrected),
+          fmt_u64(r.due_recovered),
+          fmt_u64(r.sdc),
+          fmt_u64(r.data_loss),
+          fmt_g(r.est.p_fail),
+          fmt_g(r.est.p_lo),
+          fmt_g(r.est.p_hi),
+          fmt_g(r.avf),
+          fmt_g(r.est.fit),
+          fmt_g(r.est.fit_lo),
+          fmt_g(r.est.fit_hi),
+          fmt_g(r.est.mttf_hours),
+          fmt_g(r.device_hours),
+          fmt_u64(r.total_cycles)};
+}
+
+namespace {
+
+/// Per-cell running state of the campaign engine.
+struct CellState {
+  CellResult res;
+  core::SimConfig cfg;  ///< scheme + faults applied, seed left to run_sweep
+  unsigned done = 0;
+  bool finished = false;
+};
+
+void fold_trial(CellState& st, const runner::PointResult& r,
+                const CampaignSpec& spec) {
+  const TrialOutcome o = classify_trial(r);
+  st.res.trials += 1;
+  st.res.events += r.faults_injected;
+  switch (o) {
+    case TrialOutcome::kMasked: st.res.masked += 1; break;
+    case TrialOutcome::kCorrected: st.res.corrected += 1; break;
+    case TrialOutcome::kDueRecovered: st.res.due_recovered += 1; break;
+    case TrialOutcome::kSdc: st.res.sdc += 1; break;
+    case TrialOutcome::kDataLoss: st.res.data_loss += 1; break;
+  }
+  st.res.total_cycles += r.stats.cycles;
+  st.res.device_hours += static_cast<double>(r.stats.cycles) /
+                         (spec.freq_mhz * 1e6) / 3600.0 * spec.accel;
+}
+
+}  // namespace
+
+CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
+                             const CampaignSpec& spec,
+                             const CampaignOptions& opts) {
+  if (opts.shard_count == 0 || opts.shard_index >= opts.shard_count) {
+    throw std::invalid_argument(
+        "run_campaign: shard_index/shard_count invalid");
+  }
+  if (spec.trials == 0) {
+    throw std::invalid_argument("run_campaign: spec.trials must be >= 1");
+  }
+  const unsigned batch = std::max(1u, spec.batch);
+  const unsigned min_trials =
+      std::min(std::max(1u, spec.min_trials), spec.trials);
+
+  // This shard's slice, in grid order. Each cell's SimConfig is built once:
+  // scheme applied, storm targeted, event probability derived from the
+  // rate and the targeted codec's codeword width.
+  std::vector<CellState> states;
+  for (const auto& c : cells) {
+    if (c.index % opts.shard_count != opts.shard_index) continue;
+    CellState st;
+    st.res.cell = c;
+    st.res.target = spec.target;
+    st.cfg = spec.base;
+    st.cfg.set_scheme(c.scheme);
+    st.cfg.inject_target = spec.target;
+    ecc::InjectorConfig inj;
+    inj.patterns = c.rate.patterns;
+    inj.event_prob =
+        event_prob_for(spec, c.rate.fit_per_mbit, target_codeword_bits(st.cfg));
+    st.cfg.faults = inj;
+    states.push_back(std::move(st));
+  }
+
+  // Batched rounds: every unfinished cell contributes its next `batch`
+  // trials to ONE run_sweep call (one thread pool over the whole round),
+  // then the stopping rule is evaluated per cell. A cell's trajectory
+  // depends only on its own trial outcomes — deterministic under any
+  // thread count or shard layout.
+  for (;;) {
+    std::vector<runner::SweepPoint> points;
+    std::vector<std::pair<std::size_t, unsigned>> slices;  // (state, count)
+    for (std::size_t si = 0; si < states.size(); ++si) {
+      CellState& st = states[si];
+      if (st.finished) continue;
+      const unsigned bn =
+          std::min<unsigned>(batch, spec.trials - st.done);
+      slices.emplace_back(si, bn);
+      for (unsigned t = 0; t < bn; ++t) {
+        runner::SweepPoint p;
+        p.index = points.size();
+        p.workload = st.res.cell.workload;
+        p.variant = st.res.cell.rate.label;
+        p.config = st.cfg;
+        p.mode = runner::RunMode::kProgram;
+        p.replicate = st.done + t;
+        points.push_back(std::move(p));
+      }
+    }
+    if (points.empty()) break;
+
+    runner::SweepOptions sopts;
+    sopts.threads = opts.threads;
+    sopts.base_seed = opts.base_seed;
+    const runner::SweepSummary sum = runner::run_sweep(points, sopts);
+
+    std::size_t ri = 0;
+    for (const auto& [si, bn] : slices) {
+      CellState& st = states[si];
+      for (unsigned t = 0; t < bn; ++t, ++ri) {
+        fold_trial(st, sum.results[ri], spec);
+      }
+      st.done += bn;
+      if (st.done >= spec.trials) {
+        st.finished = true;
+      } else if (spec.target_half_width > 0.0 && st.done >= min_trials) {
+        const Interval ci = wilson_interval(st.res.failures(), st.done,
+                                            spec.confidence);
+        st.finished = ci.half_width() <= spec.target_half_width;
+      }
+    }
+  }
+
+  // Finalize and emit in grid order.
+  CampaignSummary summary;
+  summary.cells.reserve(states.size());
+  if (opts.sink != nullptr) opts.sink->begin(campaign_row_headers());
+  for (CellState& st : states) {
+    st.res.avf = st.res.events == 0
+                     ? 0.0
+                     : static_cast<double>(st.res.failures()) /
+                           static_cast<double>(st.res.events);
+    st.res.est = estimate_rates(st.res.failures(), st.res.trials,
+                                st.res.device_hours, spec.confidence);
+    summary.cells_run += 1;
+    summary.trials_run += st.res.trials;
+    summary.failures += st.res.failures();
+    if (opts.sink != nullptr) opts.sink->row(campaign_to_row(st.res));
+    summary.cells.push_back(std::move(st.res));
+  }
+  if (opts.sink != nullptr) opts.sink->end();
+  return summary;
+}
+
+namespace {
+
+/// The slice worker j runs: the sweep driver's shared subdivision policy,
+/// at cell rather than point granularity.
+CampaignOptions worker_options(const CampaignProcOptions& opts, unsigned j) {
+  CampaignOptions o = opts.worker;
+  const runner::WorkerShard ws = runner::proc_worker_shard(
+      opts.worker.shard_index, opts.worker.shard_count, opts.worker.threads,
+      opts.procs, j);
+  o.shard_index = ws.shard_index;
+  o.shard_count = ws.shard_count;
+  o.threads = ws.threads;
+  o.sink = nullptr;
+  return o;
+}
+
+int run_campaign_worker(const std::vector<CampaignCell>& cells,
+                        const CampaignSpec& spec,
+                        const CampaignProcOptions& opts, unsigned j,
+                        const std::string& rows_path,
+                        const std::string& meta_path) {
+  std::ofstream rows(rows_path, std::ios::trunc);
+  if (!rows) return 2;
+  const auto sink = report::make_row_writer(opts.format, rows);
+  if (sink == nullptr) return 2;
+
+  CampaignOptions o = worker_options(opts, j);
+  o.sink = sink.get();
+  const CampaignSummary sum = run_campaign(cells, spec, o);
+  rows.flush();
+  if (!rows) return 2;
+
+  std::ofstream meta(meta_path, std::ios::trunc);
+  meta << sum.cells_run << ' ' << sum.trials_run << ' ' << sum.failures
+       << '\n';
+  meta.flush();
+  if (!meta) return 2;
+  return 0;
+}
+
+}  // namespace
+
+CampaignProcSummary run_campaign_procs(const std::vector<CampaignCell>& cells,
+                                       const CampaignSpec& spec,
+                                       const CampaignProcOptions& opts,
+                                       std::ostream& rows_out) {
+  if (opts.procs == 0) {
+    throw std::invalid_argument("run_campaign_procs: procs must be >= 1");
+  }
+  if (opts.worker.sink != nullptr) {
+    throw std::invalid_argument(
+        "run_campaign_procs: rows flow through shard files; worker.sink "
+        "must be unset");
+  }
+
+  CampaignProcSummary summary;
+
+  if (opts.procs == 1) {
+    // No fork, no scratch files: the classic in-process path.
+    const auto sink = report::make_row_writer(opts.format, rows_out);
+    if (sink == nullptr) {
+      throw std::invalid_argument(
+          "run_campaign_procs: unknown row format \"" + opts.format + "\"");
+    }
+    CampaignOptions o = opts.worker;
+    o.sink = sink.get();
+    const CampaignSummary sum = run_campaign(cells, spec, o);
+    summary.cells_run = sum.cells_run;
+    summary.trials_run = sum.trials_run;
+    summary.failures = sum.failures;
+    return summary;
+  }
+
+  if (report::make_row_writer(opts.format, rows_out) == nullptr) {
+    throw std::invalid_argument("run_campaign_procs: unknown row format \"" +
+                                opts.format + "\"");
+  }
+
+  runner::ForkMergeOptions fm;
+  fm.procs = opts.procs;
+  fm.scratch_prefix = opts.scratch_prefix;
+  fm.csv_header = opts.format == "csv";
+  const runner::ForkMergeSummary fms = runner::fork_workers_and_merge(
+      fm,
+      [&](unsigned j, const std::string& rows_path,
+          const std::string& meta_path) {
+        return run_campaign_worker(cells, spec, opts, j, rows_path,
+                                   meta_path);
+      },
+      rows_out);
+  summary.cells_run = static_cast<std::size_t>(fms.meta[0]);
+  summary.trials_run = fms.meta[1];
+  summary.failures = fms.meta[2];
+  summary.failed_workers = fms.failed_workers;
+  return summary;
+}
+
+}  // namespace laec::reliability

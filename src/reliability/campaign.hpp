@@ -1,0 +1,262 @@
+// Monte Carlo reliability campaigns: SEU/MBU sampling -> per-scheme
+// FIT / MTTF / AVF with confidence intervals.
+//
+// The paper's argument — and the whole SEC-DAEC(-TAEC) design space around
+// it — is a reliability-per-cost trade, yet raw fault-injection counters
+// ("this run saw 37 corrections") say nothing about failure RATES. This
+// subsystem turns the existing pieces (SweepRunner trials, the codec
+// registry, the pattern-table injector) into a statistics-grade evaluator:
+//
+//   * a campaign cell is one (workload, scheme, rate) point; the rate is a
+//     raw per-bit SEU rate in FIT/Mbit (technology-node presets bundle the
+//     rate with that node's characteristic MBU shape mix);
+//   * fault arrivals are a Poisson process in device time, accelerated by
+//     spec.accel so upsets actually land inside a few hundred microseconds
+//     of simulated execution: the per-access event probability is
+//     1 - exp(-rate_bit * codeword_bits * accel * exposure), the chance at
+//     least one (accelerated) upset struck the word during its exposure
+//     window; the event's spatial shape (single / adjacent-double /
+//     adjacent-triple / clustered) is drawn from the cell's MBU pattern
+//     table and lands on live codeword bits of the targeted cache;
+//   * every cell runs N independent trials (SweepPoint replicates — same
+//     trace, independent fault sequences, paired across schemes) and each
+//     trial is classified by severity: masked, corrected, DUE-recovered,
+//     SDC (self-check failed with nothing detected) or data-loss;
+//   * failures (SDC + data-loss) over the trials' de-accelerated
+//     device-hours give FIT and MTTF, with Wilson confidence intervals;
+//     AVF is the per-fault derating factor (failing trials per injected
+//     event). An optional sequential stopping rule ends a cell early once
+//     its CI is tight enough.
+//
+// Determinism contract (same as the sweep runner's): rows are identical at
+// any --threads, and run_campaign_procs merges per-process shard files
+// byte-identically to a single-process run. Trial seeds derive from
+// (base_seed, workload identity, trial index) — never from thread or
+// process layout — and the stopping rule sees each cell's own trials only,
+// so sharding cells across machines/processes cannot change any cell's
+// trajectory.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "ecc/injector.hpp"
+#include "reliability/stats.hpp"
+#include "report/sink.hpp"
+#include "runner/sweep_runner.hpp"
+
+namespace laec::reliability {
+
+/// One point of the rate axis: a raw per-bit SEU rate plus the MBU shape
+/// mix it arrives with.
+struct RatePoint {
+  std::string label;  ///< what the CSV "rate" column reports
+  double fit_per_mbit = 1000.0;
+  ecc::MbuPatternTable patterns;
+};
+
+/// Technology-node presets: per-bit SEU rates and MBU shape mixes
+/// proportioned like the published scaling trend (raw per-bit SER shrinks
+/// with the node while the multi-cell share grows). Synthetic but
+/// literature-proportioned, like the energy model's CACTI substitution —
+/// ratios between nodes are meaningful, absolute FIT is a placeholder.
+[[nodiscard]] const std::vector<RatePoint>& tech_presets();
+
+/// Look up a preset by name ("65nm", "40nm", "28nm"); nullopt if unknown.
+[[nodiscard]] std::optional<RatePoint> tech_preset(std::string_view name);
+
+/// Parse a rate-axis token: a preset name, or a numeric FIT/Mbit value
+/// (which inherits `default_patterns`). nullopt for an unparsable token.
+[[nodiscard]] std::optional<RatePoint> parse_rate(
+    std::string_view token, const ecc::MbuPatternTable& default_patterns);
+
+/// Campaign-wide knobs (the per-cell axes live in CampaignGrid).
+struct CampaignSpec {
+  /// Fault-process time acceleration. 1e16 makes a ~1000 FIT/Mbit storm
+  /// land a handful of events on a typical kernel trial.
+  double accel = 1e16;
+  /// Mean exposure window of an accessed word, in cycles: upsets
+  /// accumulate on a word between accesses; this is the access-based
+  /// injector's stand-in for the true per-word inter-access time.
+  unsigned exposure_cycles = 1000;
+  double freq_mhz = 150.0;  ///< LEON4-class clock (Table I)
+  /// Trials per cell (the maximum, when the stopping rule is armed).
+  unsigned trials = 96;
+  /// Trials to run before the stopping rule may fire.
+  unsigned min_trials = 24;
+  /// Stopping-rule check granularity (and scheduling batch size).
+  unsigned batch = 24;
+  double confidence = 0.95;
+  /// Sequential stopping: end a cell once the Wilson CI half-width on its
+  /// failure probability drops to this, checked at batch boundaries after
+  /// min_trials. 0 disables early stopping (always run `trials`).
+  double target_half_width = 0.0;
+  /// Which cache array the storm strikes.
+  core::InjectTarget target = core::InjectTarget::kDl1;
+  /// Geometry / latency base configuration of every trial.
+  core::SimConfig base;
+};
+
+/// One campaign cell: a (workload, scheme, rate) grid point.
+struct CampaignCell {
+  std::size_t index = 0;  ///< position in the expanded grid (stable)
+  std::string workload;
+  std::string scheme;  ///< HierarchyDeployment key
+  RatePoint rate;
+};
+
+/// Cross-product grid builder, SweepGrid's shape: workload (outer) x
+/// scheme x rate (inner).
+class CampaignGrid {
+ public:
+  CampaignGrid& workloads(std::vector<std::string> names);
+  CampaignGrid& all_workloads();
+  CampaignGrid& schemes(std::vector<std::string> keys);
+  CampaignGrid& rates(std::vector<RatePoint> rates);
+
+  /// Expand into the deterministic cell list. Throws std::invalid_argument
+  /// for unknown scheme keys or an empty/invalid rate axis.
+  [[nodiscard]] std::vector<CampaignCell> cells() const;
+
+ private:
+  std::vector<std::string> workloads_;
+  std::vector<std::string> schemes_{"laec"};
+  std::vector<RatePoint> rates_;
+};
+
+/// Severity classification of one trial, worst outcome wins.
+enum class TrialOutcome {
+  kMasked,        ///< faults (if any) never surfaced: no event, clean output
+  kCorrected,     ///< ECC repaired everything in place
+  kDueRecovered,  ///< detected-uncorrectable, recovered by refetch
+  kSdc,           ///< silent data corruption: wrong output, nothing flagged
+  kDataLoss,      ///< detected but unrecoverable (dirty-line DUE)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TrialOutcome o) {
+  switch (o) {
+    case TrialOutcome::kMasked: return "masked";
+    case TrialOutcome::kCorrected: return "corrected";
+    case TrialOutcome::kDueRecovered: return "due-recovered";
+    case TrialOutcome::kSdc: return "sdc";
+    case TrialOutcome::kDataLoss: return "data-loss";
+  }
+  return "invalid-trial-outcome";
+}
+
+/// Classify a finished trial (pure; exposed for tests).
+[[nodiscard]] TrialOutcome classify_trial(const runner::PointResult& r);
+
+/// Does the outcome count as a reliability FAILURE (feeds FIT/MTTF)?
+[[nodiscard]] constexpr bool is_failure(TrialOutcome o) {
+  return o == TrialOutcome::kSdc || o == TrialOutcome::kDataLoss;
+}
+
+/// The per-access upset-event probability the Poisson model yields for a
+/// codeword of `codeword_bits` under `fit_per_mbit` accelerated by
+/// spec.accel (see file comment).
+[[nodiscard]] double event_prob_for(const CampaignSpec& spec,
+                                    double fit_per_mbit,
+                                    unsigned codeword_bits);
+
+/// Codeword width (data + check bits) of the cache level cfg's storm
+/// targets — delegates to core::injector_word_bits, the same definition
+/// attach_injector sizes the flip universe with.
+[[nodiscard]] unsigned target_codeword_bits(const core::SimConfig& cfg);
+
+/// Aggregated result of one cell.
+struct CellResult {
+  CampaignCell cell;
+  /// Which array the storm struck (copied from the spec for the row).
+  core::InjectTarget target = core::InjectTarget::kDl1;
+  u64 trials = 0;
+  u64 events = 0;  ///< fault events injected across the cell's trials
+  u64 masked = 0;
+  u64 corrected = 0;
+  u64 due_recovered = 0;
+  u64 sdc = 0;
+  u64 data_loss = 0;
+  u64 total_cycles = 0;
+  /// De-accelerated real device-hours the trials represent.
+  double device_hours = 0.0;
+  /// Per-fault derating factor: failing trials / injected events (0 when
+  /// no event landed). The classic AVF-style estimate of P(fault ->
+  /// failure); accurate when events-per-trial is around 1 (a trial counts
+  /// at most one failure, so heavily accelerated storms understate it).
+  double avf = 0.0;
+  RateEstimate est;  ///< p_fail + CI, FIT (+ CI), MTTF
+
+  [[nodiscard]] u64 failures() const { return sdc + data_loss; }
+};
+
+struct CampaignOptions {
+  /// Worker threads of the inner trial sweeps; 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Horizontal sharding over CELLS: this process runs cells with
+  /// index % shard_count == shard_index.
+  unsigned shard_count = 1;
+  unsigned shard_index = 0;
+  u64 base_seed = 0x1aec;
+  /// Optional streaming sink; one row per finished cell, in grid order.
+  report::RowWriter* sink = nullptr;
+};
+
+/// Digest of a whole campaign (this shard's slice).
+struct CampaignSummary {
+  std::vector<CellResult> cells;  ///< grid order
+  std::size_t cells_run = 0;
+  u64 trials_run = 0;
+  u64 failures = 0;  ///< SDC + data-loss trials across every cell
+};
+
+/// Column names of the per-cell campaign row, in emission order.
+[[nodiscard]] const std::vector<std::string>& campaign_row_headers();
+
+/// Render one cell result as a row matching campaign_row_headers().
+[[nodiscard]] std::vector<std::string> campaign_to_row(const CellResult& r);
+
+/// Run `cells` under `spec`. Throws std::invalid_argument for bad shard
+/// options or a spec with no trials.
+[[nodiscard]] CampaignSummary run_campaign(
+    const std::vector<CampaignCell>& cells, const CampaignSpec& spec,
+    const CampaignOptions& opts = {});
+
+/// Convenience: expand the grid and run it.
+[[nodiscard]] inline CampaignSummary run_campaign(
+    const CampaignGrid& grid, const CampaignSpec& spec,
+    const CampaignOptions& opts = {}) {
+  return run_campaign(grid.cells(), spec, opts);
+}
+
+/// Multi-process campaign sharding, the runner::run_sweep_procs shape: the
+/// parent forks opts.procs workers, worker j runs the cells of sub-shard
+/// (I + j*N of N*procs), streams its CELL rows to a private shard file,
+/// and the parent round-robin-merges the files byte-identically to a
+/// --procs=1 run of the same slice.
+struct CampaignProcOptions {
+  unsigned procs = 1;
+  /// Per-worker options (threads, base_seed, the parent's own shard).
+  /// `sink` must be null — rows flow through shard files.
+  CampaignOptions worker;
+  std::string format = "csv";  ///< "csv" or "jsonl"/"json"
+  /// Scratch prefix for shard files; empty picks a unique tmp-dir prefix.
+  std::string scratch_prefix;
+};
+
+struct CampaignProcSummary {
+  std::size_t cells_run = 0;
+  u64 trials_run = 0;
+  u64 failures = 0;
+  unsigned failed_workers = 0;
+};
+
+CampaignProcSummary run_campaign_procs(const std::vector<CampaignCell>& cells,
+                                       const CampaignSpec& spec,
+                                       const CampaignProcOptions& opts,
+                                       std::ostream& rows_out);
+
+}  // namespace laec::reliability

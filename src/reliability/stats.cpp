@@ -1,0 +1,95 @@
+#include "reliability/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace laec::reliability {
+
+namespace {
+
+/// Inverse standard-normal CDF, Acklam's rational approximation.
+double inverse_normal_cdf(double p) {
+  // Coefficients in rational approximations.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  static constexpr double p_low = 0.02425;
+
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+double z_for_confidence(double confidence) {
+  const double conf = std::clamp(confidence, 0.0, 0.999999999);
+  return inverse_normal_cdf(0.5 + conf / 2.0);
+}
+
+Interval wilson_interval(u64 successes, u64 trials, double confidence) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z = z_for_confidence(confidence);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  Interval ci;
+  ci.lo = std::max(0.0, center - margin);
+  ci.hi = std::min(1.0, center + margin);
+  return ci;
+}
+
+RateEstimate estimate_rates(u64 failures, u64 trials, double device_hours,
+                            double confidence) {
+  RateEstimate e;
+  const Interval ci = wilson_interval(failures, trials, confidence);
+  e.p_lo = ci.lo;
+  e.p_hi = ci.hi;
+  if (trials == 0 || device_hours <= 0.0) {
+    e.mttf_hours = std::numeric_limits<double>::infinity();
+    return e;
+  }
+  e.p_fail = static_cast<double>(failures) / static_cast<double>(trials);
+  // The linear map p -> rate: the cell's n trials together represent
+  // device_hours of real time, so a per-trial failure probability p is a
+  // rate of p * n / device_hours failures per hour.
+  const double per_hour = static_cast<double>(trials) / device_hours;
+  e.fit = e.p_fail * per_hour * 1e9;
+  e.fit_lo = e.p_lo * per_hour * 1e9;
+  e.fit_hi = e.p_hi * per_hour * 1e9;
+  e.mttf_hours = e.fit > 0.0 ? 1e9 / e.fit
+                             : std::numeric_limits<double>::infinity();
+  return e;
+}
+
+}  // namespace laec::reliability

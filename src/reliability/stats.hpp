@@ -1,0 +1,58 @@
+// Statistics layer of the reliability campaign engine: binomial confidence
+// intervals and the FIT/MTTF estimators derived from Monte Carlo trials.
+//
+// A campaign cell observes f failures in n independent trials. The failure
+// probability is estimated with a Wilson score interval (well-behaved at
+// f = 0 and f = n, where the naive Wald interval collapses), and the
+// physical rates follow from the de-accelerated device-hours the trials
+// represent:
+//
+//     FIT  = 1e9 * failures / device_hours        (failures / 10^9 h)
+//     MTTF = device_hours / failures              (hours)
+//
+// with the CI endpoints propagated through the same linear map. Everything
+// here is pure arithmetic — deterministic, allocation-free, trivially
+// unit-testable — so the campaign engine proper only orchestrates trials.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace laec::reliability {
+
+/// Two-sided confidence interval on a proportion.
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+  [[nodiscard]] double half_width() const { return (hi - lo) / 2.0; }
+};
+
+/// Upper-tail standard-normal quantile for a two-sided confidence level,
+/// e.g. confidence 0.95 -> z ~= 1.95996. Acklam's rational approximation
+/// (|relative error| < 1.2e-9) — deterministic, no tables.
+[[nodiscard]] double z_for_confidence(double confidence);
+
+/// Wilson score interval for `successes` out of `trials` at the two-sided
+/// `confidence` level. trials == 0 returns the vacuous [0, 1].
+[[nodiscard]] Interval wilson_interval(u64 successes, u64 trials,
+                                       double confidence);
+
+/// Physical-rate digest of one campaign cell. device_hours is the REAL
+/// (de-accelerated) device time the cell's trials represent; failures = 0
+/// yields fit = 0 and mttf_hours = +inf, while fit_hi (from the Wilson
+/// upper bound) stays finite and positive — the honest "no failure seen
+/// yet" statement.
+struct RateEstimate {
+  double p_fail = 0.0;  ///< failures / trials
+  double p_lo = 0.0;    ///< Wilson bounds on p_fail
+  double p_hi = 1.0;
+  double fit = 0.0;  ///< failures per 1e9 device-hours
+  double fit_lo = 0.0;
+  double fit_hi = 0.0;
+  double mttf_hours = 0.0;  ///< +inf when no failure was observed
+};
+
+[[nodiscard]] RateEstimate estimate_rates(u64 failures, u64 trials,
+                                          double device_hours,
+                                          double confidence);
+
+}  // namespace laec::reliability

@@ -31,7 +31,7 @@ std::string shard_meta_path(const std::string& prefix, unsigned j) {
 }
 
 /// Default scratch prefix: unique per process under the system tmp dir
-/// (two concurrent sweeps must not clobber each other's shard files).
+/// (two concurrent drivers must not clobber each other's shard files).
 std::string default_prefix() {
   static unsigned counter = 0;
   const auto dir = std::filesystem::temp_directory_path();
@@ -40,23 +40,20 @@ std::string default_prefix() {
 #else
   const long pid = 0;
 #endif
-  return (dir / ("laec-sweep-" + std::to_string(pid) + "-" +
+  return (dir / ("laec-procs-" + std::to_string(pid) + "-" +
                  std::to_string(counter++)))
       .string();
 }
 
-/// The slice worker j runs: the parent's (I, N) shard subdivided P ways.
+/// The slice worker j runs, via the shared subdivision policy.
 SweepOptions worker_options(const ProcOptions& opts, unsigned j) {
   SweepOptions o = opts.worker;
-  o.shard_index = opts.worker.shard_index + j * opts.worker.shard_count;
-  o.shard_count = opts.worker.shard_count * opts.procs;
-  // threads=0 means "hardware concurrency" — per process. Split the auto
-  // budget across the workers so --procs=N without --threads saturates the
-  // machine once, not N times over. (Thread count never affects rows.)
-  if (o.threads == 0) {
-    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    o.threads = std::max(1u, hw / opts.procs);
-  }
+  const WorkerShard ws =
+      proc_worker_shard(opts.worker.shard_index, opts.worker.shard_count,
+                        opts.worker.threads, opts.procs, j);
+  o.shard_index = ws.shard_index;
+  o.shard_count = ws.shard_count;
+  o.threads = ws.threads;
   o.sink = nullptr;
   o.on_result = nullptr;
   return o;
@@ -66,9 +63,9 @@ SweepOptions worker_options(const ProcOptions& opts, unsigned j) {
 /// sweep's exit status (0 ok, 1 self-check failures). Used by the forked
 /// child on POSIX and by the sequential fallback elsewhere.
 int run_worker(const std::vector<SweepPoint>& points, const ProcOptions& opts,
-               unsigned j) {
-  std::ofstream rows(shard_row_path(opts.scratch_prefix, j),
-                     std::ios::trunc);
+               unsigned j, const std::string& rows_path,
+               const std::string& meta_path) {
+  std::ofstream rows(rows_path, std::ios::trunc);
   if (!rows) return 2;
   const auto sink = report::make_row_writer(opts.format, rows);
   if (sink == nullptr) return 2;
@@ -79,8 +76,7 @@ int run_worker(const std::vector<SweepPoint>& points, const ProcOptions& opts,
   rows.flush();
   if (!rows) return 2;
 
-  std::ofstream meta(shard_meta_path(opts.scratch_prefix, j),
-                     std::ios::trunc);
+  std::ofstream meta(meta_path, std::ios::trunc);
   meta << sum.points_run << ' ' << sum.totals.value("cycles") << ' '
        << sum.self_check_failures << '\n';
   meta.flush();
@@ -89,6 +85,112 @@ int run_worker(const std::vector<SweepPoint>& points, const ProcOptions& opts,
 }
 
 }  // namespace
+
+WorkerShard proc_worker_shard(unsigned parent_index, unsigned parent_count,
+                              unsigned threads, unsigned procs, unsigned j) {
+  WorkerShard ws;
+  ws.shard_index = parent_index + j * parent_count;
+  ws.shard_count = parent_count * procs;
+  // threads == 0 means "hardware concurrency" — per process; split the
+  // auto budget across the workers. (Thread count never affects rows.)
+  ws.threads = threads;
+  if (ws.threads == 0) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    ws.threads = std::max(1u, hw / procs);
+  }
+  return ws;
+}
+
+ForkMergeSummary fork_workers_and_merge(const ForkMergeOptions& opts,
+                                        const ProcWorkerFn& worker,
+                                        std::ostream& rows_out) {
+  if (opts.procs == 0) {
+    throw std::invalid_argument(
+        "fork_workers_and_merge: procs must be >= 1");
+  }
+  const std::string prefix =
+      opts.scratch_prefix.empty() ? default_prefix() : opts.scratch_prefix;
+
+  // Pre-create every shard row file so the merge can always open them,
+  // even for a worker that dies before its first row.
+  for (unsigned j = 0; j < opts.procs; ++j) {
+    std::ofstream touch(shard_row_path(prefix, j), std::ios::trunc);
+    if (!touch) {
+      throw std::runtime_error("fork_workers_and_merge: cannot create " +
+                               shard_row_path(prefix, j));
+    }
+  }
+
+  std::vector<char> worker_failed(opts.procs, 0);
+#if LAEC_HAVE_FORK
+  std::vector<pid_t> pids(opts.procs, -1);
+  for (unsigned j = 0; j < opts.procs; ++j) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      throw std::runtime_error("fork_workers_and_merge: fork failed");
+    }
+    if (pid == 0) {
+      // Worker: run the slice, then leave WITHOUT unwinding the parent's
+      // state (no atexit handlers, no double-flushed stdio buffers).
+      int code = 2;
+      try {
+        code = worker(j, shard_row_path(prefix, j), shard_meta_path(prefix, j));
+      } catch (...) {
+        code = 2;
+      }
+      std::_Exit(code);
+    }
+    pids[j] = pid;
+  }
+  for (unsigned j = 0; j < opts.procs; ++j) {
+    int status = 0;
+    if (::waitpid(pids[j], &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) >= 2) {
+      worker_failed[j] = 1;
+    }
+  }
+#else
+  // No fork on this platform: run the shards sequentially in-process. Same
+  // shard files, same merge, same bytes — just no parallelism.
+  for (unsigned j = 0; j < opts.procs; ++j) {
+    int code = 2;
+    try {
+      code = worker(j, shard_row_path(prefix, j), shard_meta_path(prefix, j));
+    } catch (...) {
+      code = 2;
+    }
+    if (code >= 2) worker_failed[j] = 1;
+  }
+#endif
+
+  // Sum the meta digests (a failed worker may not have written one).
+  ForkMergeSummary summary;
+  std::vector<std::string> row_paths;
+  row_paths.reserve(opts.procs);
+  for (unsigned j = 0; j < opts.procs; ++j) {
+    row_paths.push_back(shard_row_path(prefix, j));
+    std::ifstream meta(shard_meta_path(prefix, j));
+    u64 a = 0, b = 0, c = 0;
+    if (meta >> a >> b >> c) {
+      summary.meta[0] += a;
+      summary.meta[1] += b;
+      summary.meta[2] += c;
+    } else {
+      worker_failed[j] = 1;
+    }
+  }
+  for (const char f : worker_failed) {
+    summary.failed_workers += static_cast<unsigned>(f);
+  }
+
+  merge_shard_rows(row_paths, opts.csv_header, rows_out);
+
+  for (unsigned j = 0; j < opts.procs; ++j) {
+    std::remove(shard_row_path(prefix, j).c_str());
+    std::remove(shard_meta_path(prefix, j).c_str());
+  }
+  return summary;
+}
 
 void merge_shard_rows(const std::vector<std::string>& shard_paths,
                       bool csv_header, std::ostream& out) {
@@ -168,97 +270,28 @@ ProcSummary run_sweep_procs(const std::vector<SweepPoint>& points,
     return summary;
   }
 
-  ProcOptions effective = opts;
-  if (effective.scratch_prefix.empty()) {
-    effective.scratch_prefix = default_prefix();
-  }
   // Validate the format (and the points — run_sweep would only throw
   // inside the children otherwise, which reports poorly).
-  if (report::make_row_writer(effective.format, rows_out) == nullptr) {
+  if (report::make_row_writer(opts.format, rows_out) == nullptr) {
     throw std::invalid_argument("run_sweep_procs: unknown row format \"" +
-                                effective.format + "\"");
+                                opts.format + "\"");
   }
 
-  // Pre-create every shard row file so the merge can always open them,
-  // even for a worker that dies before its first row.
-  for (unsigned j = 0; j < effective.procs; ++j) {
-    std::ofstream touch(shard_row_path(effective.scratch_prefix, j),
-                        std::ios::trunc);
-    if (!touch) {
-      throw std::runtime_error("run_sweep_procs: cannot create " +
-                               shard_row_path(effective.scratch_prefix, j));
-    }
-  }
-
-  std::vector<char> worker_failed(effective.procs, 0);
-#if LAEC_HAVE_FORK
-  std::vector<pid_t> pids(effective.procs, -1);
-  for (unsigned j = 0; j < effective.procs; ++j) {
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      throw std::runtime_error("run_sweep_procs: fork failed");
-    }
-    if (pid == 0) {
-      // Worker: run the slice, then leave WITHOUT unwinding the parent's
-      // state (no atexit handlers, no double-flushed stdio buffers).
-      int code = 2;
-      try {
-        code = run_worker(points, effective, j);
-      } catch (...) {
-        code = 2;
-      }
-      std::_Exit(code);
-    }
-    pids[j] = pid;
-  }
-  for (unsigned j = 0; j < effective.procs; ++j) {
-    int status = 0;
-    if (::waitpid(pids[j], &status, 0) < 0 || !WIFEXITED(status) ||
-        WEXITSTATUS(status) >= 2) {
-      worker_failed[j] = 1;
-    }
-  }
-#else
-  // No fork on this platform: run the shards sequentially in-process. Same
-  // shard files, same merge, same bytes — just no parallelism.
-  for (unsigned j = 0; j < effective.procs; ++j) {
-    int code = 2;
-    try {
-      code = run_worker(points, effective, j);
-    } catch (...) {
-      code = 2;
-    }
-    if (code >= 2) worker_failed[j] = 1;
-  }
-#endif
-
-  // Sum the meta digests (a failed worker may not have written one).
-  std::vector<std::string> row_paths;
-  row_paths.reserve(effective.procs);
-  for (unsigned j = 0; j < effective.procs; ++j) {
-    row_paths.push_back(shard_row_path(effective.scratch_prefix, j));
-    std::ifstream meta(shard_meta_path(effective.scratch_prefix, j));
-    std::size_t pts = 0, failures = 0;
-    u64 cycles = 0;
-    if (meta >> pts >> cycles >> failures) {
-      summary.points_run += pts;
-      summary.cycles += cycles;
-      summary.self_check_failures += failures;
-    } else {
-      worker_failed[j] = 1;
-    }
-  }
-  for (const char f : worker_failed) {
-    summary.failed_workers += static_cast<unsigned>(f);
-  }
-
-  merge_shard_rows(row_paths, /*csv_header=*/effective.format == "csv",
-                   rows_out);
-
-  for (unsigned j = 0; j < effective.procs; ++j) {
-    std::remove(shard_row_path(effective.scratch_prefix, j).c_str());
-    std::remove(shard_meta_path(effective.scratch_prefix, j).c_str());
-  }
+  ForkMergeOptions fm;
+  fm.procs = opts.procs;
+  fm.scratch_prefix = opts.scratch_prefix;
+  fm.csv_header = opts.format == "csv";
+  const ForkMergeSummary fms = fork_workers_and_merge(
+      fm,
+      [&](unsigned j, const std::string& rows_path,
+          const std::string& meta_path) {
+        return run_worker(points, opts, j, rows_path, meta_path);
+      },
+      rows_out);
+  summary.points_run = static_cast<std::size_t>(fms.meta[0]);
+  summary.cycles = fms.meta[1];
+  summary.self_check_failures = static_cast<std::size_t>(fms.meta[2]);
+  summary.failed_workers = fms.failed_workers;
   return summary;
 }
 

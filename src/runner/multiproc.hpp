@@ -27,6 +27,7 @@
 // parent reports the dead worker and still merges the survivors).
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -34,6 +35,59 @@
 #include "runner/sweep_runner.hpp"
 
 namespace laec::runner {
+
+// --- generic fork-and-merge engine -----------------------------------------
+// The process-level machinery is identical for every row-producing driver
+// (the sweep runner here, the reliability campaign in src/reliability):
+// pre-create one row file per worker so the merge can always open them,
+// fork the workers (sequential fallback without fork), wait, sum the
+// workers' three-counter meta digests, round-robin-merge the row files
+// byte-identically and clean the scratch files up. Only the worker body
+// differs, so it is a callback.
+
+struct ForkMergeOptions {
+  unsigned procs = 1;
+  /// Path prefix for the per-worker row/meta files. Empty picks a unique
+  /// prefix under the system temp directory.
+  std::string scratch_prefix;
+  /// CSV: every worker writes the same header; emit exactly one.
+  bool csv_header = true;
+};
+
+struct ForkMergeSummary {
+  /// Sum of the workers' meta digests ("a b c" per file); what each slot
+  /// means is the caller's contract with its worker.
+  u64 meta[3] = {0, 0, 0};
+  /// Workers that died (signal), exited >= 2, or left no readable meta.
+  unsigned failed_workers = 0;
+};
+
+/// Worker body, run in the CHILD process (or sequentially where fork is
+/// unavailable): write rows to `rows_path`, the "a b c" digest to
+/// `meta_path`, return 0/1 (business outcome) or >= 2 (worker failure).
+using ProcWorkerFn = std::function<int(
+    unsigned j, const std::string& rows_path, const std::string& meta_path)>;
+
+ForkMergeSummary fork_workers_and_merge(const ForkMergeOptions& opts,
+                                        const ProcWorkerFn& worker,
+                                        std::ostream& rows_out);
+
+/// The slice worker j of `procs` runs: the parent's (index, count) shard
+/// subdivided P ways — index + j*count of count*procs — with an auto
+/// thread budget (`threads` == 0) split across the workers so --procs=N
+/// saturates the machine once, not N times over. One definition keeps the
+/// sweep and campaign drivers' merge orderings locked together: the g-th
+/// row of the parent's slice lands in worker g mod procs, which is
+/// exactly what the round-robin merge assumes.
+struct WorkerShard {
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
+  unsigned threads = 0;
+};
+[[nodiscard]] WorkerShard proc_worker_shard(unsigned parent_index,
+                                            unsigned parent_count,
+                                            unsigned threads, unsigned procs,
+                                            unsigned j);
 
 struct ProcOptions {
   /// Worker processes. 1 runs the sweep in-process (no fork) — byte-for-

@@ -50,14 +50,25 @@ PointResult run_point(const SweepPoint& point, u64 base_seed) {
   core::SimConfig cfg = point.config;
   const u64 seed = point_seed(base_seed, point);
   if (cfg.faults.has_value()) {
-    cfg.faults->seed = splitmix64(seed ^ 0xfa17u);
+    // Mixing the replicate index here (and only here) keeps the trace
+    // identical across a cell's trials while giving each trial its own
+    // fault sequence; replicate 0 reproduces the historical seed exactly.
+    cfg.faults->seed = splitmix64(
+        seed ^ 0xfa17u ^ (point.replicate * 0x9e3779b97f4a7c15ull));
   }
 
   const auto& entry = workloads::kernel_by_name(point.workload);
   if (point.mode == RunMode::kTrace) {
     auto params = workloads::SyntheticParams::from_kernel(entry,
                                                           point.trace_ops);
-    params.seed = seed;
+    // Trace mode has no fault storm for the replicate to vary, so it
+    // varies the TRACE instead — each replicate is an independent
+    // synthetic-workload sample. Replicate 0 keeps the historical seed.
+    params.seed =
+        point.replicate == 0
+            ? seed
+            : splitmix64(seed ^
+                         (point.replicate * 0x9e3779b97f4a7c15ull));
     workloads::SyntheticTrace trace(params);
     r.stats = core::run_trace(cfg, trace);
     return r;
@@ -66,6 +77,9 @@ PointResult run_point(const SweepPoint& point, u64 base_seed) {
   const auto built = entry.build();
   auto run = core::run_program_keep_system(cfg, built.program);
   r.stats = std::move(run.stats);
+  if (run.injector != nullptr) {
+    r.faults_injected = run.injector->injected_total();
+  }
   for (const auto& [addr, expect] : built.expected) {
     if (run.system->read_word_final(addr) != expect) {
       r.self_check_ok = false;
@@ -171,6 +185,14 @@ SweepGrid& SweepGrid::trace_ops(u64 ops) {
   return *this;
 }
 
+SweepGrid& SweepGrid::replicates(u64 n) {
+  if (n == 0) {
+    throw std::invalid_argument("SweepGrid::replicates: n must be >= 1");
+  }
+  replicates_ = n;
+  return *this;
+}
+
 std::vector<SweepPoint> SweepGrid::points() const {
   // A single identity variant keeps the expansion uniform.
   static const ConfigVariant kIdentity{"default", nullptr};
@@ -188,23 +210,26 @@ std::vector<SweepPoint> SweepGrid::points() const {
 
   std::vector<SweepPoint> out;
   out.reserve(workloads_.size() * variants->size() * deployments.size() *
-              hazards_.size());
+              hazards_.size() * replicates_);
   for (const auto& w : workloads_) {
     for (const auto& v : *variants) {
       for (const auto& dep : deployments) {
         for (const auto hz : hazards_) {
-          SweepPoint p;
-          p.index = out.size();
-          p.workload = w;
-          p.variant = v.name;
-          p.config = base_;
-          if (v.tweak) v.tweak(p.config);
-          p.config.deployment = dep;
-          p.config.ecc = dep.timing;
-          p.config.hazard_rule = hz;
-          p.mode = mode_;
-          p.trace_ops = trace_ops_;
-          out.push_back(std::move(p));
+          for (u64 rep = 0; rep < replicates_; ++rep) {
+            SweepPoint p;
+            p.index = out.size();
+            p.workload = w;
+            p.variant = v.name;
+            p.config = base_;
+            if (v.tweak) v.tweak(p.config);
+            p.config.deployment = dep;
+            p.config.ecc = dep.timing;
+            p.config.hazard_rule = hz;
+            p.mode = mode_;
+            p.trace_ops = trace_ops_;
+            p.replicate = rep;
+            out.push_back(std::move(p));
+          }
         }
       }
     }

@@ -51,6 +51,15 @@ struct SweepPoint {
   core::SimConfig config;
   RunMode mode = RunMode::kProgram;
   u64 trace_ops = 120'000;
+  /// Monte Carlo trial index (the reliability campaign's trials axis).
+  /// Replicates share the point's workload-identity seed — so every scheme
+  /// sees the identical trace — but the FAULT storm's seed mixes this in,
+  /// giving each trial an independent fault stream that is still
+  /// seed-paired across schemes (trial t of scheme A and scheme B seed the
+  /// same storm; the realized sequences diverge where codeword widths or
+  /// recovery paths differ). 0 (the default) reproduces the pre-replicate
+  /// seeding exactly.
+  u64 replicate = 0;
 };
 
 struct PointResult {
@@ -59,6 +68,8 @@ struct PointResult {
   /// Program mode: did every architecturally-final word match the kernel's
   /// C++ reference model? (Trace mode has no checks; stays true.)
   bool self_check_ok = true;
+  /// Fault events the point's injector delivered (0 when faults unset).
+  u64 faults_injected = 0;
 };
 
 /// Named SimConfig mutation (geometry / latency variants for ablations).
@@ -68,7 +79,7 @@ struct ConfigVariant {
 };
 
 /// Cross-product grid builder. Order of expansion is fixed:
-/// workload (outer) × variant × scheme × hazard (inner).
+/// workload (outer) × variant × scheme × hazard × replicate (inner).
 class SweepGrid {
  public:
   SweepGrid& workloads(std::vector<std::string> names);
@@ -87,6 +98,12 @@ class SweepGrid {
   SweepGrid& base_config(core::SimConfig cfg);
   SweepGrid& mode(RunMode m);
   SweepGrid& trace_ops(u64 ops);
+  /// Monte Carlo trials axis: expand every point into `n` replicates
+  /// (innermost, replicate = 0..n-1). Program mode varies the FAULT
+  /// stream per replicate (see SweepPoint::replicate); trace mode varies
+  /// the synthetic TRACE itself (there is no storm to vary). n must
+  /// be >= 1.
+  SweepGrid& replicates(u64 n);
 
   /// Expand into the deterministic point list. Throws std::invalid_argument
   /// when a scheme key does not parse (unknown codec/placement).
@@ -100,6 +117,7 @@ class SweepGrid {
   core::SimConfig base_;
   RunMode mode_ = RunMode::kProgram;
   u64 trace_ops_ = 120'000;
+  u64 replicates_ = 1;
 };
 
 struct SweepOptions {

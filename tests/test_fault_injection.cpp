@@ -5,6 +5,8 @@
 //  * double flips under SECDED raise detected-uncorrectable events.
 #include <gtest/gtest.h>
 
+#include "ecc/registry.hpp"
+#include "mem/cache.hpp"
 #include "sim_test_util.hpp"
 #include "workloads/eembc.hpp"
 
@@ -142,6 +144,98 @@ TEST(FaultInjection, L2TargetedAdjacentStormSecdedOnlyDetects) {
   EXPECT_GT(r.stats.l2_detected_uncorrectable, 0u);
   EXPECT_GT(r.stats.l2_refetches, 0u);
   EXPECT_EQ(r.stats.l2_corrected_adjacent, 0u);
+}
+
+TEST(FaultInjection, L1iReadOnlyArrayAcceptsCorrectingCodecAndScrubs) {
+  // A CORRECTING codec on the read-only L1I: in-place correction scrubs
+  // the array directly (no write() path, which would throw on the
+  // read-only array) and fetch never degenerates to a refetch.
+  const auto k = kernel_by_name("tblook").build();
+  auto cfg = test::test_config(EccPolicy::kLaec);
+  cfg.set_scheme("laec+l1i:secded-39-32:correct");
+  ecc::InjectorConfig inj;
+  inj.single_flip_prob = 0.001;
+  inj.seed = 0xdead;
+  cfg.faults = inj;
+  cfg.inject_target = core::InjectTarget::kL1i;
+  auto r = test::run_keep_system(cfg, k.program);
+  ASSERT_TRUE(r.stats.completed);
+  EXPECT_GT(r.stats.l1i_corrected, 0u) << "storm did not land any flips";
+  EXPECT_EQ(r.stats.l1i_refetches, 0u)
+      << "corrected words must not be refetched";
+  for (const auto& [addr, expect] : k.expected) {
+    ASSERT_EQ(r.system->read_word_final(addr), expect);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flip placement: check-bit strikes vs data-bit strikes, at array level.
+// ---------------------------------------------------------------------------
+
+mem::SetAssocCache secded_array(ecc::FaultInjector* inj) {
+  mem::CacheConfig cfg;
+  cfg.name = "dut";
+  cfg.size_bytes = 1024;
+  cfg.line_bytes = 32;
+  cfg.ways = 2;
+  cfg.codec = ecc::make_codec("secded-39-32");
+  mem::SetAssocCache cache(cfg);
+  cache.set_injector(inj);
+  return cache;
+}
+
+TEST(FaultInjection, CheckBitFlipIsCorrectedWithDataUntouched) {
+  // Codeword layout: bits [0,32) data, [32,39) check. A flip in the check
+  // side-array must be reported corrected while the delivered word never
+  // changed — and scrubbing must repair the stored check bits so the next
+  // read is clean.
+  ecc::FaultInjector inj;
+  auto cache = secded_array(&inj);
+  std::vector<u8> line(32, 0);
+  line[0] = 0x78; line[1] = 0x56; line[2] = 0x34; line[3] = 0x12;
+  cache.fill(0x40, line.data(), /*dirty=*/false);
+
+  inj.script_flip(/*word_index=*/0x40 / 4, /*bit=*/35);
+  auto r = cache.read(0x40, 4);
+  EXPECT_EQ(r.check, ecc::CheckStatus::kCorrected);
+  EXPECT_EQ(r.value, 0x12345678u);
+  r = cache.read(0x40, 4);
+  EXPECT_EQ(r.check, ecc::CheckStatus::kOk) << "scrub left the fault in";
+  EXPECT_EQ(cache.stats().value("ecc_corrected"), 1u);
+}
+
+TEST(FaultInjection, DataBitFlipIsCorrectedBackToTheStoredValue) {
+  ecc::FaultInjector inj;
+  auto cache = secded_array(&inj);
+  std::vector<u8> line(32, 0);
+  line[4] = 0xef; line[5] = 0xbe; line[6] = 0xad; line[7] = 0xde;
+  cache.fill(0x40, line.data(), /*dirty=*/false);
+
+  inj.script_flip(/*word_index=*/0x44 / 4, /*bit=*/7);
+  const auto r = cache.read(0x44, 4);
+  EXPECT_EQ(r.check, ecc::CheckStatus::kCorrected);
+  EXPECT_EQ(r.value, 0xdeadbeefu);
+}
+
+TEST(FaultInjection, ParityCheckBitFlipIsDetectedNotCorrected) {
+  // Detect-only parity: a flipped parity bit (codeword bit 32) is
+  // indistinguishable from a flipped data bit — flagged, never repaired.
+  ecc::FaultInjector inj;
+  mem::CacheConfig cfg;
+  cfg.name = "dut";
+  cfg.size_bytes = 1024;
+  cfg.line_bytes = 32;
+  cfg.ways = 2;
+  cfg.codec = ecc::make_codec("parity-32");
+  mem::SetAssocCache cache(cfg);
+  cache.set_injector(&inj);
+  std::vector<u8> line(32, 0x5a);
+  cache.fill(0x80, line.data(), /*dirty=*/false);
+
+  inj.script_flip(/*word_index=*/0x80 / 4, /*bit=*/32);
+  const auto r = cache.read(0x80, 4);
+  EXPECT_EQ(r.check, ecc::CheckStatus::kDetectedUncorrectable);
+  EXPECT_EQ(cache.stats().value("ecc_detected_uncorrectable"), 1u);
 }
 
 TEST(FaultInjection, FaultFreeRunHasNoEvents) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace laec::ecc {
 namespace {
 
@@ -110,6 +112,102 @@ TEST(Injector, DeterministicAcrossInstances) {
     EXPECT_EQ(a.flips_for_access(static_cast<u64>(i)),
               b.flips_for_access(static_cast<u64>(i)));
   }
+}
+
+TEST(Injector, ScriptedPlusRandomDrawFillsFlipSetExactlyToCapacity) {
+  // kMax - 2 scripted flips plus a certain double draw: the reserve math
+  // must land the set EXACTLY full, never over.
+  InjectorConfig cfg;
+  cfg.double_flip_prob = 1.0;
+  cfg.word_bits = 39;
+  FaultInjector inj(cfg);
+  for (unsigned b = 0; b < FlipSet::kMax - 2; ++b) inj.script_flip(4, b);
+  const auto f = inj.flips_for_access(4);
+  EXPECT_EQ(f.size(), FlipSet::kMax);
+  EXPECT_TRUE(f.full());
+  EXPECT_EQ(inj.injected_scripted(), FlipSet::kMax - 2);
+  EXPECT_EQ(inj.injected_double(), 1u);
+}
+
+TEST(Injector, PatternModeWidensTheScriptedReserve) {
+  // With pattern events armed (worst case: a 4-flip cluster), the scripted
+  // drain must leave 6 slots free — surplus stays queued for the next
+  // access instead of overflowing.
+  InjectorConfig cfg;
+  cfg.event_prob = 1e-12;  // armed but effectively never fires
+  cfg.patterns = {0.0, 0.0, 0.0, 1.0};
+  cfg.word_bits = 39;
+  FaultInjector inj(cfg);
+  for (unsigned b = 0; b < 6; ++b) inj.script_flip(9, b);
+  const auto first = inj.flips_for_access(9);
+  EXPECT_EQ(first.size(), FlipSet::kMax - 6);
+  unsigned delivered = first.size();
+  int accesses = 1;
+  while (inj.injected_scripted() < 6 && accesses < 10) {
+    delivered += inj.flips_for_access(9).size();
+    ++accesses;
+  }
+  EXPECT_EQ(delivered, 6u);
+  EXPECT_EQ(inj.injected_scripted(), 6u);
+  EXPECT_GE(accesses, 3);  // two slots per access
+}
+
+TEST(Injector, PatternTableDrawsEveryShapeWithTheRightGeometry) {
+  InjectorConfig cfg;
+  cfg.event_prob = 1.0;
+  cfg.patterns = {0.25, 0.25, 0.25, 0.25};
+  cfg.word_bits = 45;
+  FaultInjector inj(cfg);
+  int singles = 0, pairs = 0, triples = 0, clusters = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto f = inj.flips_for_access(static_cast<u64>(i));
+    ASSERT_GE(f.size(), 1u);
+    ASSERT_LE(f.size(), 4u);
+    unsigned lo = 45, hi = 0;
+    for (unsigned k = 0; k < f.size(); ++k) {
+      ASSERT_LT(f[k], 45u);
+      lo = std::min(lo, f[k]);
+      hi = std::max(hi, f[k]);
+      for (unsigned m = k + 1; m < f.size(); ++m) {
+        ASSERT_NE(f[k], f[m]) << "duplicate flip position";
+      }
+    }
+    const bool contiguous = hi - lo + 1 == f.size();
+    if (f.size() == 1) {
+      ++singles;
+    } else if (f.size() == 2 && contiguous) {
+      ++pairs;
+    } else if (f.size() == 3 && contiguous) {
+      ++triples;
+    } else {
+      // Clustered: confined to an 8-bit window. (A cluster CAN come out
+      // contiguous by chance; the contiguous 2/3-flip draws above fold
+      // those in, which only biases the shape counts, not the geometry.)
+      ++clusters;
+      EXPECT_LE(hi - lo, 7u) << "cluster escaped its 8-bit window";
+    }
+  }
+  EXPECT_EQ(inj.injected_pattern(), 2000u);
+  EXPECT_EQ(inj.injected_total(), 2000u);
+  // Every shape must actually occur (weights are equal).
+  EXPECT_GT(singles, 200);
+  EXPECT_GT(pairs, 200);
+  EXPECT_GT(triples, 100);
+  EXPECT_GT(clusters, 100);
+}
+
+TEST(Injector, PatternEventsHonorTheEventProbability) {
+  InjectorConfig cfg;
+  cfg.event_prob = 0.05;
+  cfg.patterns = {1.0, 0.0, 0.0, 0.0};
+  cfg.word_bits = 39;
+  FaultInjector inj(cfg);
+  EXPECT_TRUE(inj.enabled());
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    (void)inj.flips_for_access(static_cast<u64>(i));
+  }
+  EXPECT_NEAR(static_cast<double>(inj.injected_pattern()) / kN, 0.05, 0.008);
 }
 
 }  // namespace

@@ -56,6 +56,41 @@ TEST(SweepGrid, ExpansionIsStableAndComplete) {
   }
 }
 
+TEST(SweepGrid, ReplicatesAxisExpandsInnermostWithTrialIndices) {
+  SweepGrid g;
+  g.workloads({"tblook"}).eccs({EccPolicy::kNoEcc, EccPolicy::kLaec});
+  g.replicates(3).mode(RunMode::kTrace);
+  const auto pts = g.points();
+  ASSERT_EQ(pts.size(), 6u);  // 2 schemes x 3 replicates, replicate inner
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(pts[i].index, i);
+    EXPECT_EQ(pts[i].replicate, i % 3);
+  }
+  EXPECT_EQ(pts[2].config.ecc, EccPolicy::kNoEcc);
+  EXPECT_EQ(pts[3].config.ecc, EccPolicy::kLaec);
+  // Replicates share the workload-identity seed; what varies per trial is
+  // mixed in inside run_point (program mode: the fault stream; trace
+  // mode: the synthetic trace itself).
+  EXPECT_EQ(point_seed(1, pts[0]), point_seed(1, pts[1]));
+  EXPECT_THROW((void)g.replicates(0), std::invalid_argument);
+}
+
+TEST(SweepRunner, TraceReplicatesAreIndependentSamples) {
+  SweepGrid g;
+  g.workloads({"tblook"})
+      .eccs({EccPolicy::kLaec})
+      .replicates(3)
+      .mode(RunMode::kTrace)
+      .trace_ops(4000);
+  const auto summary = run_sweep(g.points(), {});
+  ASSERT_EQ(summary.results.size(), 3u);
+  // Replicate 0 keeps the historical trace; later replicates draw fresh
+  // traces — byte-identical rows across them would make Monte Carlo
+  // statistics on the replicate axis spurious.
+  EXPECT_NE(summary.results[0].stats.cycles, summary.results[1].stats.cycles);
+  EXPECT_NE(summary.results[1].stats.cycles, summary.results[2].stats.cycles);
+}
+
 TEST(SweepGrid, VariantsApplyTweaksOnTopOfBaseConfig) {
   core::SimConfig base;
   base.write_buffer_depth = 2;

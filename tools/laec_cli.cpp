@@ -16,6 +16,12 @@
 //       kernel argument this is the Fig. 8 grid (16 kernels x 4 schemes).
 //       --procs=N forks one worker process per shard on top of the thread
 //       pool; rows merge deterministically (byte-identical to --procs=1).
+//   laec_cli campaign [kernel] [options]
+//       Monte Carlo reliability campaign: run N fault-injection trials per
+//       (workload x scheme x rate) cell and emit one row per cell with
+//       FIT / MTTF / AVF estimates and Wilson confidence intervals.
+//       Composes with --threads / --shard / --procs exactly like sweep
+//       (byte-identical row merges at any layout).
 //
 // Options:
 //   --ecc=<scheme>[,<scheme>...] (default laec). A scheme key is a policy
@@ -35,19 +41,36 @@
 //   --inject-target=<dl1|l1i|l2> which cache array the storm strikes
 //   --csv                        machine-readable one-line output
 //
-// Sweep options:
+// Sweep/campaign options:
 //   --threads=<n>                worker threads (0 = hardware concurrency)
 //   --procs=<n>                  fork n worker processes (shards the grid,
 //                                merges rows byte-identically)
 //   --shard=<i>/<n>              run shard i of n (results union to the grid)
 //   --format=<csv|jsonl>         row format (default csv)
 //   --out=<file>                 write rows to a file instead of stdout
-//   --trace                      calibrated-trace mode instead of programs
+//   --trace                      calibrated-trace mode (sweep only)
 //   --seed=<n>                   base seed for per-point deterministic RNG
+//
+// Campaign options:
+//   --rates=<r>[,<r>...]         rate axis: tech presets (65nm, 40nm, 28nm)
+//                                or numeric raw FIT/Mbit values
+//   --trials=<n>                 Monte Carlo trials per cell (default 96)
+//   --min-trials=<n> --batch=<n> stopping-rule schedule
+//   --confidence=<c>             CI level (default 0.95)
+//   --ci-width=<w>               stop a cell early once the Wilson CI
+//                                half-width on p_fail drops to w
+//   --accel=<a> --exposure=<cyc> fault-process acceleration knobs
+//   --mbu=s:W,adj2:W,adj3:W,cluster:W
+//                                MBU pattern-probability table; overrides
+//                                every rate's shape mix (without it,
+//                                presets carry their own and numeric rates
+//                                use the 40nm mix)
+//   --inject-target=dl1|l1i|l2   which cache array the campaign strikes
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -55,6 +78,7 @@
 #include "core/simulator.hpp"
 #include "ecc/registry.hpp"
 #include "ecc/xor_tree.hpp"
+#include "reliability/campaign.hpp"
 #include "report/sink.hpp"
 #include "report/table.hpp"
 #include "runner/multiproc.hpp"
@@ -92,30 +116,98 @@ struct CliOptions {
   /// Sweep-only flags seen on the command line (rejected for other
   /// commands instead of being silently ignored).
   std::vector<std::string> sweep_only_flags;
+
+  // Campaign mode.
+  reliability::CampaignSpec campaign;
+  std::vector<std::string> rate_tokens;
+  ecc::MbuPatternTable mbu;       ///< --mbu table for numeric rates
+  bool mbu_explicit = false;
+  std::vector<std::string> campaign_only_flags;
 };
+
+/// Split a comma list into its non-empty items.
+std::vector<std::string> split_csv(const std::string& v) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= v.size()) {
+    const auto comma = v.find(',', start);
+    const std::string item =
+        v.substr(start, comma == std::string::npos ? v.size() - start
+                                                   : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Parse a double consuming the WHOLE string ("0.7junk" is an error, not
+/// 0.7). nullopt on any failure.
+std::optional<double> parse_double_strict(const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Strict unsigned parse: the whole string must be digits ("1e3" is an
+/// error, not 1). nullopt on any failure.
+std::optional<unsigned long> parse_ulong_strict(const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const unsigned long v = std::stoul(s, &used);
+    if (used != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Shared handler shape for the campaign's strict numeric flags: parse or
+/// report and poison the options.
+bool take_ulong(const std::string& flag, const std::string& v, CliOptions& o,
+                unsigned& out) {
+  const auto parsed = parse_ulong_strict(v);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "%s wants a whole number, not %s\n", flag.c_str(),
+                 v.c_str());
+    o.ok = false;
+    return false;
+  }
+  out = static_cast<unsigned>(*parsed);
+  return true;
+}
+
+bool take_double(const std::string& flag, const std::string& v, CliOptions& o,
+                 double& out) {
+  const auto parsed = parse_double_strict(v);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "%s wants a number, not %s\n", flag.c_str(),
+                 v.c_str());
+    o.ok = false;
+    return false;
+  }
+  out = *parsed;
+  return true;
+}
 
 /// Split a comma-separated --ecc value into scheme keys and validate each
 /// against EccDeployment::parse. The first key also configures the single-
 /// run config (run/trace/compare use exactly one scheme).
 void parse_ecc(const std::string& v, CliOptions& o) {
-  std::size_t start = 0;
-  while (start <= v.size()) {
-    const auto comma = v.find(',', start);
-    const std::string key =
-        v.substr(start, comma == std::string::npos ? v.size() - start
-                                                   : comma - start);
-    if (!key.empty()) {
-      try {
-        (void)core::EccDeployment::parse(key);
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "--ecc: %s\n", e.what());
-        o.ok = false;
-        return;
-      }
-      o.ecc_schemes.push_back(key);
+  for (const std::string& key : split_csv(v)) {
+    try {
+      (void)core::EccDeployment::parse(key);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--ecc: %s\n", e.what());
+      o.ok = false;
+      return;
     }
-    if (comma == std::string::npos) break;
-    start = comma + 1;
+    o.ecc_schemes.push_back(key);
   }
   if (o.ecc_schemes.empty()) {
     std::fprintf(stderr, "--ecc wants at least one scheme key\n");
@@ -129,6 +221,31 @@ void parse_ecc(const std::string& v, CliOptions& o) {
   }
 }
 
+/// Parse an --mbu pattern table: comma list of key:weight pairs with keys
+/// single|s, adj2, adj3, cluster|clustered. Returns false on a bad entry.
+bool parse_mbu(const std::string& v, ecc::MbuPatternTable& t) {
+  t = {0.0, 0.0, 0.0, 0.0};
+  for (const std::string& item : split_csv(v)) {
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) return false;
+    const std::string key = item.substr(0, colon);
+    const auto w = parse_double_strict(item.substr(colon + 1));
+    if (!w.has_value() || *w < 0.0) return false;
+    if (key == "single" || key == "s") {
+      t.single = *w;
+    } else if (key == "adj2") {
+      t.adjacent_double = *w;
+    } else if (key == "adj3") {
+      t.adjacent_triple = *w;
+    } else if (key == "cluster" || key == "clustered") {
+      t.clustered = *w;
+    } else {
+      return false;
+    }
+  }
+  return t.total() > 0.0;
+}
+
 CliOptions parse(int argc, char** argv) {
   CliOptions o;
   if (argc < 2) {
@@ -138,7 +255,8 @@ CliOptions parse(int argc, char** argv) {
   o.command = argv[1];
   int i = 2;
   if ((o.command == "run" || o.command == "trace" ||
-       o.command == "compare" || o.command == "sweep") &&
+       o.command == "compare" || o.command == "sweep" ||
+       o.command == "campaign") &&
       argc >= 3 && argv[2][0] != '-') {
     o.kernel = argv[2];
     i = 3;
@@ -231,12 +349,61 @@ CliOptions parse(int argc, char** argv) {
     } else if (arg == "--trace") {
       o.sweep_trace = true;
       o.sweep_only_flags.push_back("--trace");
+    } else if (auto rv = value("--rates"); !rv.empty()) {
+      o.campaign_only_flags.push_back("--rates");
+      o.rate_tokens = split_csv(rv);
+      if (o.rate_tokens.empty()) {
+        std::fprintf(stderr, "--rates wants at least one preset or number\n");
+        o.ok = false;
+      }
+    } else if (auto tv = value("--trials"); !tv.empty()) {
+      (void)take_ulong("--trials", tv, o, o.campaign.trials);
+      o.campaign_only_flags.push_back("--trials");
+    } else if (auto mv = value("--min-trials"); !mv.empty()) {
+      (void)take_ulong("--min-trials", mv, o, o.campaign.min_trials);
+      o.campaign_only_flags.push_back("--min-trials");
+    } else if (auto bv = value("--batch"); !bv.empty()) {
+      (void)take_ulong("--batch", bv, o, o.campaign.batch);
+      o.campaign_only_flags.push_back("--batch");
+    } else if (auto cv = value("--confidence"); !cv.empty()) {
+      (void)take_double("--confidence", cv, o, o.campaign.confidence);
+      o.campaign_only_flags.push_back("--confidence");
+    } else if (auto wv = value("--ci-width"); !wv.empty()) {
+      (void)take_double("--ci-width", wv, o, o.campaign.target_half_width);
+      o.campaign_only_flags.push_back("--ci-width");
+    } else if (auto av = value("--accel"); !av.empty()) {
+      (void)take_double("--accel", av, o, o.campaign.accel);
+      o.campaign_only_flags.push_back("--accel");
+    } else if (auto ev = value("--exposure"); !ev.empty()) {
+      (void)take_ulong("--exposure", ev, o, o.campaign.exposure_cycles);
+      o.campaign_only_flags.push_back("--exposure");
+    } else if (auto uv = value("--mbu"); !uv.empty()) {
+      o.campaign_only_flags.push_back("--mbu");
+      if (!parse_mbu(uv, o.mbu)) {
+        std::fprintf(stderr,
+                     "--mbu wants key:weight pairs (single/adj2/adj3/"
+                     "cluster) with a positive total, not %s\n",
+                     uv.c_str());
+        o.ok = false;
+      } else {
+        o.mbu_explicit = true;
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       o.ok = false;
     }
   }
-  if (o.inject_target_explicit && !o.cfg.faults.has_value()) {
+  if (o.command == "campaign") {
+    // The campaign derives its own storm from the rate axis; the Bernoulli
+    // --inject-* flags would fight it.
+    if (o.cfg.faults.has_value()) {
+      std::fprintf(stderr,
+                   "campaign samples its own faults from --rates; drop "
+                   "--inject-single/--inject-double/--inject-adjacent\n");
+      o.ok = false;
+    }
+    o.campaign.target = o.cfg.inject_target;
+  } else if (o.inject_target_explicit && !o.cfg.faults.has_value()) {
     std::fprintf(stderr,
                  "--inject-target needs an injection rate "
                  "(--inject-single=P or --inject-double=P)\n");
@@ -353,7 +520,7 @@ int cmd_schemes() {
       "level as --ecc segments; 64-bit geometries are library-only for\n"
       "now):\n");
   report::Table t({"name", "k", "r", "corrects", "adj-corr", "adj3-corr",
-                   "adj-DED", "DED", "deployable"});
+                   "2-corr", "adj-DED", "DED", "deployable"});
   for (const auto& name : ecc::registered_codecs()) {
     const auto c = ecc::make_codec(name);
     t.add_row({name, std::to_string(c->data_bits()),
@@ -361,6 +528,7 @@ int cmd_schemes() {
                c->corrects_single() ? "yes" : "no",
                c->corrects_adjacent_double() ? "yes" : "no",
                c->corrects_adjacent_triple() ? "yes" : "no",
+               c->corrects_double() ? "yes" : "no",
                c->detects_adjacent_double() ? "yes" : "no",
                c->detects_double() ? "yes" : "no",
                c->data_bits() == 32 ? "yes" : "no"});
@@ -482,23 +650,106 @@ int cmd_sweep(const CliOptions& o) {
   return summary.self_check_failures == 0 ? 0 : 1;
 }
 
+int cmd_campaign(const CliOptions& o) {
+  reliability::CampaignGrid grid;
+  if (o.kernel.empty() || o.kernel == "all") {
+    grid.all_workloads();
+  } else {
+    grid.workloads({o.kernel});
+  }
+  if (o.ecc_explicit) {
+    grid.schemes(o.ecc_schemes);
+  } else {
+    grid.schemes({"laec", "sec-daec-39-32", "sec-daec-taec-45-32"});
+  }
+
+  // Rate axis: presets carry their own MBU mix, numeric rates default to
+  // the 40nm mix — and an explicit --mbu table overrides BOTH (the
+  // operator's storm shape always wins).
+  const ecc::MbuPatternTable numeric_patterns =
+      o.mbu_explicit ? o.mbu : reliability::tech_preset("40nm")->patterns;
+  std::vector<std::string> tokens = o.rate_tokens;
+  if (tokens.empty()) tokens.push_back("40nm");
+  std::vector<reliability::RatePoint> rates;
+  for (const auto& tok : tokens) {
+    auto r = reliability::parse_rate(tok, numeric_patterns);
+    if (!r.has_value()) {
+      std::fprintf(stderr,
+                   "--rates: \"%s\" is neither a tech preset (65nm, 40nm, "
+                   "28nm) nor a positive FIT/Mbit number\n",
+                   tok.c_str());
+      return 2;
+    }
+    if (o.mbu_explicit) r->patterns = o.mbu;
+    rates.push_back(std::move(*r));
+  }
+  grid.rates(std::move(rates));
+
+  reliability::CampaignSpec spec = o.campaign;
+  spec.base = o.cfg;
+
+  std::ofstream file;
+  if (!o.out_path.empty()) {
+    file.open(o.out_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", o.out_path.c_str());
+      return 2;
+    }
+  }
+  std::ostream& out = o.out_path.empty() ? std::cout : file;
+  if (report::make_row_writer(o.format, out) == nullptr) {
+    std::fprintf(stderr, "unknown --format=%s (want csv or jsonl)\n",
+                 o.format.c_str());
+    return 2;
+  }
+
+  reliability::CampaignProcOptions popts;
+  popts.procs = o.procs;
+  popts.format = o.format;
+  popts.worker.threads = o.threads;
+  popts.worker.shard_index = o.shard_index;
+  popts.worker.shard_count = o.shard_count;
+  popts.worker.base_seed = o.base_seed;
+  if (!o.out_path.empty()) popts.scratch_prefix = o.out_path;
+  const auto summary =
+      reliability::run_campaign_procs(grid.cells(), spec, popts, out);
+
+  std::fprintf(stderr,
+               "campaign: %zu cells, %llu trials, %llu failing trials "
+               "(SDC + data-loss)\n",
+               summary.cells_run,
+               static_cast<unsigned long long>(summary.trials_run),
+               static_cast<unsigned long long>(summary.failures));
+  if (summary.failed_workers != 0) {
+    std::fprintf(stderr, "campaign: %u worker process(es) failed\n",
+                 summary.failed_workers);
+    return 2;
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(
       stderr,
-      "usage: laec_cli <list|schemes|run|trace|compare|sweep> [kernel] "
-      "[options]\n"
+      "usage: laec_cli <list|schemes|run|trace|compare|sweep|campaign> "
+      "[kernel] [options]\n"
       "  --ecc=SCHEME[,SCHEME...]   policy name, codec name,\n"
       "                             placement:codec, or compound hierarchy\n"
       "                             key like laec+l2:sec-daec-39-32 (see\n"
       "                             `laec_cli schemes`; comma list is\n"
-      "                             sweep-only)\n"
+      "                             sweep/campaign-only)\n"
       "  --hazard=exact|paper  --stride-predictor  --csv\n"
       "  --dl1-kb=N --dl1-ways=N --wbuf=N --div=N --mem=N --ops=N\n"
       "  --inject-single=P  --inject-double=P  --inject-adjacent\n"
       "  --inject-target=dl1|l1i|l2\n"
-      "sweep mode:\n"
+      "sweep/campaign mode:\n"
       "  --threads=N  --procs=N  --shard=I/N  --format=csv|jsonl\n"
-      "  --out=FILE  --trace  --seed=N\n");
+      "  --out=FILE  --trace  --seed=N\n"
+      "campaign mode:\n"
+      "  --rates=R[,R...]  (65nm|40nm|28nm or FIT/Mbit)  --trials=N\n"
+      "  --min-trials=N  --batch=N  --confidence=C  --ci-width=W\n"
+      "  --accel=A  --exposure=CYCLES  --mbu=single:W,adj2:W,adj3:W,"
+      "cluster:W\n");
 }
 
 }  // namespace
@@ -510,9 +761,23 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
-    if (o.command != "sweep" && !o.sweep_only_flags.empty()) {
-      std::fprintf(stderr, "%s only applies to the sweep command\n",
+    const bool grid_cmd = o.command == "sweep" || o.command == "campaign";
+    if (!grid_cmd && !o.sweep_only_flags.empty()) {
+      std::fprintf(stderr, "%s only applies to the sweep/campaign commands\n",
                    o.sweep_only_flags.front().c_str());
+      usage();
+      return 2;
+    }
+    if (o.command != "campaign" && !o.campaign_only_flags.empty()) {
+      std::fprintf(stderr, "%s only applies to the campaign command\n",
+                   o.campaign_only_flags.front().c_str());
+      usage();
+      return 2;
+    }
+    if (o.command == "campaign" && o.sweep_trace) {
+      std::fprintf(stderr,
+                   "--trace only applies to sweep: campaigns need program "
+                   "mode (real arrays to inject into)\n");
       usage();
       return 2;
     }
@@ -522,6 +787,7 @@ int main(int argc, char** argv) {
     if (o.command == "trace") return cmd_trace(o);
     if (o.command == "compare") return cmd_compare(o);
     if (o.command == "sweep") return cmd_sweep(o);
+    if (o.command == "campaign") return cmd_campaign(o);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
