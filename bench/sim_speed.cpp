@@ -19,11 +19,63 @@
 // (baseline vs refactor); CI's perf-smoke job re-runs them on every push.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "ecc/registry.hpp"
 
 namespace {
 
 using namespace laec;
+
+// Codec-level decode throughput: the syndrome-LUT line decode against the
+// per-word virtual matrix decode (exactly the two paths CacheConfig::
+// use_lut_decode switches between). A quarter of the words carry a random
+// error syndrome so both correction and the clean path are exercised.
+// Counter is words decoded per second. arg 0 = LUT, 1 = matrix.
+void BM_DecodeLineThroughput(benchmark::State& state,
+                             const std::string& codec_key) {
+  const auto codec = ecc::make_codec(codec_key);
+  constexpr std::size_t kWords = 4096;
+  std::vector<u32> data(kWords);
+  std::vector<u16> check(kWords);
+  std::vector<u32> out(kWords);
+  Rng rng(0xbe9c4ull);
+  const u64 cmask = (u64{1} << codec->check_bits()) - 1;
+  for (std::size_t i = 0; i < kWords; ++i) {
+    data[i] = static_cast<u32>(rng.next_u64());
+    u64 s = 0;
+    if (i % 4 == 0) s = rng.next_u64() & cmask;
+    check[i] = static_cast<u16>((codec->encode(data[i]) ^ s) & cmask);
+  }
+  const bool matrix = state.range(0) != 0;
+  u64 words = 0;
+  for (auto _ : state) {
+    if (matrix) {
+      for (std::size_t i = 0; i < kWords; ++i) {
+        const auto r = codec->decode(data[i], check[i]);
+        out[i] = ecc::is_corrected(r.status) ? static_cast<u32>(r.data)
+                                             : data[i];
+      }
+    } else {
+      codec->decode_line(data.data(), check.data(), out.data(), kWords);
+    }
+    words += kWords;
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["words_per_s"] = benchmark::Counter(
+      static_cast<double>(words), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_DecodeLineThroughput, secded_39_32, "secded-39-32")
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("matrix_decode");
+BENCHMARK_CAPTURE(BM_DecodeLineThroughput, dec_bch_45_32, "dec-bch-45-32")
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("matrix_decode");
 
 void BM_KernelMatrixLaec(benchmark::State& state) {
   const auto built = workloads::kernel_by_name("matrix").build();
@@ -64,6 +116,56 @@ void BM_KernelMatrixLaecInject(benchmark::State& state) {
       static_cast<double>(ecc_events), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_KernelMatrixLaecInject)->Unit(benchmark::kMillisecond);
+
+// Same storm with the syndrome-LUT decode layer disabled
+// (SimConfig::lut_decode=false, the --no-lut CLI path): every cold decode
+// pays the full parity-matrix reduction instead of one table load. The
+// LUT/matrix pair isolates the decode cost from the rest of the cold path.
+void BM_KernelMatrixLaecInjectNoLut(benchmark::State& state) {
+  const auto built = workloads::kernel_by_name("matrix").build();
+  u64 cycles = 0;
+  for (auto _ : state) {
+    auto cfg = bench::config_for(cpu::EccPolicy::kLaec);
+    cfg.lut_decode = false;
+    cfg.faults.emplace();
+    cfg.faults->single_flip_prob = 0.01;
+    cfg.faults->double_flip_prob = 0.005;
+    cfg.faults->adjacent_doubles = true;
+    const auto s = core::run_program(cfg, built.program);
+    cycles += s.cycles;
+    benchmark::DoNotOptimize(s.cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KernelMatrixLaecInjectNoLut)->Unit(benchmark::kMillisecond);
+
+// Decode-bound pair under the widest registered code (DEC BCH (45,32),
+// r=13): the matrix decode walks 13 parity reductions plus a double-error
+// search, the LUT path is one 8K-entry table load. arg 0 = LUT, 1 = matrix.
+void BM_KernelMatrixBchInject(benchmark::State& state) {
+  const auto built = workloads::kernel_by_name("matrix").build();
+  u64 cycles = 0;
+  for (auto _ : state) {
+    auto cfg = bench::config_for(cpu::EccPolicy::kLaec);
+    cfg.set_scheme("dec-bch-45-32");
+    cfg.lut_decode = state.range(0) == 0;
+    cfg.faults.emplace();
+    cfg.faults->single_flip_prob = 0.01;
+    cfg.faults->double_flip_prob = 0.005;
+    cfg.faults->adjacent_doubles = true;
+    const auto s = core::run_program(cfg, built.program);
+    cycles += s.cycles;
+    benchmark::DoNotOptimize(s.cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KernelMatrixBchInject)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("matrix_decode")
+    ->Unit(benchmark::kMillisecond);
 
 // The sweep runner's per-point shape: simulate, then verify every
 // architecturally-final word against the kernel's reference model (which

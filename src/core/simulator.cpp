@@ -45,6 +45,7 @@ sim::SystemConfig make_system_config(const SimConfig& cfg, bool trace_mode) {
   dc.scrub_on_correct = dep.scrub_on_correct;
   dc.recovery = dep.recovery;
   dc.force_generic_path = cfg.force_generic_ecc_path;
+  dc.use_lut_decode = cfg.lut_decode;
   sc.core.dl1.oracle.enabled = trace_mode;
   sc.core.dl1.oracle.miss_cycles = cfg.oracle_miss_cycles;
 
@@ -55,12 +56,14 @@ sim::SystemConfig make_system_config(const SimConfig& cfg, bool trace_mode) {
   ic.scrub_on_correct = dep.l1i.scrub_on_correct;
   ic.recovery = dep.l1i.recovery;
   ic.force_generic_path = cfg.force_generic_ecc_path;
+  ic.use_lut_decode = cfg.lut_decode;
 
   mem::CacheConfig& l2c = sc.memsys.l2.cache;
   l2c.codec = ecc::make_codec(dep.l2.codec);
   l2c.scrub_on_correct = dep.l2.scrub_on_correct;
   l2c.recovery = dep.l2.recovery;
   l2c.force_generic_path = cfg.force_generic_ecc_path;
+  l2c.use_lut_decode = cfg.lut_decode;
 
   sc.core.wbuf.depth = cfg.write_buffer_depth;
   return sc;

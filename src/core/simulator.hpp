@@ -108,6 +108,13 @@ struct SimConfig {
   /// this way and asserts identical stats/rows; leave false otherwise.
   bool force_generic_ecc_path = false;
 
+  /// Decode through each codec's precomputed syndrome LUT (the default).
+  /// --no-lut turns this off, routing every decode through the matrix-math
+  /// reference implementation in all three arrays; the equivalence suite
+  /// asserts the two modes produce byte-identical rows. Orthogonal to
+  /// force_generic_ecc_path (which picks when to decode, not how).
+  bool lut_decode = true;
+
   // Trace (oracle) mode tuning: forced-miss service time. Calibrated so
   // the trace-mode baseline CPI lands near the paper's effective ~1.3
   // (EXPERIMENTS.md, E3 calibration note).

@@ -18,6 +18,7 @@
 #include "common/types.hpp"
 #include "ecc/code.hpp"
 #include "ecc/dec_bch.hpp"
+#include "ecc/lut.hpp"
 #include "ecc/parity.hpp"
 #include "ecc/sec_daec.hpp"
 #include "ecc/sec_daec_taec.hpp"
@@ -85,6 +86,15 @@ class Codec {
     return +[](const Codec* c, u64 data) { return c->encode(data); };
   }
 
+  /// Dense syndrome->correction table, or nullptr when the scheme has none
+  /// (external drop-ins, the none codec). The cache arrays snapshot this
+  /// once at construction — when present and enabled
+  /// (CacheConfig::use_lut_decode), word decode becomes a table encode plus
+  /// one load and two XORs instead of the per-codec matrix walk. decode()
+  /// itself always stays the matrix-math reference path so
+  /// SimConfig::lut_decode (--no-lut) can force whole runs through it.
+  [[nodiscard]] virtual const DecodeLut* decode_lut() const { return nullptr; }
+
   // --- capability flags (drive cache recovery policy and reporting) -------
   /// Can a single-bit error be corrected in place?
   [[nodiscard]] virtual bool corrects_single() const { return false; }
@@ -107,30 +117,52 @@ class Codec {
   [[nodiscard]] virtual bool corrects_double() const { return false; }
 };
 
-/// CRTP mixin: derives the virtual encode(), the devirtualized per-word
-/// thunk and the span encoder from the final class's inlinable
-/// `encode_word(u64)`, so the three entry points can never disagree and a
-/// new scheme writes the XOR forest exactly once. (External drop-ins can
-/// still subclass Codec directly and live with the virtual-dispatch
-/// defaults.)
+/// CRTP mixin: tabulates the final class's linear `encode_word(u64)` into a
+/// byte-sliced EncodeLut and its matrix `decode` into a dense syndrome
+/// DecodeLut, then serves encode(), the devirtualized per-word thunk, the
+/// span encoder/decoder and decode_lut() from the tables — so every entry
+/// point is derived from the same two tables and can never disagree. The
+/// virtual decode() override each scheme provides stays pure matrix math:
+/// it is both the builder input and the --no-lut reference path.
+///
+/// Each final class must call build_luts() at the END of its constructor
+/// body (the dynamic type is already Derived there, so the virtual
+/// data_bits/check_bits/decode used by the builders resolve correctly).
+/// External drop-ins can still subclass Codec directly and live with the
+/// virtual-dispatch defaults.
 template <typename Derived>
 class CodecWithFastEncode : public Codec {
  public:
-  [[nodiscard]] u64 encode(u64 data) const final {
-    return static_cast<const Derived*>(this)->encode_word(data);
-  }
+  [[nodiscard]] u64 encode(u64 data) const final { return enc_.encode(data); }
   [[nodiscard]] EncodeFn encode_thunk() const final {
     return +[](const Codec* c, u64 data) {
-      return static_cast<const Derived*>(c)->encode_word(data);
+      return static_cast<const CodecWithFastEncode*>(c)->enc_.encode(data);
     };
   }
   void encode_line(const u32* data, u16* check,
                    std::size_t n) const final {
-    const auto* d = static_cast<const Derived*>(this);
-    for (std::size_t i = 0; i < n; ++i) {
-      check[i] = static_cast<u16>(d->encode_word(data[i]));
-    }
+    enc_.encode_line(data, check, n);
   }
+  void decode_line(const u32* data, const u16* check, u32* out,
+                   std::size_t n) const final {
+    dec_.decode_line(data, check, out, n);
+  }
+  [[nodiscard]] const DecodeLut* decode_lut() const final { return &dec_; }
+
+ protected:
+  /// Tabulate the scheme. Call at the end of the Derived constructor body.
+  void build_luts() {
+    const auto* d = static_cast<const Derived*>(this);
+    enc_.build(data_bits(), [d](u64 w) { return d->encode_word(w); });
+    dec_.build(enc_, data_bits(), check_bits(), [this](u64 data, u64 check) {
+      const Decoded r = this->decode(data, check);
+      return LutDecoded{r.status, r.data, r.check};
+    });
+  }
+
+ private:
+  EncodeLut enc_;
+  DecodeLut dec_;
 };
 
 /// Unprotected array: zero check bits, every word decodes clean.
@@ -148,7 +180,9 @@ class NoneCodec final : public Codec {
 /// Single even-parity bit per word (detect-only; LEON WT L1 arrangement).
 class ParityCodec final : public CodecWithFastEncode<ParityCodec> {
  public:
-  explicit ParityCodec(unsigned data_bits) : code_(data_bits) {}
+  explicit ParityCodec(unsigned data_bits) : code_(data_bits) {
+    build_luts();
+  }
   [[nodiscard]] std::string_view name() const override { return "parity-32"; }
   [[nodiscard]] unsigned data_bits() const override {
     return code_.data_bits();
@@ -165,7 +199,9 @@ class ParityCodec final : public CodecWithFastEncode<ParityCodec> {
 class SecdedCodec final : public CodecWithFastEncode<SecdedCodec> {
  public:
   explicit SecdedCodec(const SecdedCode& code, std::string_view name)
-      : code_(code), name_(name) {}
+      : code_(code), name_(name) {
+    build_luts();
+  }
   [[nodiscard]] std::string_view name() const override { return name_; }
   [[nodiscard]] unsigned data_bits() const override {
     return code_.data_bits();
@@ -187,7 +223,9 @@ class SecdedCodec final : public CodecWithFastEncode<SecdedCodec> {
 class SecDaecCodec final : public CodecWithFastEncode<SecDaecCodec> {
  public:
   explicit SecDaecCodec(const SecDaecCode& code, std::string_view name)
-      : code_(code), name_(name) {}
+      : code_(code), name_(name) {
+    build_luts();
+  }
   [[nodiscard]] std::string_view name() const override { return name_; }
   [[nodiscard]] unsigned data_bits() const override {
     return code_.data_bits();
@@ -213,7 +251,9 @@ class SecDaecCodec final : public CodecWithFastEncode<SecDaecCodec> {
 class SecDaecTaecCodec final : public CodecWithFastEncode<SecDaecTaecCodec> {
  public:
   explicit SecDaecTaecCodec(const SecDaecTaecCode& code, std::string_view name)
-      : code_(code), name_(name) {}
+      : code_(code), name_(name) {
+    build_luts();
+  }
   [[nodiscard]] std::string_view name() const override { return name_; }
   [[nodiscard]] unsigned data_bits() const override {
     return code_.data_bits();
@@ -242,7 +282,9 @@ class SecDaecTaecCodec final : public CodecWithFastEncode<SecDaecTaecCodec> {
 class DecBchCodec final : public CodecWithFastEncode<DecBchCodec> {
  public:
   explicit DecBchCodec(const DecBchCode& code, std::string_view name)
-      : code_(code), name_(name) {}
+      : code_(code), name_(name) {
+    build_luts();
+  }
   [[nodiscard]] std::string_view name() const override { return name_; }
   [[nodiscard]] unsigned data_bits() const override {
     return code_.data_bits();

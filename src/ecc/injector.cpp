@@ -1,6 +1,7 @@
 #include "ecc/injector.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace laec::ecc {
 
@@ -47,9 +48,46 @@ FlipSet FaultInjector::flips_for_access(u64 word_index) {
     ++injected_single_;
   }
   if (cfg_.event_prob > 0 && rng_.chance(cfg_.event_prob)) {
-    push_pattern_event(flips);
+    // How many events struck this window? Legacy mode (event_lambda == 0):
+    // exactly one, and the RNG stream is untouched. Campaign mode: a
+    // zero-truncated Poisson draw, so acceleration high enough to saturate
+    // event_prob at 1.0 still distinguishes one-upset windows from pile-ups.
+    const unsigned events = cfg_.event_lambda > 0 ? sample_event_count() : 1u;
+    for (unsigned e = 0; e < events; ++e) {
+      // A clustered event needs up to 4 slots; deliver only while the whole
+      // worst case fits, and make the overflow visible instead of letting
+      // FlipSet::push drop flips mid-pattern.
+      if (flips.size() + 4u <= FlipSet::kMax) {
+        push_pattern_event(flips);
+      } else {
+        ++dropped_events_;
+      }
+    }
   }
   return flips;
+}
+
+unsigned FaultInjector::sample_event_count() {
+  // Largest event count one access window can meaningfully attempt: the
+  // FlipSet holds kMax flips and the smallest event is a single, so
+  // anything past kMax is guaranteed surplus (it still counts as dropped).
+  constexpr unsigned kMaxEventsPerAccess = FlipSet::kMax;
+  const double lam = cfg_.event_lambda;
+  // P(K >= 1) and P(K = 1); at extreme acceleration exp(-lam) underflows to
+  // 0 and the distribution's mass sits far above the cap — saturate.
+  const double denom = -std::expm1(-lam);
+  const double p1 = std::exp(-lam) * lam;
+  if (!(denom > 0.0) || !(p1 > 0.0)) return kMaxEventsPerAccess;
+  // Inverse transform over the zero-truncated pmf p_k / denom.
+  double u = rng_.uniform() * denom;
+  double pk = p1;
+  unsigned k = 1;
+  while (u > pk && k < kMaxEventsPerAccess) {
+    u -= pk;
+    ++k;
+    pk *= lam / static_cast<double>(k);
+  }
+  return k;
 }
 
 void FaultInjector::push_pattern_event(FlipSet& flips) {

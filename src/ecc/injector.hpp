@@ -98,6 +98,16 @@ struct InjectorConfig {
   /// drawn from `patterns`. Composes with (but is normally used instead
   /// of) the single/double Bernoulli rates above.
   double event_prob = 0.0;
+  /// Poisson mean of the number of upset events per access window (the
+  /// campaign sets it to the same rate*exposure product event_prob is
+  /// derived from). When > 0 and an access draws an event, the event COUNT
+  /// comes from a zero-truncated Poisson with this mean, so heavily
+  /// accelerated campaigns (event_prob saturating toward 1) keep their
+  /// multi-event windows instead of silently collapsing every window to a
+  /// single upset. 0 (the default) keeps the legacy one-event-per-window
+  /// behaviour and an unchanged RNG stream. Events that no longer fit the
+  /// FlipSet budget are counted (faults_dropped), never silently lost.
+  double event_lambda = 0.0;
   MbuPatternTable patterns;
   /// Bits eligible for flipping: data bits plus check bits of one word.
   unsigned word_bits = 39;  // (39,32) SECDED codeword by default
@@ -127,6 +137,11 @@ class FaultInjector {
   [[nodiscard]] u64 injected_scripted() const { return injected_scripted_; }
   /// Pattern-table events delivered (campaign mode), by drawn shape.
   [[nodiscard]] u64 injected_pattern() const { return injected_pattern_; }
+  /// Pattern-table events sampled but NOT delivered because the access's
+  /// FlipSet budget was exhausted (extreme-acceleration saturation). A
+  /// nonzero count means the campaign's acceleration outran the modeled
+  /// per-word fault capacity — visible in the campaign CSV, not silent.
+  [[nodiscard]] u64 faults_dropped() const { return dropped_events_; }
   /// Every injection event this injector delivered, across all modes.
   [[nodiscard]] u64 injected_total() const {
     return injected_single_ + injected_double_ + injected_scripted_ +
@@ -136,6 +151,9 @@ class FaultInjector {
  private:
   /// Append one pattern-table event's flips (campaign mode).
   void push_pattern_event(FlipSet& flips);
+  /// Number of events in a window that drew at least one: zero-truncated
+  /// Poisson(event_lambda), inverse-transform, capped at kMaxEventsPerAccess.
+  [[nodiscard]] unsigned sample_event_count();
 
   InjectorConfig cfg_;
   Rng rng_;
@@ -144,6 +162,7 @@ class FaultInjector {
   u64 injected_double_ = 0;
   u64 injected_scripted_ = 0;
   u64 injected_pattern_ = 0;
+  u64 dropped_events_ = 0;
 };
 
 }  // namespace laec::ecc

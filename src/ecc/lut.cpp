@@ -1,0 +1,16 @@
+#include "ecc/lut.hpp"
+
+namespace laec::ecc {
+
+void DecodeLut::decode_line(const u32* data, const u16* check, u32* out,
+                            std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 s = (enc_.encode32(data[i]) ^ check[i]) & cmask_;
+    const Entry& e = entries_[s];
+    out[i] = is_corrected(e.status)
+                 ? data[i] ^ static_cast<u32>(e.data_xor)
+                 : data[i];
+  }
+}
+
+}  // namespace laec::ecc

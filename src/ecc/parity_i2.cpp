@@ -12,6 +12,7 @@ InterleavedParityCodec::InterleavedParityCodec(unsigned data_bits,
     : data_bits_(data_bits), ways_(ways), name_(name) {
   assert(data_bits >= 1 && data_bits <= 64);
   assert(ways >= 2 && ways <= 8);
+  build_luts();
 }
 
 u64 InterleavedParityCodec::encode_word(u64 data) const {

@@ -37,7 +37,10 @@ SetAssocCache::SetAssocCache(const CacheConfig& cfg)
   // A codec with no check bits is the same as no codec; drop it so the hot
   // path has a single "unprotected" test.
   if (codec_ != nullptr && codec_->check_bits() == 0) codec_ = nullptr;
-  if (codec_ != nullptr) encode_fn_ = codec_->encode_thunk();
+  if (codec_ != nullptr) {
+    encode_fn_ = codec_->encode_thunk();
+    if (cfg_.use_lut_decode) lut_ = codec_->decode_lut();
+  }
   ways_.resize(static_cast<std::size_t>(cfg_.num_sets()) * cfg_.ways);
   for (Way& w : ways_) {
     w.words.assign(cfg_.line_bytes / 4, 0);
@@ -105,7 +108,7 @@ void SetAssocCache::recompute_check(Way& way, u32 word_idx) {
 
 LAEC_COLD void SetAssocCache::decode_and_account(Way& way, u32 word_idx,
                                                  WordRead& out) {
-  const auto r = codec_->decode(way.words[word_idx], way.check[word_idx]);
+  const auto r = decode_word(way.words[word_idx], way.check[word_idx]);
   out.value = static_cast<u32>(r.data);
   out.check = r.status;
   if (ecc::is_corrected(r.status)) {
@@ -212,7 +215,7 @@ void SetAssocCache::write(LineRef line, Addr a, unsigned bytes, u32 value,
   // check bits).
   u32 word = way->words[word_idx];
   if (codec_ != nullptr && ever_injected_ && bytes < 4) {
-    const auto r = codec_->decode(word, way->check[word_idx]);
+    const auto r = decode_word(word, way->check[word_idx]);
     if (ecc::is_corrected(r.status)) {
       word = static_cast<u32>(r.data);
     } else if (r.status == ecc::CheckStatus::kDetectedUncorrectable) {
@@ -295,7 +298,18 @@ std::vector<u8> SetAssocCache::corrected_line_copy(const Way& way) const {
     return out;
   }
   u32 fixed[kMaxLineWords];
-  codec_->decode_line(way.words.data(), way.check.data(), fixed, nwords);
+  if (lut_ != nullptr) {
+    // The built-in codecs' decode_line IS the LUT span decoder; one call.
+    codec_->decode_line(way.words.data(), way.check.data(), fixed, nwords);
+  } else {
+    // Matrix reference path: the base-class decode_line default, inlined so
+    // a --no-lut run never routes through the table-backed override.
+    for (u32 i = 0; i < nwords; ++i) {
+      const auto r = codec_->decode(way.words[i], way.check[i]);
+      fixed[i] = ecc::is_corrected(r.status) ? static_cast<u32>(r.data)
+                                             : way.words[i];
+    }
+  }
   std::memcpy(out.data(), fixed, cfg_.line_bytes);
   return out;
 }

@@ -99,6 +99,12 @@ struct CacheConfig {
   /// fast-path equivalence suite runs reference points through this and
   /// asserts bit-identical stats/rows; production configs never set it.
   bool force_generic_path = false;
+  /// Decode words through the codec's precomputed syndrome LUT when it has
+  /// one (every built-in linear codec does). Off = the codec's matrix-math
+  /// decode(), the reference implementation; the equivalence suite asserts
+  /// the two produce bit-identical rows. Orthogonal to force_generic_path
+  /// (which picks WHEN to decode, not HOW).
+  bool use_lut_decode = true;
 
   [[nodiscard]] u32 num_sets() const {
     return size_bytes / (line_bytes * ways);
@@ -276,6 +282,14 @@ class SetAssocCache {
   /// Decode + account + scrub, without the injection step (standing faults
   /// hit by the fast test after a storm was detached).
   void decode_and_account(Way& way, u32 word_idx, WordRead& out);
+  /// One stored word through the selected decode implementation: the
+  /// codec's syndrome LUT when enabled and available, its matrix-math
+  /// decode() otherwise. The two are bit-identical by contract.
+  [[nodiscard]] ecc::LutDecoded decode_word(u32 data, u16 check) const {
+    if (lut_ != nullptr) return lut_->decode(data, check);
+    const auto r = codec_->decode(data, check);
+    return {r.status, r.data, r.check};
+  }
   /// The line as the codec delivers it: every correctable word repaired
   /// (uncorrectable words stay as stored). The writeback/eviction view —
   /// hardware re-decodes on the writeback read, so corrupted raw bytes
@@ -289,6 +303,9 @@ class SetAssocCache {
   /// Devirtualized encoder snapshot (codec_->encode_thunk()); the per-read
   /// clean test calls it through a plain function pointer.
   ecc::Codec::EncodeFn encode_fn_ = nullptr;
+  /// Syndrome-LUT snapshot (codec_->decode_lut()); nullptr when disabled
+  /// via CacheConfig::use_lut_decode or the codec has no table.
+  const ecc::DecodeLut* lut_ = nullptr;
   std::vector<Way> ways_;
   u64 lru_clock_ = 1;
   ecc::FaultInjector* injector_ = nullptr;

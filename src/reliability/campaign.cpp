@@ -140,16 +140,24 @@ TrialOutcome classify_trial(const runner::PointResult& r) {
   return TrialOutcome::kMasked;
 }
 
-double event_prob_for(const CampaignSpec& spec, double fit_per_mbit,
-                      unsigned codeword_bits) {
+double event_lambda_for(const CampaignSpec& spec, double fit_per_mbit,
+                        unsigned codeword_bits) {
   // FIT/Mbit -> upsets per bit-hour -> accelerated upsets per word-hour.
   const double per_bit_hour = fit_per_mbit * 1e-9 / (1024.0 * 1024.0);
   const double per_word_hour =
       per_bit_hour * static_cast<double>(codeword_bits) * spec.accel;
   const double exposure_hours = static_cast<double>(spec.exposure_cycles) /
                                 (spec.freq_mhz * 1e6) / 3600.0;
-  // P(at least one Poisson arrival during the exposure window).
-  return 1.0 - std::exp(-per_word_hour * exposure_hours);
+  return per_word_hour * exposure_hours;
+}
+
+double event_prob_for(const CampaignSpec& spec, double fit_per_mbit,
+                      unsigned codeword_bits) {
+  // P(at least one Poisson arrival during the exposure window). expm1
+  // keeps precision where 1 - exp(-x) would cancel to 0 for tiny rates;
+  // saturation to exactly 1.0 at extreme acceleration is the correct limit
+  // (the event COUNT then comes from InjectorConfig::event_lambda).
+  return -std::expm1(-event_lambda_for(spec, fit_per_mbit, codeword_bits));
 }
 
 unsigned target_codeword_bits(const core::SimConfig& cfg) {
@@ -162,7 +170,7 @@ const std::vector<std::string>& campaign_row_headers() {
   static const std::vector<std::string> kHeaders = {
       "workload",      "ecc",       "codec_dl1", "codec_l1i",
       "codec_l2",      "target",    "rate",      "fit_mbit_raw",
-      "trials",        "events",    "masked",    "corrected",
+      "trials",        "events",    "events_dropped", "masked", "corrected",
       "due_recovered", "sdc",       "data_loss", "p_fail",
       "ci_lo",         "ci_hi",     "avf",       "fit",
       "fit_lo",        "fit_hi",    "mttf_hours", "device_hours",
@@ -183,6 +191,7 @@ std::vector<std::string> campaign_to_row(const CellResult& r) {
           fmt_g(r.cell.rate.fit_per_mbit),
           fmt_u64(r.trials),
           fmt_u64(r.events),
+          fmt_u64(r.events_dropped),
           fmt_u64(r.masked),
           fmt_u64(r.corrected),
           fmt_u64(r.due_recovered),
@@ -215,6 +224,7 @@ void fold_trial(CellState& st, const runner::PointResult& r,
   const TrialOutcome o = classify_trial(r);
   st.res.trials += 1;
   st.res.events += r.faults_injected;
+  st.res.events_dropped += r.faults_dropped;
   switch (o) {
     case TrialOutcome::kMasked: st.res.masked += 1; break;
     case TrialOutcome::kCorrected: st.res.corrected += 1; break;
@@ -257,8 +267,9 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
     st.cfg.inject_target = spec.target;
     ecc::InjectorConfig inj;
     inj.patterns = c.rate.patterns;
-    inj.event_prob =
-        event_prob_for(spec, c.rate.fit_per_mbit, target_codeword_bits(st.cfg));
+    const unsigned bits = target_codeword_bits(st.cfg);
+    inj.event_prob = event_prob_for(spec, c.rate.fit_per_mbit, bits);
+    inj.event_lambda = event_lambda_for(spec, c.rate.fit_per_mbit, bits);
     st.cfg.faults = inj;
     states.push_back(std::move(st));
   }

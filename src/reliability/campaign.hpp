@@ -163,6 +163,14 @@ enum class TrialOutcome {
                                     double fit_per_mbit,
                                     unsigned codeword_bits);
 
+/// The raw Poisson mean behind event_prob_for: accelerated upset events per
+/// codeword per exposure window. Fed to InjectorConfig::event_lambda so
+/// saturated acceleration (event_prob -> 1) still draws multi-event windows
+/// instead of collapsing them to single upsets.
+[[nodiscard]] double event_lambda_for(const CampaignSpec& spec,
+                                      double fit_per_mbit,
+                                      unsigned codeword_bits);
+
 /// Codeword width (data + check bits) of the cache level cfg's storm
 /// targets — delegates to core::injector_word_bits, the same definition
 /// attach_injector sizes the flip universe with.
@@ -175,6 +183,11 @@ struct CellResult {
   core::InjectTarget target = core::InjectTarget::kDl1;
   u64 trials = 0;
   u64 events = 0;  ///< fault events injected across the cell's trials
+  /// Upset events the acceleration demanded but the per-access flip budget
+  /// could not hold (extreme --accel saturation). Nonzero means the cell's
+  /// effective injected rate is below the configured one — the campaign
+  /// surfaces it as a CSV column instead of silently truncating.
+  u64 events_dropped = 0;
   u64 masked = 0;
   u64 corrected = 0;
   u64 due_recovered = 0;

@@ -54,18 +54,29 @@ double z_for_confidence(double confidence) {
 }
 
 Interval wilson_interval(u64 successes, u64 trials, double confidence) {
-  if (trials == 0) return {0.0, 1.0};
+  // Degenerate inputs get the vacuous interval rather than NaN: a NaN
+  // half-width would make the sequential stopping rule's "narrow enough"
+  // comparison silently false forever.
+  if (trials == 0 || !std::isfinite(confidence)) return {0.0, 1.0};
+  // A caller folding counters can momentarily hand successes > trials
+  // (e.g. multi-event trials); saturate rather than launch p above 1,
+  // where p*(1-p) goes negative and the sqrt returns NaN.
+  successes = std::min(successes, trials);
   const double n = static_cast<double>(trials);
   const double p = static_cast<double>(successes) / n;
   const double z = z_for_confidence(confidence);
   const double z2 = z * z;
   const double denom = 1.0 + z2 / n;
   const double center = (p + z2 / (2.0 * n)) / denom;
+  // successes == 0 or == trials: p*(1-p) collapses to 0 and the margin is
+  // the pure z2/(4n^2) continuity term — well-defined, no special case.
   const double margin =
       (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
   Interval ci;
   ci.lo = std::max(0.0, center - margin);
   ci.hi = std::min(1.0, center + margin);
+  if (!std::isfinite(ci.lo)) ci.lo = 0.0;
+  if (!std::isfinite(ci.hi)) ci.hi = 1.0;
   return ci;
 }
 
@@ -75,11 +86,16 @@ RateEstimate estimate_rates(u64 failures, u64 trials, double device_hours,
   const Interval ci = wilson_interval(failures, trials, confidence);
   e.p_lo = ci.lo;
   e.p_hi = ci.hi;
+  // p_fail is defined whenever there are trials, even when the time base is
+  // degenerate — an early return that skipped it used to report p_fail = 0
+  // for cells with real failures.
+  if (trials > 0) {
+    e.p_fail = static_cast<double>(failures) / static_cast<double>(trials);
+  }
   if (trials == 0 || device_hours <= 0.0) {
     e.mttf_hours = std::numeric_limits<double>::infinity();
     return e;
   }
-  e.p_fail = static_cast<double>(failures) / static_cast<double>(trials);
   // The linear map p -> rate: the cell's n trials together represent
   // device_hours of real time, so a per-trial failure probability p is a
   // rate of p * n / device_hours failures per hour.

@@ -79,6 +79,7 @@ PointResult run_point(const SweepPoint& point, u64 base_seed) {
   r.stats = std::move(run.stats);
   if (run.injector != nullptr) {
     r.faults_injected = run.injector->injected_total();
+    r.faults_dropped = run.injector->faults_dropped();
   }
   for (const auto& [addr, expect] : built.expected) {
     if (run.system->read_word_final(addr) != expect) {

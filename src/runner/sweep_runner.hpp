@@ -70,6 +70,9 @@ struct PointResult {
   bool self_check_ok = true;
   /// Fault events the point's injector delivered (0 when faults unset).
   u64 faults_injected = 0;
+  /// Fault events the injector sampled but could not deliver (per-access
+  /// flip budget exhausted under extreme acceleration).
+  u64 faults_dropped = 0;
 };
 
 /// Named SimConfig mutation (geometry / latency variants for ablations).

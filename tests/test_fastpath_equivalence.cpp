@@ -90,6 +90,49 @@ TEST(FastPathEquivalence, EveryCodecUnderInjectionMatchesGenericPath) {
   EXPECT_EQ(fast.totals.items(), slow.totals.items());
 }
 
+TEST(FastPathEquivalence, LutDecodeMatchesMatrixDecodeUnderInjection) {
+  // The syndrome-LUT decode layer (SimConfig::lut_decode, --no-lut) must be
+  // observationally invisible exactly like the fast/generic routing: every
+  // codec, injection on, rows and totals byte-identical. Run the matrix
+  // path through BOTH routings so the toggle is proven orthogonal to
+  // force_generic_ecc_path.
+  runner::SweepOptions opts;
+  opts.threads = 1;
+  core::SimConfig matrix_cfg = injected_config();
+  matrix_cfg.lut_decode = false;
+  runner::SweepGrid matrix_grid;
+  matrix_grid.workloads({"tblook", "matrix"})
+      .schemes(deployable_codec_keys())
+      .base_config(matrix_cfg);
+  const auto lut = runner::run_sweep(equivalence_points(false), opts);
+  const auto mat = runner::run_sweep(matrix_grid.points(), opts);
+  core::SimConfig generic_cfg = matrix_cfg;
+  generic_cfg.force_generic_ecc_path = true;
+  runner::SweepGrid generic_grid;
+  generic_grid.workloads({"tblook", "matrix"})
+      .schemes(deployable_codec_keys())
+      .base_config(generic_cfg);
+  const auto mat_generic = runner::run_sweep(generic_grid.points(), opts);
+
+  ASSERT_EQ(lut.results.size(), mat.results.size());
+  ASSERT_GT(lut.results.size(), 0u);
+  u64 ecc_events = 0;
+  for (std::size_t i = 0; i < lut.results.size(); ++i) {
+    const auto& l = lut.results[i];
+    EXPECT_EQ(runner::to_row(l), runner::to_row(mat.results[i]))
+        << "row " << i << " (" << l.point.workload << " / "
+        << l.point.config.effective_deployment().name << ")";
+    EXPECT_EQ(runner::to_row(l), runner::to_row(mat_generic.results[i]))
+        << "row " << i << " (generic matrix)";
+    EXPECT_EQ(l.self_check_ok, mat.results[i].self_check_ok) << "row " << i;
+    ecc_events += l.stats.ecc_corrected + l.stats.ecc_detected_uncorrectable +
+                  l.stats.parity_refetches;
+  }
+  EXPECT_GT(ecc_events, 0u);
+  EXPECT_EQ(lut.totals.items(), mat.totals.items());
+  EXPECT_EQ(lut.totals.items(), mat_generic.totals.items());
+}
+
 TEST(FastPathEquivalence, CleanRunMatchesGenericPath) {
   // No injector at all: the pure fast path against the pure generic path.
   runner::SweepGrid fast_grid, slow_grid;

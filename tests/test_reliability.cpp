@@ -67,6 +67,53 @@ TEST(WilsonInterval, WidthShrinksMonotonicallyWithTrialCount) {
   }
 }
 
+TEST(WilsonInterval, DegenerateInputsStayFiniteAndIn01) {
+  // trials == 0: no information — the vacuous interval, not NaN (a NaN
+  // half-width would make the sequential stopping rule's comparison
+  // silently false forever).
+  const Interval none = wilson_interval(0, 0, 0.95);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  EXPECT_DOUBLE_EQ(none.hi, 1.0);
+
+  // successes == trials: p = 1 collapses p*(1-p) to zero; the interval
+  // must still be finite, ordered, and pinned to 1 at the top.
+  for (const u64 n : {1u, 2u, 50u}) {
+    const Interval all = wilson_interval(n, n, 0.95);
+    EXPECT_TRUE(std::isfinite(all.lo)) << n;
+    EXPECT_GT(all.lo, 0.0) << n;
+    EXPECT_LE(all.lo, 1.0) << n;
+    EXPECT_DOUBLE_EQ(all.hi, 1.0) << n;
+    EXPECT_LE(all.lo, all.hi) << n;
+  }
+
+  // successes > trials (a caller folding multi-event counters): saturated,
+  // never NaN from a negative p*(1-p).
+  const Interval over = wilson_interval(7, 3, 0.95);
+  EXPECT_TRUE(std::isfinite(over.lo));
+  EXPECT_DOUBLE_EQ(over.hi, 1.0);
+
+  // Non-finite confidence degrades to the vacuous interval.
+  for (const double conf : {std::nan(""), HUGE_VAL}) {
+    const Interval bad = wilson_interval(5, 10, conf);
+    EXPECT_DOUBLE_EQ(bad.lo, 0.0);
+    EXPECT_DOUBLE_EQ(bad.hi, 1.0);
+  }
+
+  // And the stopping-rule consumer view: half_width is always finite.
+  EXPECT_TRUE(std::isfinite(wilson_interval(0, 0, 0.95).half_width()));
+  EXPECT_TRUE(std::isfinite(wilson_interval(4, 4, 0.95).half_width()));
+}
+
+TEST(RateEstimate, PFailIsReportedEvenWithoutATimeBase) {
+  // Regression: the early return for device_hours <= 0 used to skip the
+  // p_fail assignment, reporting 0 for cells with real failures.
+  const RateEstimate e = estimate_rates(3, 10, 0.0, 0.95);
+  EXPECT_DOUBLE_EQ(e.p_fail, 0.3);
+  EXPECT_TRUE(std::isinf(e.mttf_hours));
+  EXPECT_DOUBLE_EQ(e.fit, 0.0);
+  EXPECT_GT(e.p_hi, e.p_lo);
+}
+
 TEST(RateEstimate, ZeroFailuresGiveZeroFitInfiniteMttfFiniteUpperBound) {
   const RateEstimate e = estimate_rates(0, 100, 1e6, 0.95);
   EXPECT_DOUBLE_EQ(e.fit, 0.0);
@@ -308,6 +355,45 @@ TEST(Campaign, EventsScaleWithTheRateAxis) {
   EXPECT_GT(sum.cells[1].events, 0u);
 }
 
+TEST(EventProb, LambdaBacksTheSaturatingProbability) {
+  CampaignSpec spec;
+  const double lam = event_lambda_for(spec, 1000.0, 39);
+  EXPECT_GT(lam, 0.0);
+  EXPECT_NEAR(event_prob_for(spec, 1000.0, 39), -std::expm1(-lam), 1e-15);
+  // Extreme acceleration: probability saturates to exactly 1, the lambda
+  // keeps growing (it is what preserves the multi-event information).
+  CampaignSpec extreme = spec;
+  extreme.accel = 1e30;
+  EXPECT_DOUBLE_EQ(event_prob_for(extreme, 1000.0, 39), 1.0);
+  EXPECT_GT(event_lambda_for(extreme, 1000.0, 39), 1.0);
+}
+
+TEST(Campaign, ExtremeAccelSurfacesDroppedEventsInsteadOfSilentTruncation) {
+  // Acceleration high enough that every access window holds a pile-up of
+  // events far past the per-access flip budget. The campaign must stay
+  // finite and deterministic, deliver what fits, and report the surplus in
+  // the events_dropped column rather than silently clipping the rate.
+  const auto grid = small_grid();
+  CampaignSpec spec = small_spec(6);
+  spec.accel = 1e30;
+  const auto sum = run_campaign(grid, spec);
+  ASSERT_EQ(sum.cells.size(), 2u);
+  for (const auto& c : sum.cells) {
+    EXPECT_GT(c.events, 0u) << c.cell.scheme;
+    EXPECT_GT(c.events_dropped, 0u) << c.cell.scheme;
+    // Estimators stay well-defined at the saturation point.
+    EXPECT_TRUE(std::isfinite(c.est.p_fail)) << c.cell.scheme;
+    EXPECT_TRUE(std::isfinite(c.est.p_lo)) << c.cell.scheme;
+    EXPECT_TRUE(std::isfinite(c.est.p_hi)) << c.cell.scheme;
+    EXPECT_TRUE(std::isfinite(c.avf)) << c.cell.scheme;
+    // The column renders.
+    const auto row = campaign_to_row(c);
+    EXPECT_EQ(row.size(), campaign_row_headers().size());
+  }
+  // Determinism holds under saturation too.
+  EXPECT_EQ(campaign_csv(grid, spec, 1), campaign_csv(grid, spec, 8));
+}
+
 TEST(Campaign, CiWidthShrinksWithTrialCount) {
   // The ISSUE's monotonicity claim, end to end: the same cell at 4x the
   // trials must report a tighter confidence interval.
@@ -348,7 +434,7 @@ TEST(Campaign, RowSchemaCarriesTheEstimators) {
   const auto& h = campaign_row_headers();
   for (const char* col : {"workload", "ecc", "rate", "trials", "fit",
                           "fit_lo", "fit_hi", "mttf_hours", "avf", "ci_lo",
-                          "ci_hi", "sdc", "data_loss"}) {
+                          "ci_hi", "sdc", "data_loss", "events_dropped"}) {
     EXPECT_NE(std::find(h.begin(), h.end(), col), h.end()) << col;
   }
   const auto sum = run_campaign(small_grid(), small_spec(4));

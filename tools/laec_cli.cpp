@@ -283,6 +283,10 @@ CliOptions parse(int argc, char** argv) {
       }
     } else if (arg == "--stride-predictor") {
       o.cfg.stride_predictor = true;
+    } else if (arg == "--no-lut") {
+      o.cfg.lut_decode = false;
+    } else if (arg == "--lut") {
+      o.cfg.lut_decode = true;
     } else if (auto v2 = value("--dl1-kb"); !v2.empty()) {
       o.cfg.dl1_size_bytes = static_cast<u32>(std::stoul(v2)) * 1024;
     } else if (auto v3 = value("--dl1-ways"); !v3.empty()) {
@@ -739,6 +743,9 @@ void usage() {
       "                             `laec_cli schemes`; comma list is\n"
       "                             sweep/campaign-only)\n"
       "  --hazard=exact|paper  --stride-predictor  --csv\n"
+      "  --no-lut / --lut           matrix-math vs syndrome-LUT decode\n"
+      "                             (bit-identical; --no-lut is the\n"
+      "                             validation reference path)\n"
       "  --dl1-kb=N --dl1-ways=N --wbuf=N --div=N --mem=N --ops=N\n"
       "  --inject-single=P  --inject-double=P  --inject-adjacent\n"
       "  --inject-target=dl1|l1i|l2\n"
