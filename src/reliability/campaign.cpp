@@ -219,6 +219,48 @@ struct CellState {
   bool finished = false;
 };
 
+CellProgress cell_progress(const CellState& st) {
+  CellProgress p;
+  p.index = st.res.cell.index;
+  p.done = st.done;
+  p.finished = st.finished;
+  p.trials = st.res.trials;
+  p.events = st.res.events;
+  p.events_dropped = st.res.events_dropped;
+  p.masked = st.res.masked;
+  p.corrected = st.res.corrected;
+  p.due_recovered = st.res.due_recovered;
+  p.sdc = st.res.sdc;
+  p.data_loss = st.res.data_loss;
+  p.total_cycles = st.res.total_cycles;
+  p.device_hours = st.res.device_hours;
+  return p;
+}
+
+void restore_progress(CellState& st, const CellProgress& p,
+                      const CampaignSpec& spec) {
+  if (p.done > spec.trials || p.trials != p.done ||
+      p.masked + p.corrected + p.due_recovered + p.sdc + p.data_loss !=
+          p.trials) {
+    throw std::invalid_argument(
+        "run_campaign: resume cursor for cell " + std::to_string(p.index) +
+        " is inconsistent with this campaign (corrupt checkpoint or "
+        "changed spec?)");
+  }
+  st.done = p.done;
+  st.finished = p.finished || p.done >= spec.trials;
+  st.res.trials = p.trials;
+  st.res.events = p.events;
+  st.res.events_dropped = p.events_dropped;
+  st.res.masked = p.masked;
+  st.res.corrected = p.corrected;
+  st.res.due_recovered = p.due_recovered;
+  st.res.sdc = p.sdc;
+  st.res.data_loss = p.data_loss;
+  st.res.total_cycles = p.total_cycles;
+  st.res.device_hours = p.device_hours;
+}
+
 void fold_trial(CellState& st, const runner::PointResult& r,
                 const CampaignSpec& spec) {
   const TrialOutcome o = classify_trial(r);
@@ -274,11 +316,45 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
     states.push_back(std::move(st));
   }
 
+  // Restore resume cursors (grid-index-matched). A cursor that names a
+  // cell outside this shard's slice means the checkpoint belongs to a
+  // different campaign/shard — hard error, never mixed statistics.
+  if (opts.resume_from != nullptr) {
+    for (const CellProgress& p : *opts.resume_from) {
+      CellState* match = nullptr;
+      for (CellState& st : states) {
+        if (st.res.cell.index == p.index) {
+          match = &st;
+          break;
+        }
+      }
+      if (match == nullptr) {
+        throw std::invalid_argument(
+            "run_campaign: resume cursor names cell " +
+            std::to_string(p.index) +
+            ", which is not in this campaign shard");
+      }
+      restore_progress(*match, p, spec);
+    }
+  }
+
+  CampaignSummary summary;
+
+  const auto snapshot_progress = [&states] {
+    std::vector<CellProgress> out;
+    out.reserve(states.size());
+    for (const CellState& st : states) out.push_back(cell_progress(st));
+    return out;
+  };
+
   // Batched rounds: every unfinished cell contributes its next `batch`
   // trials to ONE run_sweep call (one thread pool over the whole round),
   // then the stopping rule is evaluated per cell. A cell's trajectory
   // depends only on its own trial outcomes — deterministic under any
-  // thread count or shard layout.
+  // thread count or shard layout. Interruption (should_stop) is only
+  // honoured at round boundaries, so every resume cursor sits on the same
+  // batch grid an uninterrupted run walks.
+  bool any_round = false;
   for (;;) {
     std::vector<runner::SweepPoint> points;
     std::vector<std::pair<std::size_t, unsigned>> slices;  // (state, count)
@@ -321,10 +397,20 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
         st.finished = ci.half_width() <= spec.target_half_width;
       }
     }
+
+    any_round = true;
+    if (opts.on_round) opts.on_round(snapshot_progress());
+    if (opts.should_stop && opts.should_stop()) {
+      summary.interrupted = true;
+      return summary;
+    }
   }
 
+  // A resume that had nothing left to run still reports its cursors once
+  // (the CLI heartbeat and checkpoint writer see the final state).
+  if (!any_round && opts.on_round) opts.on_round(snapshot_progress());
+
   // Finalize and emit in grid order.
-  CampaignSummary summary;
   summary.cells.reserve(states.size());
   if (opts.sink != nullptr) opts.sink->begin(campaign_row_headers());
   for (CellState& st : states) {
@@ -398,6 +484,12 @@ CampaignProcSummary run_campaign_procs(const std::vector<CampaignCell>& cells,
         "run_campaign_procs: rows flow through shard files; worker.sink "
         "must be unset");
   }
+  if (opts.worker.resume_from != nullptr || opts.worker.on_round ||
+      opts.worker.should_stop) {
+    throw std::invalid_argument(
+        "run_campaign_procs: checkpoint/resume hooks are single-process "
+        "(run the checkpointed campaign with procs=1)");
+  }
 
   CampaignProcSummary summary;
 
@@ -438,6 +530,7 @@ CampaignProcSummary run_campaign_procs(const std::vector<CampaignCell>& cells,
   summary.trials_run = fms.meta[1];
   summary.failures = fms.meta[2];
   summary.failed_workers = fms.failed_workers;
+  summary.worker_diagnostics = fms.diagnostics;
   return summary;
 }
 

@@ -37,6 +37,7 @@
 // trajectory.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -206,6 +207,28 @@ struct CellResult {
   [[nodiscard]] u64 failures() const { return sdc + data_loss; }
 };
 
+/// Restorable cursor of one cell mid-campaign: how many trials ran and the
+/// severity counters they accumulated. Trial seeds derive from (base_seed,
+/// workload identity, trial index), so "resume trial `done`" reproduces the
+/// exact storm an uninterrupted run would have drawn — the cursor IS the
+/// full per-cell RNG state. device_hours must round-trip bit-exactly
+/// (checkpoints store its IEEE bits) to keep resumed rows byte-identical.
+struct CellProgress {
+  std::size_t index = 0;  ///< grid index of the cell
+  unsigned done = 0;      ///< trials completed (the trial cursor)
+  bool finished = false;  ///< trial budget exhausted or stopping rule fired
+  u64 trials = 0;
+  u64 events = 0;
+  u64 events_dropped = 0;
+  u64 masked = 0;
+  u64 corrected = 0;
+  u64 due_recovered = 0;
+  u64 sdc = 0;
+  u64 data_loss = 0;
+  u64 total_cycles = 0;
+  double device_hours = 0.0;
+};
+
 struct CampaignOptions {
   /// Worker threads of the inner trial sweeps; 0 = hardware concurrency.
   unsigned threads = 0;
@@ -216,6 +239,21 @@ struct CampaignOptions {
   u64 base_seed = 0x1aec;
   /// Optional streaming sink; one row per finished cell, in grid order.
   report::RowWriter* sink = nullptr;
+  /// Resume support: per-cell cursors restored before the first round
+  /// (grid-index-matched; every entry must belong to this shard's slice).
+  /// The caller (service checkpoint layer) owns validation of WHERE the
+  /// cursors came from; run_campaign validates they fit this campaign.
+  const std::vector<CellProgress>* resume_from = nullptr;
+  /// Fired after every batched round (and therefore after the final one)
+  /// with the current cursor of every cell in this shard's slice, in grid
+  /// order. The checkpoint layer persists these; the CLI heartbeat renders
+  /// them. Must not touch the sink.
+  std::function<void(const std::vector<CellProgress>&)> on_round;
+  /// Polled between rounds (after on_round). Returning true stops the
+  /// campaign WITHOUT emitting rows — the summary comes back
+  /// interrupted=true and a later resume_from run re-emits everything,
+  /// byte-identical to an uninterrupted run.
+  std::function<bool()> should_stop;
 };
 
 /// Digest of a whole campaign (this shard's slice).
@@ -224,6 +262,9 @@ struct CampaignSummary {
   std::size_t cells_run = 0;
   u64 trials_run = 0;
   u64 failures = 0;  ///< SDC + data-loss trials across every cell
+  /// should_stop fired: no rows were emitted, cells is empty; resume from
+  /// the last on_round cursor set to finish the campaign.
+  bool interrupted = false;
 };
 
 /// Column names of the per-cell campaign row, in emission order.
@@ -265,6 +306,8 @@ struct CampaignProcSummary {
   u64 trials_run = 0;
   u64 failures = 0;
   unsigned failed_workers = 0;
+  /// One human-readable line per failed worker (see ForkMergeSummary).
+  std::vector<std::string> worker_diagnostics;
 };
 
 CampaignProcSummary run_campaign_procs(const std::vector<CampaignCell>& cells,

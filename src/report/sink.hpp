@@ -26,6 +26,12 @@ class RowWriter {
 
   /// Flush any trailing output (idempotent; called by destructor-sites).
   virtual void end() {}
+
+  /// Has every write so far actually reached the stream? ENOSPC/EIO set
+  /// the underlying ostream's badbit, which is sticky — drivers check
+  /// this after a run and turn a silently truncated result file into a
+  /// hard error. Writers over healthy streams always return true.
+  [[nodiscard]] virtual bool ok() const { return true; }
 };
 
 /// CSV with minimal quoting (fields containing `,` `"` or newlines are
@@ -35,6 +41,8 @@ class CsvWriter final : public RowWriter {
   explicit CsvWriter(std::ostream& out) : out_(out) {}
   void begin(const std::vector<std::string>& headers) override;
   void row(const std::vector<std::string>& cells) override;
+  void end() override { out_.flush(); }
+  [[nodiscard]] bool ok() const override { return out_.good(); }
 
   [[nodiscard]] static std::string escape(const std::string& field);
 
@@ -49,6 +57,8 @@ class JsonLinesWriter final : public RowWriter {
   explicit JsonLinesWriter(std::ostream& out) : out_(out) {}
   void begin(const std::vector<std::string>& headers) override;
   void row(const std::vector<std::string>& cells) override;
+  void end() override { out_.flush(); }
+  [[nodiscard]] bool ok() const override { return out_.good(); }
 
   [[nodiscard]] static std::string escape(const std::string& s);
 

@@ -1,7 +1,9 @@
 #include "runner/multiproc.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
@@ -121,7 +123,12 @@ ForkMergeSummary fork_workers_and_merge(const ForkMergeOptions& opts,
     }
   }
 
+  ForkMergeSummary summary;
   std::vector<char> worker_failed(opts.procs, 0);
+  const auto fail = [&](unsigned j, const std::string& why) {
+    worker_failed[j] = 1;
+    summary.diagnostics.push_back("worker " + std::to_string(j) + ": " + why);
+  };
 #if LAEC_HAVE_FORK
   std::vector<pid_t> pids(opts.procs, -1);
   for (unsigned j = 0; j < opts.procs; ++j) {
@@ -144,9 +151,18 @@ ForkMergeSummary fork_workers_and_merge(const ForkMergeOptions& opts,
   }
   for (unsigned j = 0; j < opts.procs; ++j) {
     int status = 0;
-    if (::waitpid(pids[j], &status, 0) < 0 || !WIFEXITED(status) ||
-        WEXITSTATUS(status) >= 2) {
-      worker_failed[j] = 1;
+    if (::waitpid(pids[j], &status, 0) < 0) {
+      fail(j, "waitpid failed: " + std::string(std::strerror(errno)));
+    } else if (WIFSIGNALED(status)) {
+      const int sig = WTERMSIG(status);
+      const char* name = ::strsignal(sig);
+      fail(j, "killed by signal " + std::to_string(sig) +
+                  (name != nullptr ? " (" + std::string(name) + ")"
+                                   : std::string()));
+    } else if (!WIFEXITED(status)) {
+      fail(j, "did not exit normally");
+    } else if (WEXITSTATUS(status) >= 2) {
+      fail(j, "exited with status " + std::to_string(WEXITSTATUS(status)));
     }
   }
 #else
@@ -159,31 +175,48 @@ ForkMergeSummary fork_workers_and_merge(const ForkMergeOptions& opts,
     } catch (...) {
       code = 2;
     }
-    if (code >= 2) worker_failed[j] = 1;
+    if (code >= 2) fail(j, "exited with status " + std::to_string(code));
   }
 #endif
 
   // Sum the meta digests (a failed worker may not have written one).
-  ForkMergeSummary summary;
   std::vector<std::string> row_paths;
+  std::vector<u64> claimed_rows(opts.procs, 0);
+  std::vector<char> meta_ok(opts.procs, 0);
   row_paths.reserve(opts.procs);
   for (unsigned j = 0; j < opts.procs; ++j) {
     row_paths.push_back(shard_row_path(prefix, j));
     std::ifstream meta(shard_meta_path(prefix, j));
     u64 a = 0, b = 0, c = 0;
     if (meta >> a >> b >> c) {
+      meta_ok[j] = 1;
+      claimed_rows[j] = a;
       summary.meta[0] += a;
       summary.meta[1] += b;
       summary.meta[2] += c;
-    } else {
-      worker_failed[j] = 1;
+    } else if (!worker_failed[j]) {
+      fail(j, "exited cleanly but left no readable meta digest");
+    }
+  }
+
+  std::vector<std::size_t> rows_per_file;
+  merge_shard_rows(row_paths, opts.csv_header, rows_out, &rows_per_file);
+
+  // Cross-check each shard file against its own meta digest: slot 0 is the
+  // worker's row count (both drivers' contract), so a short or truncated
+  // shard file can never slip into the merge unnoticed even when the
+  // worker itself exited cleanly.
+  for (unsigned j = 0; j < opts.procs; ++j) {
+    if (worker_failed[j] || !meta_ok[j]) continue;
+    if (rows_per_file[j] != claimed_rows[j]) {
+      fail(j, "shard file holds " + std::to_string(rows_per_file[j]) +
+                  " rows but its meta digest claims " +
+                  std::to_string(claimed_rows[j]));
     }
   }
   for (const char f : worker_failed) {
     summary.failed_workers += static_cast<unsigned>(f);
   }
-
-  merge_shard_rows(row_paths, opts.csv_header, rows_out);
 
   for (unsigned j = 0; j < opts.procs; ++j) {
     std::remove(shard_row_path(prefix, j).c_str());
@@ -193,7 +226,8 @@ ForkMergeSummary fork_workers_and_merge(const ForkMergeOptions& opts,
 }
 
 void merge_shard_rows(const std::vector<std::string>& shard_paths,
-                      bool csv_header, std::ostream& out) {
+                      bool csv_header, std::ostream& out,
+                      std::vector<std::size_t>* rows_per_file) {
   std::vector<std::ifstream> files;
   files.reserve(shard_paths.size());
   for (const auto& p : shard_paths) {
@@ -201,6 +235,9 @@ void merge_shard_rows(const std::vector<std::string>& shard_paths,
     if (!files.back()) {
       throw std::runtime_error("merge_shard_rows: cannot open " + p);
     }
+  }
+  if (rows_per_file != nullptr) {
+    rows_per_file->assign(files.size(), 0);
   }
   std::string line;
   if (csv_header) {
@@ -238,6 +275,9 @@ void merge_shard_rows(const std::vector<std::string>& shard_paths,
       continue;
     }
     out << line << '\n';
+    if (rows_per_file != nullptr) {
+      ++(*rows_per_file)[j];
+    }
   }
 }
 
@@ -292,6 +332,7 @@ ProcSummary run_sweep_procs(const std::vector<SweepPoint>& points,
   summary.cycles = fms.meta[1];
   summary.self_check_failures = static_cast<std::size_t>(fms.meta[2]);
   summary.failed_workers = fms.failed_workers;
+  summary.worker_diagnostics = fms.diagnostics;
   return summary;
 }
 

@@ -58,13 +58,22 @@ struct ForkMergeSummary {
   /// Sum of the workers' meta digests ("a b c" per file); what each slot
   /// means is the caller's contract with its worker.
   u64 meta[3] = {0, 0, 0};
-  /// Workers that died (signal), exited >= 2, or left no readable meta.
+  /// Workers that died (signal), exited >= 2, left no readable meta, or
+  /// whose shard row file disagrees with the row count their meta claims.
   unsigned failed_workers = 0;
+  /// One human-readable line per worker failure ("worker 2: killed by
+  /// signal 11 (Segmentation fault)", "worker 0: shard file holds 3 rows
+  /// but its meta digest claims 7"). A failed worker's completed rows are
+  /// still merged, so callers MUST surface these and fail loudly — the
+  /// merged stream is incomplete, never a silently partial result.
+  std::vector<std::string> diagnostics;
 };
 
 /// Worker body, run in the CHILD process (or sequentially where fork is
 /// unavailable): write rows to `rows_path`, the "a b c" digest to
 /// `meta_path`, return 0/1 (business outcome) or >= 2 (worker failure).
+/// Digest slot `a` MUST be the worker's row count — the merge cross-checks
+/// it against the shard file so truncated row files fail loudly.
 using ProcWorkerFn = std::function<int(
     unsigned j, const std::string& rows_path, const std::string& meta_path)>;
 
@@ -113,6 +122,8 @@ struct ProcSummary {
   /// rows are merged as far as they got; the caller should treat the sweep
   /// as failed.
   unsigned failed_workers = 0;
+  /// One human-readable line per failed worker (see ForkMergeSummary).
+  std::vector<std::string> worker_diagnostics;
 };
 
 /// Run `points` across opts.procs forked worker processes and write the
@@ -124,8 +135,11 @@ ProcSummary run_sweep_procs(const std::vector<SweepPoint>& points,
 
 /// Deterministic round-robin merge of per-shard row files (exposed for
 /// tests). With `csv_header` true, the first line of every file is a
-/// header; shard 0's is emitted once and the others are dropped.
+/// header; shard 0's is emitted once and the others are dropped. When
+/// `rows_per_file` is non-null it receives the count of data rows each
+/// file contributed (headers and dropped torn tails excluded).
 void merge_shard_rows(const std::vector<std::string>& shard_paths,
-                      bool csv_header, std::ostream& out);
+                      bool csv_header, std::ostream& out,
+                      std::vector<std::size_t>* rows_per_file = nullptr);
 
 }  // namespace laec::runner

@@ -1,0 +1,125 @@
+#include "service/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "service/wire.hpp"
+
+namespace laec::service {
+
+void save_checkpoint(const std::string& path, u64 identity,
+                     const std::vector<reliability::CellProgress>& cells) {
+  ByteWriter payload;
+  payload.put_u32(kCheckpointVersion);
+  payload.put_u64(identity);
+  payload.put_u32(static_cast<u32>(cells.size()));
+  for (const auto& c : cells) {
+    payload.put_u64(static_cast<u64>(c.index));
+    payload.put_u32(c.done);
+    payload.put_u8(c.finished ? 1 : 0);
+    payload.put_u64(c.trials);
+    payload.put_u64(c.events);
+    payload.put_u64(c.events_dropped);
+    payload.put_u64(c.masked);
+    payload.put_u64(c.corrected);
+    payload.put_u64(c.due_recovered);
+    payload.put_u64(c.sdc);
+    payload.put_u64(c.data_loss);
+    payload.put_u64(c.total_cycles);
+    payload.put_double(c.device_hours);
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot create " + tmp);
+    }
+    ByteWriter head;
+    head.put_u64(fnv1a(payload.bytes()));
+    out.write(kCheckpointMagic, sizeof kCheckpointMagic);
+    out.write(head.bytes().data(),
+              static_cast<std::streamsize>(head.bytes().size()));
+    out.write(payload.bytes().data(),
+              static_cast<std::streamsize>(payload.bytes().size()));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("checkpoint: write to " + tmp +
+                               " failed (disk full?)");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " +
+                             path + ": " + ec.message());
+  }
+}
+
+std::vector<reliability::CellProgress> load_checkpoint(
+    const std::string& path, u64 identity) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw WireError("checkpoint: cannot open " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < sizeof kCheckpointMagic + 8) {
+    throw WireError("checkpoint: " + path + " is truncated");
+  }
+  if (bytes.compare(0, sizeof kCheckpointMagic, kCheckpointMagic,
+                    sizeof kCheckpointMagic) != 0) {
+    throw WireError("checkpoint: " + path + " is not a checkpoint file");
+  }
+  ByteReader head(
+      std::string_view(bytes).substr(sizeof kCheckpointMagic, 8));
+  const u64 sum = head.get_u64();
+  const std::string_view payload =
+      std::string_view(bytes).substr(sizeof kCheckpointMagic + 8);
+  if (fnv1a(payload) != sum) {
+    throw WireError("checkpoint: " + path +
+                    " checksum mismatch (corrupt or torn write)");
+  }
+
+  ByteReader r(payload);
+  const u32 version = r.get_u32();
+  if (version != kCheckpointVersion) {
+    throw WireError("checkpoint: " + path + " is version " +
+                    std::to_string(version) + "; this build reads " +
+                    std::to_string(kCheckpointVersion));
+  }
+  const u64 file_identity = r.get_u64();
+  if (file_identity != identity) {
+    throw WireError(
+        "checkpoint: " + path +
+        " was taken under a different campaign configuration (grid, "
+        "spec, seed, shard or geometry changed); refusing to resume");
+  }
+  const u32 n = r.get_u32();
+  std::vector<reliability::CellProgress> cells;
+  cells.reserve(n);
+  for (u32 i = 0; i < n; ++i) {
+    reliability::CellProgress c;
+    c.index = static_cast<std::size_t>(r.get_u64());
+    c.done = r.get_u32();
+    c.finished = r.get_u8() != 0;
+    c.trials = r.get_u64();
+    c.events = r.get_u64();
+    c.events_dropped = r.get_u64();
+    c.masked = r.get_u64();
+    c.corrected = r.get_u64();
+    c.due_recovered = r.get_u64();
+    c.sdc = r.get_u64();
+    c.data_loss = r.get_u64();
+    c.total_cycles = r.get_u64();
+    c.device_hours = r.get_double();
+    cells.push_back(c);
+  }
+  r.expect_end();
+  return cells;
+}
+
+}  // namespace laec::service

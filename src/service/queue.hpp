@@ -1,0 +1,90 @@
+// Bounded MPMC work queue — the daemon's in-process cell queue.
+//
+// A fixed-capacity ring buffer guarded by one mutex and two condition
+// variables (modelled on the classic bounded-buffer shape of the
+// atomic_queue exemplar in the related-work set, with the lock-free
+// subtleties traded for obvious correctness: the daemon's unit of work is
+// an entire campaign cell — thousands of simulated trials — so queue
+// overhead is noise). Multiple connection threads push cell batches;
+// multiple worker threads pop. close() wakes everyone: pushes start
+// failing, pops drain the remaining items and then return nullopt, which
+// is the workers' shutdown signal.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace laec::service {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Block until there is room, then enqueue. Returns false (item
+  /// dropped) if the queue was closed before room appeared.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(m_);
+    not_full_.wait(lock, [&] { return closed_ || size_ < ring_.size(); });
+    if (closed_) return false;
+    ring_[(head_ + size_) % ring_.size()] = std::move(item);
+    size_ += 1;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available and dequeue it. After close(),
+  /// drains the remaining items, then returns nullopt forever.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(m_);
+    not_empty_.wait(lock, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return std::nullopt;  // closed and drained
+    std::optional<T> item(std::move(ring_[head_].value()));
+    ring_[head_].reset();
+    head_ = (head_ + 1) % ring_.size();
+    size_ -= 1;
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Reject future pushes and wake every waiter. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return size_;
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<std::optional<T>> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace laec::service

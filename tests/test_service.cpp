@@ -1,0 +1,372 @@
+// Service plumbing: the MPMC work queue, the wire codec, the framing
+// protocol, CampaignJob serialization, and the work-queue daemon end to
+// end — rows streamed over the socket must be byte-identical to a local
+// run_campaign of the same job.
+#include "service/daemon.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "reliability/campaign.hpp"
+#include "service/job.hpp"
+#include "service/protocol.hpp"
+#include "service/queue.hpp"
+#include "service/wire.hpp"
+
+namespace laec::service {
+namespace {
+
+// --- MpmcQueue --------------------------------------------------------------
+
+TEST(MpmcQueue, FifoOrderSingleThread) {
+  MpmcQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MpmcQueue, CloseDrainsThenReturnsNullopt) {
+  MpmcQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));  // rejected after close
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());  // stays empty forever
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumersLoseNothing) {
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 500;
+  MpmcQueue<int> q(8);  // small ring: forces real blocking both ways
+  std::vector<std::thread> producers, consumers;
+  std::mutex m;
+  std::vector<int> seen;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        const auto v = q.pop();
+        if (!v.has_value()) return;
+        std::lock_guard<std::mutex> lock(m);
+        seen.push_back(*v);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  ASSERT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)], i) << "lost or duplicated";
+  }
+}
+
+// --- wire codec -------------------------------------------------------------
+
+TEST(Wire, RoundTripsEveryType) {
+  ByteWriter w;
+  w.put_u8(0xab);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefull);
+  w.put_double(0.1 + 0.2);
+  const std::string_view with_nul("nul\0inside", 10);  // binary-safe?
+  w.put_string(with_nul);
+  w.put_string("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(std::bit_cast<u64>(r.get_double()),
+            std::bit_cast<u64>(0.1 + 0.2));
+  EXPECT_EQ(r.get_string(), std::string(with_nul));
+  EXPECT_EQ(r.get_string(), "");
+  r.expect_end();
+}
+
+TEST(Wire, ReaderRejectsTruncationAndTrailingBytes) {
+  ByteWriter w;
+  w.put_u32(7);
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.get_u64(), WireError);  // only 4 bytes there
+  ByteReader r2(w.bytes());
+  (void)r2.get_u8();
+  EXPECT_THROW(r2.expect_end(), WireError);  // 3 bytes left over
+  ByteReader r3(std::string_view("\x10\x00\x00\x00ab", 6));
+  EXPECT_THROW((void)r3.get_string(), WireError);  // length 16, have 2
+}
+
+// --- protocol ---------------------------------------------------------------
+
+TEST(Protocol, StringListAndDoneRoundTrip) {
+  const std::vector<std::string> items = {"a", "", "with,comma", "\n"};
+  EXPECT_EQ(decode_string_list(encode_string_list(items)), items);
+
+  DoneSummary d;
+  d.cells = 3;
+  d.trials = 99;
+  d.failures = 7;
+  const DoneSummary back = decode_done(encode_done(d));
+  EXPECT_EQ(back.cells, 3u);
+  EXPECT_EQ(back.trials, 99u);
+  EXPECT_EQ(back.failures, 7u);
+}
+
+TEST(Protocol, HelloIsValidatedStrictly) {
+  check_hello(hello_payload());  // must not throw
+  EXPECT_THROW(check_hello("garbage"), WireError);
+  ByteWriter w;
+  w.put_string("LAECSRV");
+  w.put_u32(kProtocolVersion + 1);
+  EXPECT_THROW(check_hello(w.bytes()), WireError);
+}
+
+TEST(Protocol, FramesTravelThroughARealFd) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string payload(100000, 'x');  // bigger than one pipe buffer
+  std::thread writer([&] { write_frame(fds[1], FrameType::kRow, payload); });
+  const Frame f = read_frame(fds[0]);
+  writer.join();
+  EXPECT_EQ(f.type, FrameType::kRow);
+  EXPECT_EQ(f.payload, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Protocol, RejectsOversizedFrames) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ByteWriter head;
+  head.put_u32(kMaxFramePayload + 1);
+  head.put_u8(static_cast<u8>(FrameType::kRow));
+  ASSERT_EQ(::write(fds[1], head.bytes().data(), head.bytes().size()),
+            static_cast<ssize_t>(head.bytes().size()));
+  EXPECT_THROW((void)read_frame(fds[0]), WireError);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// --- CampaignJob ------------------------------------------------------------
+
+CampaignJob sample_job() {
+  reliability::CampaignGrid grid;
+  grid.workloads({"a2time"}).schemes({"laec", "sec-daec-39-32"});
+  grid.rates({*reliability::tech_preset("40nm")});
+  CampaignJob job;
+  job.cells = grid.cells();
+  job.spec.trials = 8;
+  job.spec.min_trials = 4;
+  job.spec.batch = 4;
+  job.base_seed = 0x1234;
+  job.shard_index = 0;
+  job.shard_count = 1;
+  return job;
+}
+
+TEST(CampaignJob, SerializeParseRoundTrips) {
+  const CampaignJob job = sample_job();
+  const CampaignJob back = parse_job(serialize_job(job));
+  EXPECT_EQ(back.base_seed, job.base_seed);
+  EXPECT_EQ(back.shard_index, job.shard_index);
+  EXPECT_EQ(back.shard_count, job.shard_count);
+  EXPECT_EQ(back.spec.trials, job.spec.trials);
+  EXPECT_EQ(back.spec.batch, job.spec.batch);
+  ASSERT_EQ(back.cells.size(), job.cells.size());
+  for (std::size_t i = 0; i < job.cells.size(); ++i) {
+    EXPECT_EQ(back.cells[i].index, job.cells[i].index);
+    EXPECT_EQ(back.cells[i].workload, job.cells[i].workload);
+    EXPECT_EQ(back.cells[i].scheme, job.cells[i].scheme);
+    EXPECT_EQ(back.cells[i].rate.label, job.cells[i].rate.label);
+    EXPECT_EQ(back.cells[i].rate.fit_per_mbit, job.cells[i].rate.fit_per_mbit);
+  }
+  // The round-trip preserves the identity hash (the checkpoint guard).
+  EXPECT_EQ(campaign_identity(back), campaign_identity(job));
+}
+
+TEST(CampaignJob, IdentityReactsToEveryConfigurationAxis) {
+  const CampaignJob base = sample_job();
+  const u64 id = campaign_identity(base);
+
+  CampaignJob j = base;
+  j.base_seed ^= 1;
+  EXPECT_NE(campaign_identity(j), id);
+
+  j = base;
+  j.shard_index = 1;
+  j.shard_count = 2;
+  EXPECT_NE(campaign_identity(j), id);
+
+  j = base;
+  j.spec.trials += 1;
+  EXPECT_NE(campaign_identity(j), id);
+
+  j = base;
+  j.spec.base.dl1_size_bytes *= 2;
+  EXPECT_NE(campaign_identity(j), id);
+
+  j = base;
+  j.cells.pop_back();
+  EXPECT_NE(campaign_identity(j), id);
+}
+
+TEST(CampaignJob, ParseRejectsTruncatedAndAlienBytes) {
+  const std::string bytes = serialize_job(sample_job());
+  EXPECT_THROW((void)parse_job(bytes.substr(0, bytes.size() / 2)), WireError);
+  EXPECT_THROW((void)parse_job("alien"), WireError);
+  EXPECT_THROW((void)parse_job(bytes + "trailing"), WireError);
+}
+
+// --- daemon end to end ------------------------------------------------------
+
+struct DaemonFixture {
+  std::string socket_path;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+
+  DaemonFixture() {
+    static int counter = 0;
+    socket_path = (std::filesystem::temp_directory_path() /
+                   ("laec-test-daemon-" + std::to_string(::getpid()) + "-" +
+                    std::to_string(counter++) + ".sock"))
+                      .string();
+    thread = std::thread([this] {
+      ServeOptions so;
+      so.socket_path = socket_path;
+      so.workers = 2;
+      so.stop = &stop;
+      so.verbose = false;
+      (void)run_daemon(so);
+    });
+    // Wait for the socket to appear.
+    for (int i = 0; i < 200; ++i) {
+      if (std::filesystem::exists(socket_path)) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  ~DaemonFixture() {
+    if (std::filesystem::exists(socket_path)) {
+      try {
+        request_shutdown(socket_path);
+      } catch (const std::exception&) {
+        stop.store(true);
+      }
+    } else {
+      stop.store(true);
+    }
+    if (thread.joinable()) thread.join();
+  }
+};
+
+std::string local_csv(const CampaignJob& job, unsigned shard_index = 0,
+                      unsigned shard_count = 1) {
+  std::ostringstream out;
+  report::CsvWriter w(out);
+  reliability::CampaignOptions o;
+  o.threads = 1;
+  o.base_seed = job.base_seed;
+  o.shard_index = shard_index;
+  o.shard_count = shard_count;
+  o.sink = &w;
+  (void)reliability::run_campaign(job.cells, job.spec, o);
+  return out.str();
+}
+
+std::string submit_csv(const std::string& socket_path, CampaignJob job) {
+  std::ostringstream out;
+  report::CsvWriter w(out);
+  (void)submit_job(socket_path, job, w);
+  return out.str();
+}
+
+TEST(Daemon, StreamsRowsByteIdenticalToALocalRun) {
+  DaemonFixture daemon;
+  const CampaignJob job = sample_job();
+  EXPECT_EQ(submit_csv(daemon.socket_path, job), local_csv(job));
+}
+
+TEST(Daemon, ComplementaryShardClientsCoverTheGrid) {
+  DaemonFixture daemon;
+  CampaignJob job = sample_job();
+
+  job.shard_index = 0;
+  job.shard_count = 2;
+  const std::string shard0 = submit_csv(daemon.socket_path, job);
+  EXPECT_EQ(shard0, local_csv(job, 0, 2));
+
+  job.shard_index = 1;
+  const std::string shard1 = submit_csv(daemon.socket_path, job);
+  EXPECT_EQ(shard1, local_csv(job, 1, 2));
+
+  EXPECT_NE(shard0, shard1);
+}
+
+TEST(Daemon, ConcurrentClientsBothGetExactRows) {
+  DaemonFixture daemon;
+  const CampaignJob job = sample_job();
+  const std::string want = local_csv(job);
+  std::string got_a, got_b;
+  std::thread a([&] { got_a = submit_csv(daemon.socket_path, job); });
+  std::thread b([&] { got_b = submit_csv(daemon.socket_path, job); });
+  a.join();
+  b.join();
+  EXPECT_EQ(got_a, want);
+  EXPECT_EQ(got_b, want);
+}
+
+TEST(Daemon, RejectsJobsWithUnknownSchemeOrWorkload) {
+  DaemonFixture daemon;
+  CampaignJob job = sample_job();
+  job.cells[0].workload = "no-such-kernel";
+  std::ostringstream out;
+  report::CsvWriter w(out);
+  EXPECT_THROW((void)submit_job(daemon.socket_path, job, w),
+               std::runtime_error);
+  // The daemon survives a rejected job and still serves good ones.
+  EXPECT_EQ(submit_csv(daemon.socket_path, sample_job()),
+            local_csv(sample_job()));
+}
+
+TEST(Daemon, ShutdownRequestStopsTheDaemon) {
+  std::string path;
+  {
+    DaemonFixture daemon;
+    path = daemon.socket_path;
+    ASSERT_TRUE(std::filesystem::exists(path));
+    request_shutdown(path);
+    // Destructor joins; a second shutdown in ~DaemonFixture is a no-op
+    // because the socket file is gone.
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+}  // namespace
+}  // namespace laec::service

@@ -21,7 +21,23 @@
 //       (workload x scheme x rate) cell and emit one row per cell with
 //       FIT / MTTF / AVF estimates and Wilson confidence intervals.
 //       Composes with --threads / --shard / --procs exactly like sweep
-//       (byte-identical row merges at any layout).
+//       (byte-identical row merges at any layout). With --checkpoint=FILE
+//       the campaign persists per-cell trial cursors every round; an
+//       interrupted run (SIGINT/SIGTERM, exit code 3) resumes with
+//       --resume and emits rows byte-identical to an uninterrupted run.
+//   laec_cli serve --socket=PATH [--workers=N]
+//       Campaign work-queue daemon over a Unix-domain socket: worker
+//       threads pull cells from an MPMC queue; each connection submits a
+//       job and streams its rows back in grid order.
+//   laec_cli submit [kernel] --socket=PATH [options]
+//       Submit a campaign to a daemon and stream the rows here. Accepts
+//       the campaign grid flags plus --shard (complementary clients shard
+//       one campaign); rows are byte-identical to a local run.
+//   laec_cli stop --socket=PATH
+//       Ask a daemon to shut down cleanly.
+//   laec_cli cat FILE [--format=csv|jsonl] [--out=FILE]
+//       Decode a --format=col columnar result file back to text;
+//       bit-identical to having written CSV directly.
 //
 // Options:
 //   --ecc=<scheme>[,<scheme>...] (default laec). A scheme key is a policy
@@ -66,11 +82,25 @@
 //                                presets carry their own and numeric rates
 //                                use the 40nm mix)
 //   --inject-target=dl1|l1i|l2   which cache array the campaign strikes
+//   --checkpoint=FILE            persist per-cell trial cursors each round
+//   --resume                     continue a checkpointed campaign
+//   --stop-after-rounds=N        deterministic interruption (CI smoke)
+//   --progress[=SECS]            heartbeat on stderr (default every 5 s)
+//
+// Service options:
+//   --socket=PATH                Unix-domain socket (serve/submit/stop)
+//   --workers=N                  daemon worker threads (0 = hw concurrency)
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -83,6 +113,10 @@
 #include "report/table.hpp"
 #include "runner/multiproc.hpp"
 #include "runner/sweep_runner.hpp"
+#include "service/checkpoint.hpp"
+#include "service/columnar.hpp"
+#include "service/daemon.hpp"
+#include "service/job.hpp"
 #include "workloads/eembc.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -123,6 +157,20 @@ struct CliOptions {
   ecc::MbuPatternTable mbu;       ///< --mbu table for numeric rates
   bool mbu_explicit = false;
   std::vector<std::string> campaign_only_flags;
+
+  // Checkpoint / progress (local campaign runs only).
+  std::string checkpoint_path;
+  bool resume = false;
+  unsigned stop_after_rounds = 0;
+  bool progress = false;
+  unsigned progress_secs = 5;
+  std::vector<std::string> local_campaign_flags;
+
+  // Service mode (serve / submit / stop).
+  std::string socket_path;
+  unsigned serve_workers = 0;
+  bool workers_explicit = false;
+  std::vector<std::string> service_flags;
 };
 
 /// Split a comma list into its non-empty items.
@@ -256,8 +304,11 @@ CliOptions parse(int argc, char** argv) {
   int i = 2;
   if ((o.command == "run" || o.command == "trace" ||
        o.command == "compare" || o.command == "sweep" ||
-       o.command == "campaign") &&
+       o.command == "campaign" || o.command == "submit" ||
+       o.command == "cat") &&
       argc >= 3 && argv[2][0] != '-') {
+    // For `cat` the positional argument is the columnar file path, not a
+    // kernel name; it rides in the same slot.
     o.kernel = argv[2];
     i = 3;
   }
@@ -381,6 +432,33 @@ CliOptions parse(int argc, char** argv) {
     } else if (auto ev = value("--exposure"); !ev.empty()) {
       (void)take_ulong("--exposure", ev, o, o.campaign.exposure_cycles);
       o.campaign_only_flags.push_back("--exposure");
+    } else if (auto ck = value("--checkpoint"); !ck.empty()) {
+      o.checkpoint_path = ck;
+      o.local_campaign_flags.push_back("--checkpoint");
+    } else if (arg == "--resume") {
+      o.resume = true;
+      o.local_campaign_flags.push_back("--resume");
+    } else if (auto sr = value("--stop-after-rounds"); !sr.empty()) {
+      (void)take_ulong("--stop-after-rounds", sr, o, o.stop_after_rounds);
+      o.local_campaign_flags.push_back("--stop-after-rounds");
+      if (o.stop_after_rounds == 0) {
+        std::fprintf(stderr, "--stop-after-rounds wants at least 1 round\n");
+        o.ok = false;
+      }
+    } else if (arg == "--progress") {
+      o.progress = true;
+      o.local_campaign_flags.push_back("--progress");
+    } else if (auto pg = value("--progress"); !pg.empty()) {
+      o.progress = true;
+      (void)take_ulong("--progress", pg, o, o.progress_secs);
+      o.local_campaign_flags.push_back("--progress");
+    } else if (auto sk = value("--socket"); !sk.empty()) {
+      o.socket_path = sk;
+      o.service_flags.push_back("--socket");
+    } else if (auto wk = value("--workers"); !wk.empty()) {
+      (void)take_ulong("--workers", wk, o, o.serve_workers);
+      o.workers_explicit = true;
+      o.service_flags.push_back("--workers");
     } else if (auto uv = value("--mbu"); !uv.empty()) {
       o.campaign_only_flags.push_back("--mbu");
       if (!parse_mbu(uv, o.mbu)) {
@@ -414,6 +492,121 @@ CliOptions parse(int argc, char** argv) {
     o.ok = false;
   }
   return o;
+}
+
+// --- service / checkpoint helpers -------------------------------------------
+
+/// SIGINT/SIGTERM request a graceful stop: the campaign loop finishes its
+/// round (checkpoint saved by on_round) and exits 3; the daemon's accept
+/// loop drains and shuts down.
+std::atomic<bool> g_stop_requested{false};
+
+void handle_stop_signal(int) {
+  g_stop_requested.store(true, std::memory_order_release);
+}
+
+void install_stop_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
+
+/// Row-writer factory covering the service formats too: csv / jsonl via
+/// report::make_row_writer, plus the binary columnar sink ("col").
+std::unique_ptr<report::RowWriter> make_any_writer(const std::string& format,
+                                                   std::ostream& out) {
+  if (format == "col") return std::make_unique<service::ColumnarWriter>(out);
+  return report::make_row_writer(format, out);
+}
+
+/// Where rows go: stdout, or --out=FILE (binary-clean for columnar).
+struct OutputTarget {
+  std::ofstream file;
+  std::ostream* stream = nullptr;
+  std::string label = "<stdout>";
+
+  bool open(const CliOptions& o) {
+    if (o.out_path.empty()) {
+      stream = &std::cout;
+      return true;
+    }
+    const auto mode = o.format == "col"
+                          ? std::ios::trunc | std::ios::binary
+                          : std::ios::openmode(std::ios::trunc);
+    file.open(o.out_path, mode);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", o.out_path.c_str());
+      return false;
+    }
+    stream = &file;
+    label = o.out_path;
+    return true;
+  }
+
+  /// ENOSPC/EIO leave a sticky badbit; surface it as a hard error instead
+  /// of pretending a truncated result file is complete.
+  int finish() {
+    stream->flush();
+    if (!stream->good()) {
+      std::fprintf(stderr,
+                   "error: writing rows to %s failed (disk full or I/O "
+                   "error); the output is incomplete\n",
+                   label.c_str());
+      return 2;
+    }
+    return 0;
+  }
+};
+
+void print_worker_diagnostics(const char* cmd,
+                              const std::vector<std::string>& diagnostics) {
+  for (const auto& d : diagnostics) {
+    std::fprintf(stderr, "%s: %s\n", cmd, d.c_str());
+  }
+}
+
+/// Render one --progress heartbeat line from the round's cursors.
+void print_heartbeat(const std::vector<reliability::CellProgress>& cells,
+                     unsigned trials_per_cell,
+                     std::chrono::steady_clock::time_point start) {
+  std::size_t finished = 0;
+  u64 trials = 0, events = 0, done_trials = 0;
+  for (const auto& p : cells) {
+    trials += p.trials;
+    events += p.events;
+    if (p.finished) {
+      ++finished;
+      // A cell the stopping rule ended early counts as its full budget:
+      // the remaining trials will never run.
+      done_trials += trials_per_cell;
+    } else {
+      done_trials += p.done;
+    }
+  }
+  const u64 target_trials =
+      static_cast<u64>(cells.size()) * trials_per_cell;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  double eta = -1.0;
+  if (done_trials > 0 && target_trials >= done_trials) {
+    eta = elapsed * static_cast<double>(target_trials - done_trials) /
+          static_cast<double>(done_trials);
+  }
+  if (eta >= 0.0) {
+    std::fprintf(stderr,
+                 "campaign: %zu/%zu cells, %llu trials, %llu faults "
+                 "injected, %.0fs elapsed, ETA %.0fs\n",
+                 finished, cells.size(),
+                 static_cast<unsigned long long>(trials),
+                 static_cast<unsigned long long>(events), elapsed, eta);
+  } else {
+    std::fprintf(stderr,
+                 "campaign: %zu/%zu cells, %llu trials, %llu faults "
+                 "injected, %.0fs elapsed\n",
+                 finished, cells.size(),
+                 static_cast<unsigned long long>(trials),
+                 static_cast<unsigned long long>(events), elapsed);
+  }
 }
 
 void print_stats(const CliOptions& o, const core::RunStats& s,
@@ -612,33 +805,40 @@ int cmd_sweep(const CliOptions& o) {
                           : runner::RunMode::kProgram)
       .trace_ops(o.trace_ops);
 
-  std::ofstream file;
-  if (!o.out_path.empty()) {
-    file.open(o.out_path);
-    if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", o.out_path.c_str());
-      return 2;
-    }
-  }
-  std::ostream& out = o.out_path.empty() ? std::cout : file;
-  if (report::make_row_writer(o.format, out) == nullptr) {
-    std::fprintf(stderr, "unknown --format=%s (want csv or jsonl)\n",
+  OutputTarget target;
+  if (!target.open(o)) return 2;
+  std::ostream& out = *target.stream;
+  const bool columnar = o.format == "col";
+  if (!columnar && report::make_row_writer(o.format, out) == nullptr) {
+    std::fprintf(stderr, "unknown --format=%s (want csv, jsonl or col)\n",
                  o.format.c_str());
     return 2;
   }
 
   // One driver for both scales: --procs=1 runs the classic in-process
   // sweep; --procs=N forks workers over sub-shards and merges their row
-  // files back into `out`, byte-identical either way.
+  // files back into `out`, byte-identical either way. Columnar output
+  // buffers the merged CSV and re-encodes it — csv_to_rows is the exact
+  // inverse of CsvWriter, so the .col file holds exactly the CSV rows.
   runner::ProcOptions opts;
   opts.procs = o.procs;
-  opts.format = o.format;
+  opts.format = columnar ? "csv" : o.format;
   opts.worker.threads = o.threads;
   opts.worker.shard_index = o.shard_index;
   opts.worker.shard_count = o.shard_count;
   opts.worker.base_seed = o.base_seed;
   if (!o.out_path.empty()) opts.scratch_prefix = o.out_path;
-  const auto summary = runner::run_sweep_procs(grid.points(), opts, out);
+
+  std::ostringstream csv_buffer;
+  std::ostream& engine_out = columnar ? csv_buffer : out;
+  const auto summary = runner::run_sweep_procs(grid.points(), opts,
+                                               engine_out);
+  if (columnar) {
+    std::istringstream csv_in(csv_buffer.str());
+    service::ColumnarWriter writer(out);
+    (void)service::csv_to_rows(csv_in, writer);
+    writer.end();
+  }
 
   std::fprintf(stderr,
                "sweep: %zu points, %llu cycles simulated, "
@@ -647,14 +847,22 @@ int cmd_sweep(const CliOptions& o) {
                static_cast<unsigned long long>(summary.cycles),
                summary.self_check_failures);
   if (summary.failed_workers != 0) {
+    print_worker_diagnostics("sweep", summary.worker_diagnostics);
     std::fprintf(stderr, "sweep: %u worker process(es) failed\n",
                  summary.failed_workers);
     return 2;
   }
+  if (const int rc = target.finish(); rc != 0) return rc;
   return summary.self_check_failures == 0 ? 0 : 1;
 }
 
-int cmd_campaign(const CliOptions& o) {
+/// Expand the campaign grid and spec from the CLI flags — shared between
+/// the local campaign driver and the daemon submit client so both run THE
+/// SAME campaign for the same flags (the byte-identity contract depends
+/// on it). Returns false after printing a diagnostic.
+bool build_campaign_inputs(const CliOptions& o,
+                           reliability::CampaignSpec& spec,
+                           std::vector<reliability::CampaignCell>& cells) {
   reliability::CampaignGrid grid;
   if (o.kernel.empty() || o.kernel == "all") {
     grid.all_workloads();
@@ -682,41 +890,181 @@ int cmd_campaign(const CliOptions& o) {
                    "--rates: \"%s\" is neither a tech preset (65nm, 40nm, "
                    "28nm) nor a positive FIT/Mbit number\n",
                    tok.c_str());
-      return 2;
+      return false;
     }
     if (o.mbu_explicit) r->patterns = o.mbu;
     rates.push_back(std::move(*r));
   }
   grid.rates(std::move(rates));
 
-  reliability::CampaignSpec spec = o.campaign;
+  spec = o.campaign;
   spec.base = o.cfg;
+  cells = grid.cells();
+  return true;
+}
 
-  std::ofstream file;
-  if (!o.out_path.empty()) {
-    file.open(o.out_path);
-    if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", o.out_path.c_str());
-      return 2;
-    }
+/// The CampaignJob the CLI flags describe: feeds the daemon client AND the
+/// checkpoint identity hash, so a checkpoint refuses to resume under any
+/// changed grid / spec / seed / shard.
+service::CampaignJob campaign_job_from(
+    const CliOptions& o, const reliability::CampaignSpec& spec,
+    std::vector<reliability::CampaignCell> cells) {
+  service::CampaignJob job;
+  job.spec = spec;
+  job.cells = std::move(cells);
+  job.base_seed = o.base_seed;
+  job.shard_index = o.shard_index;
+  job.shard_count = o.shard_count;
+  return job;
+}
+
+int cmd_campaign(const CliOptions& o) {
+  reliability::CampaignSpec spec;
+  std::vector<reliability::CampaignCell> cells;
+  if (!build_campaign_inputs(o, spec, cells)) return 2;
+
+  const bool checkpointing = !o.checkpoint_path.empty();
+  if (o.resume && !checkpointing) {
+    std::fprintf(stderr, "--resume needs --checkpoint=FILE\n");
+    return 2;
   }
-  std::ostream& out = o.out_path.empty() ? std::cout : file;
-  if (report::make_row_writer(o.format, out) == nullptr) {
-    std::fprintf(stderr, "unknown --format=%s (want csv or jsonl)\n",
-                 o.format.c_str());
+  if ((checkpointing || o.stop_after_rounds != 0 || o.progress) &&
+      o.procs != 1) {
+    std::fprintf(stderr,
+                 "--checkpoint/--stop-after-rounds/--progress need "
+                 "--procs=1 (cursors live in the campaign loop)\n");
     return 2;
   }
 
+  OutputTarget target;
+  if (!target.open(o)) return 2;
+  std::ostream& out = *target.stream;
+  const bool columnar = o.format == "col";
+
+  if (o.procs == 1) {
+    // Single-process path: drive run_campaign directly so the checkpoint
+    // cursors, heartbeat and graceful-stop hooks see every round. Byte-
+    // identical to the procs engine's in-process path (same engine, same
+    // sink discipline).
+    const auto writer = make_any_writer(o.format, out);
+    if (writer == nullptr) {
+      std::fprintf(stderr, "unknown --format=%s (want csv, jsonl or col)\n",
+                   o.format.c_str());
+      return 2;
+    }
+
+    const u64 identity =
+        service::campaign_identity(campaign_job_from(o, spec, cells));
+    std::vector<reliability::CellProgress> restored;
+    reliability::CampaignOptions copts;
+    copts.threads = o.threads;
+    copts.shard_index = o.shard_index;
+    copts.shard_count = o.shard_count;
+    copts.base_seed = o.base_seed;
+    copts.sink = writer.get();
+
+    if (checkpointing) {
+      if (o.resume) {
+        try {
+          restored = service::load_checkpoint(o.checkpoint_path, identity);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "cannot resume from %s: %s\n",
+                       o.checkpoint_path.c_str(), e.what());
+          return 2;
+        }
+        copts.resume_from = &restored;
+      } else if (std::filesystem::exists(o.checkpoint_path)) {
+        std::fprintf(stderr,
+                     "checkpoint %s already exists; pass --resume to "
+                     "continue it or remove the file\n",
+                     o.checkpoint_path.c_str());
+        return 2;
+      }
+    }
+
+    install_stop_handlers();
+    unsigned rounds = 0;
+    const auto start = std::chrono::steady_clock::now();
+    auto last_beat = start;
+    copts.on_round = [&](const std::vector<reliability::CellProgress>& p) {
+      ++rounds;
+      if (checkpointing) {
+        service::save_checkpoint(o.checkpoint_path, identity, p);
+      }
+      if (o.progress) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last_beat >= std::chrono::seconds(o.progress_secs) ||
+            rounds == 1) {
+          print_heartbeat(p, spec.trials, start);
+          last_beat = now;
+        }
+      }
+    };
+    copts.should_stop = [&] {
+      return g_stop_requested.load(std::memory_order_acquire) ||
+             (o.stop_after_rounds != 0 && rounds >= o.stop_after_rounds);
+    };
+
+    const auto summary = reliability::run_campaign(cells, spec, copts);
+    if (summary.interrupted) {
+      if (checkpointing) {
+        std::fprintf(stderr,
+                     "campaign: interrupted after %u round(s); cursors "
+                     "saved to %s — rerun with --resume to finish\n",
+                     rounds, o.checkpoint_path.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "campaign: interrupted after %u round(s); no "
+                     "--checkpoint given, progress was discarded\n",
+                     rounds);
+      }
+      return 3;
+    }
+    writer->end();
+    if (!writer->ok()) {
+      std::fprintf(stderr,
+                   "error: writing rows to %s failed (disk full or I/O "
+                   "error); the output is incomplete\n",
+                   target.label.c_str());
+      return 2;
+    }
+    if (const int rc = target.finish(); rc != 0) return rc;
+    std::fprintf(stderr,
+                 "campaign: %zu cells, %llu trials, %llu failing trials "
+                 "(SDC + data-loss)\n",
+                 summary.cells_run,
+                 static_cast<unsigned long long>(summary.trials_run),
+                 static_cast<unsigned long long>(summary.failures));
+    return 0;
+  }
+
+  // Multi-process path. Columnar output buffers the merged CSV and
+  // re-encodes it, like cmd_sweep.
   reliability::CampaignProcOptions popts;
   popts.procs = o.procs;
-  popts.format = o.format;
+  popts.format = columnar ? "csv" : o.format;
   popts.worker.threads = o.threads;
   popts.worker.shard_index = o.shard_index;
   popts.worker.shard_count = o.shard_count;
   popts.worker.base_seed = o.base_seed;
   if (!o.out_path.empty()) popts.scratch_prefix = o.out_path;
+  if (!columnar &&
+      report::make_row_writer(popts.format, out) == nullptr) {
+    std::fprintf(stderr, "unknown --format=%s (want csv, jsonl or col)\n",
+                 o.format.c_str());
+    return 2;
+  }
+
+  std::ostringstream csv_buffer;
+  std::ostream& engine_out = columnar ? csv_buffer : out;
   const auto summary =
-      reliability::run_campaign_procs(grid.cells(), spec, popts, out);
+      reliability::run_campaign_procs(cells, spec, popts, engine_out);
+  if (columnar) {
+    std::istringstream csv_in(csv_buffer.str());
+    service::ColumnarWriter writer(out);
+    (void)service::csv_to_rows(csv_in, writer);
+    writer.end();
+  }
 
   std::fprintf(stderr,
                "campaign: %zu cells, %llu trials, %llu failing trials "
@@ -725,18 +1073,111 @@ int cmd_campaign(const CliOptions& o) {
                static_cast<unsigned long long>(summary.trials_run),
                static_cast<unsigned long long>(summary.failures));
   if (summary.failed_workers != 0) {
+    print_worker_diagnostics("campaign", summary.worker_diagnostics);
     std::fprintf(stderr, "campaign: %u worker process(es) failed\n",
                  summary.failed_workers);
     return 2;
   }
+  return target.finish();
+}
+
+int cmd_serve(const CliOptions& o) {
+  if (o.socket_path.empty()) {
+    std::fprintf(stderr, "serve needs --socket=PATH\n");
+    return 2;
+  }
+  install_stop_handlers();
+  service::ServeOptions so;
+  so.socket_path = o.socket_path;
+  so.workers = o.serve_workers;
+  so.stop = &g_stop_requested;
+  return service::run_daemon(so);
+}
+
+int cmd_submit(const CliOptions& o) {
+  if (o.socket_path.empty()) {
+    std::fprintf(stderr, "submit needs --socket=PATH\n");
+    return 2;
+  }
+  reliability::CampaignSpec spec;
+  std::vector<reliability::CampaignCell> cells;
+  if (!build_campaign_inputs(o, spec, cells)) return 2;
+
+  OutputTarget target;
+  if (!target.open(o)) return 2;
+  const auto writer = make_any_writer(o.format, *target.stream);
+  if (writer == nullptr) {
+    std::fprintf(stderr, "unknown --format=%s (want csv, jsonl or col)\n",
+                 o.format.c_str());
+    return 2;
+  }
+
+  const auto summary = service::submit_job(
+      o.socket_path, campaign_job_from(o, spec, std::move(cells)), *writer);
+  writer->end();
+  if (!writer->ok()) {
+    std::fprintf(stderr,
+                 "error: writing rows to %s failed (disk full or I/O "
+                 "error); the output is incomplete\n",
+                 target.label.c_str());
+    return 2;
+  }
+  if (const int rc = target.finish(); rc != 0) return rc;
+  std::fprintf(stderr,
+               "submit: %llu cells, %llu trials, %llu failing trials "
+               "(SDC + data-loss)\n",
+               static_cast<unsigned long long>(summary.cells_run),
+               static_cast<unsigned long long>(summary.trials_run),
+               static_cast<unsigned long long>(summary.failures));
+  return 0;
+}
+
+int cmd_stop(const CliOptions& o) {
+  if (o.socket_path.empty()) {
+    std::fprintf(stderr, "stop needs --socket=PATH\n");
+    return 2;
+  }
+  service::request_shutdown(o.socket_path);
+  std::fprintf(stderr, "daemon at %s stopped\n", o.socket_path.c_str());
+  return 0;
+}
+
+int cmd_cat(const CliOptions& o) {
+  if (o.kernel.empty()) {
+    std::fprintf(stderr, "cat wants a columnar file path\n");
+    return 2;
+  }
+  if (o.format == "col") {
+    std::fprintf(stderr, "cat decodes columnar files; --format wants csv "
+                         "or jsonl\n");
+    return 2;
+  }
+  std::ifstream in(o.kernel, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", o.kernel.c_str());
+    return 2;
+  }
+  OutputTarget target;
+  if (!target.open(o)) return 2;
+  const auto writer = report::make_row_writer(o.format, *target.stream);
+  if (writer == nullptr) {
+    std::fprintf(stderr, "unknown --format=%s (want csv or jsonl)\n",
+                 o.format.c_str());
+    return 2;
+  }
+  const u64 rows = service::read_columnar(in, *writer);
+  writer->end();
+  if (const int rc = target.finish(); rc != 0) return rc;
+  std::fprintf(stderr, "cat: %llu rows\n",
+               static_cast<unsigned long long>(rows));
   return 0;
 }
 
 void usage() {
   std::fprintf(
       stderr,
-      "usage: laec_cli <list|schemes|run|trace|compare|sweep|campaign> "
-      "[kernel] [options]\n"
+      "usage: laec_cli <list|schemes|run|trace|compare|sweep|campaign|"
+      "serve|submit|stop|cat> [kernel|file] [options]\n"
       "  --ecc=SCHEME[,SCHEME...]   policy name, codec name,\n"
       "                             placement:codec, or compound hierarchy\n"
       "                             key like laec+l2:sec-daec-39-32 (see\n"
@@ -750,13 +1191,20 @@ void usage() {
       "  --inject-single=P  --inject-double=P  --inject-adjacent\n"
       "  --inject-target=dl1|l1i|l2\n"
       "sweep/campaign mode:\n"
-      "  --threads=N  --procs=N  --shard=I/N  --format=csv|jsonl\n"
+      "  --threads=N  --procs=N  --shard=I/N  --format=csv|jsonl|col\n"
       "  --out=FILE  --trace  --seed=N\n"
       "campaign mode:\n"
       "  --rates=R[,R...]  (65nm|40nm|28nm or FIT/Mbit)  --trials=N\n"
       "  --min-trials=N  --batch=N  --confidence=C  --ci-width=W\n"
       "  --accel=A  --exposure=CYCLES  --mbu=single:W,adj2:W,adj3:W,"
-      "cluster:W\n");
+      "cluster:W\n"
+      "  --checkpoint=FILE  --resume  --stop-after-rounds=N  "
+      "--progress[=SECS]\n"
+      "service mode (serve/submit/stop):\n"
+      "  --socket=PATH  --workers=N  (submit also takes the campaign "
+      "grid flags)\n"
+      "cat mode:\n"
+      "  laec_cli cat FILE.col [--format=csv|jsonl] [--out=FILE]\n");
 }
 
 }  // namespace
@@ -768,16 +1216,62 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
-    const bool grid_cmd = o.command == "sweep" || o.command == "campaign";
-    if (!grid_cmd && !o.sweep_only_flags.empty()) {
-      std::fprintf(stderr, "%s only applies to the sweep/campaign commands\n",
+    const bool grid_cmd = o.command == "sweep" || o.command == "campaign" ||
+                          o.command == "submit";
+    if (!grid_cmd && o.command != "cat" && !o.sweep_only_flags.empty()) {
+      std::fprintf(stderr,
+                   "%s only applies to the sweep/campaign/submit commands\n",
                    o.sweep_only_flags.front().c_str());
       usage();
       return 2;
     }
-    if (o.command != "campaign" && !o.campaign_only_flags.empty()) {
-      std::fprintf(stderr, "%s only applies to the campaign command\n",
+    if (o.command == "cat") {
+      for (const auto& f : o.sweep_only_flags) {
+        if (f != "--format" && f != "--out") {
+          std::fprintf(stderr, "%s does not apply to the cat command\n",
+                       f.c_str());
+          usage();
+          return 2;
+        }
+      }
+    }
+    if (o.command == "submit") {
+      for (const auto& f : o.sweep_only_flags) {
+        if (f == "--threads" || f == "--procs" || f == "--trace") {
+          std::fprintf(stderr,
+                       "%s does not apply to submit (the daemon owns its "
+                       "own worker pool)\n",
+                       f.c_str());
+          usage();
+          return 2;
+        }
+      }
+    }
+    if (o.command != "campaign" && o.command != "submit" &&
+        !o.campaign_only_flags.empty()) {
+      std::fprintf(stderr, "%s only applies to the campaign/submit commands\n",
                    o.campaign_only_flags.front().c_str());
+      usage();
+      return 2;
+    }
+    if (o.command != "campaign" && !o.local_campaign_flags.empty()) {
+      std::fprintf(stderr,
+                   "%s only applies to the (local) campaign command\n",
+                   o.local_campaign_flags.front().c_str());
+      usage();
+      return 2;
+    }
+    const bool service_cmd = o.command == "serve" || o.command == "submit" ||
+                             o.command == "stop";
+    if (!service_cmd && !o.service_flags.empty()) {
+      std::fprintf(stderr,
+                   "%s only applies to the serve/submit/stop commands\n",
+                   o.service_flags.front().c_str());
+      usage();
+      return 2;
+    }
+    if (o.command != "serve" && o.workers_explicit) {
+      std::fprintf(stderr, "--workers only applies to the serve command\n");
       usage();
       return 2;
     }
@@ -795,6 +1289,10 @@ int main(int argc, char** argv) {
     if (o.command == "compare") return cmd_compare(o);
     if (o.command == "sweep") return cmd_sweep(o);
     if (o.command == "campaign") return cmd_campaign(o);
+    if (o.command == "serve") return cmd_serve(o);
+    if (o.command == "submit") return cmd_submit(o);
+    if (o.command == "stop") return cmd_stop(o);
+    if (o.command == "cat") return cmd_cat(o);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
