@@ -1,0 +1,168 @@
+// Campaign-throughput benchmark: golden-run pruning vs simulate-everything.
+//
+// Runs the same campaign grid twice — spec.prune on and off — at the
+// default 28nm tech preset, and reports trials/s for both passes, the
+// pruned-trial fraction per cell, and the end-to-end speedup. The two
+// passes' CSV rows are asserted byte-identical first (the equivalence
+// contract), so the number measures acceleration, not divergence.
+//
+// The operating point matters: pruning pays off when the accelerated
+// per-window event rate leaves most storms entirely on dead exposure
+// windows. At the 28nm raw rate that is the accel ~1e15 regime (roughly
+// 90% of trials classified without simulation); the CLI default 1e16
+// saturates the windows and prunes nothing. CI runs this with
+// --min-speedup as a perf-smoke regression gate; the measured numbers are
+// tracked in BENCH_campaign_speed.json.
+//
+// Flags: --threads=N (default 1), --trials=N per cell (default 48),
+// --accel=A (default 1e15), --min-speedup=S (exit 1 below it, default 0 =
+// report only), --json (machine-readable summary to stdout).
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "reliability/campaign.hpp"
+#include "report/sink.hpp"
+
+namespace {
+
+using namespace laec;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner::SweepOptions popts;
+  popts.threads = 1;
+  u64 trials = 48;
+  double accel = 1e15;
+  double min_speedup = 0.0;
+  bool json = false;
+  if (!bench::parse_bench_args(
+          argc, argv, popts,
+          "usage: campaign_speed [--threads=N] [--trials=N] [--accel=A]\n"
+          "                      [--min-speedup=S] [--json]\n",
+          [&](const std::string& arg) {
+            if (arg.rfind("--trials=", 0) == 0) {
+              trials = std::stoull(arg.substr(9));
+            } else if (arg.rfind("--accel=", 0) == 0) {
+              accel = std::stod(arg.substr(8));
+            } else if (arg.rfind("--min-speedup=", 0) == 0) {
+              min_speedup = std::stod(arg.substr(14));
+            } else if (arg == "--json") {
+              json = true;
+            } else {
+              return false;
+            }
+            return true;
+          })) {
+    return 2;
+  }
+
+  reliability::CampaignGrid grid;
+  grid.workloads({"puwmod", "rspeed"})
+      .schemes({"laec", "sec-daec-39-32"})
+      .rates({*reliability::tech_preset("28nm")});
+
+  reliability::CampaignSpec spec;
+  spec.accel = accel;
+  spec.trials = static_cast<unsigned>(trials);
+  spec.base.dl1_size_bytes = 2 * 1024;
+
+  const auto run = [&](bool prune, std::string* csv) {
+    reliability::CampaignSpec s = spec;
+    s.prune = prune;
+    std::ostringstream out;
+    report::CsvWriter sink(out);
+    reliability::CampaignOptions opts;
+    opts.threads = popts.threads;
+    opts.sink = &sink;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto sum = run_campaign(grid, s, opts);
+    const double secs = seconds_since(t0);
+    *csv = out.str();
+    return std::pair{sum, secs};
+  };
+
+  // Warm-up golden runs / code paths once so both timed passes are fair.
+  {
+    reliability::CampaignSpec warm = spec;
+    warm.trials = 1;
+    (void)run_campaign(grid, warm);
+  }
+
+  std::string csv_pruned, csv_full;
+  const auto [sum_p, secs_p] = run(true, &csv_pruned);
+  const auto [sum_f, secs_f] = run(false, &csv_full);
+
+  if (csv_pruned != csv_full) {
+    std::fprintf(stderr,
+                 "campaign_speed: FAIL — pruned and full CSV rows differ\n");
+    return 1;
+  }
+
+  u64 total = 0, pruned = 0;
+  for (const auto& c : sum_p.cells) {
+    total += c.trials;
+    pruned += c.pruned;
+  }
+  const double tps_pruned = static_cast<double>(total) / secs_p;
+  const double tps_full = static_cast<double>(total) / secs_f;
+  const double speedup = secs_p > 0.0 ? secs_f / secs_p : 0.0;
+  const double frac =
+      total > 0 ? static_cast<double>(pruned) / static_cast<double>(total) : 0.0;
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"threads\": %u,\n", popts.threads);
+    std::printf("  \"trials_per_cell\": %llu,\n",
+                static_cast<unsigned long long>(trials));
+    std::printf("  \"accel\": %g,\n", accel);
+    std::printf("  \"rows_identical\": true,\n");
+    std::printf("  \"trials_total\": %llu,\n",
+                static_cast<unsigned long long>(total));
+    std::printf("  \"pruned_fraction\": %.4f,\n", frac);
+    std::printf("  \"pruned_trials_per_s\": %.1f,\n", tps_pruned);
+    std::printf("  \"full_trials_per_s\": %.1f,\n", tps_full);
+    std::printf("  \"speedup\": %.2f,\n", speedup);
+    std::printf("  \"cells\": [\n");
+    for (std::size_t i = 0; i < sum_p.cells.size(); ++i) {
+      const auto& c = sum_p.cells[i];
+      std::printf("    {\"workload\": \"%s\", \"ecc\": \"%s\", "
+                  "\"pruned\": %llu, \"trials\": %llu}%s\n",
+                  c.cell.workload.c_str(), c.cell.scheme.c_str(),
+                  static_cast<unsigned long long>(c.pruned),
+                  static_cast<unsigned long long>(c.trials),
+                  i + 1 < sum_p.cells.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+  } else {
+    std::printf("campaign_speed: %llu trials, 28nm, accel=%g, %u thread(s)\n",
+                static_cast<unsigned long long>(total), accel, popts.threads);
+    for (const auto& c : sum_p.cells) {
+      std::printf("  %-8s %-18s pruned %llu/%llu\n", c.cell.workload.c_str(),
+                  c.cell.scheme.c_str(),
+                  static_cast<unsigned long long>(c.pruned),
+                  static_cast<unsigned long long>(c.trials));
+    }
+    std::printf("  pruned:  %8.1f trials/s (%.3f s)\n", tps_pruned, secs_p);
+    std::printf("  full:    %8.1f trials/s (%.3f s)\n", tps_full, secs_f);
+    std::printf("  speedup: %.2fx (pruned fraction %.0f%%), rows identical\n",
+                speedup, frac * 100.0);
+  }
+
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "campaign_speed: FAIL — speedup %.2fx below floor %.2fx\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ecc/registry.hpp"
+#include "mem/residency.hpp"
 
 namespace laec::core {
 
@@ -172,14 +173,41 @@ std::unique_ptr<ecc::FaultInjector> attach_injector(sim::System& system,
   return injector;
 }
 
+void attach_recorder(sim::System& system, const SimConfig& cfg,
+                     mem::ResidencyRecorder* recorder) {
+  recorder->bind_clock(system.cycle_counter());
+  switch (cfg.inject_target) {
+    case InjectTarget::kDl1:
+      system.core(0).dl1().cache().set_recorder(recorder);
+      break;
+    case InjectTarget::kL1i:
+      if (!system.core(0).has_l1i()) {
+        throw std::invalid_argument(
+            "inject_target=l1i requires program mode: the calibrated-trace "
+            "(oracle) core keeps no instruction cache");
+      }
+      system.core(0).l1i().cache().set_recorder(recorder);
+      break;
+    case InjectTarget::kL2:
+      system.memsys().l2().set_recorder(recorder);
+      break;
+  }
+}
+
 ProgramRun run_program_keep_system(const SimConfig& cfg,
-                                   const isa::Program& program) {
+                                   const isa::Program& program,
+                                   mem::ResidencyRecorder* recorder) {
   ProgramRun r;
   r.system =
       std::make_unique<sim::System>(make_system_config(cfg, /*trace_mode=*/false));
   r.injector = attach_injector(*r.system, cfg);
+  if (recorder != nullptr) attach_recorder(*r.system, cfg, recorder);
   r.system->load_program(program);
   const auto run = r.system->run();
+  // Close trailing windows before stats/self-check flushes touch the
+  // arrays (flush paths never consult the injector, so they are invisible
+  // to the recorded consultation sequence either way).
+  if (recorder != nullptr) recorder->finalize();
   r.stats = collect_stats(*r.system, run.completed);
   return r;
 }

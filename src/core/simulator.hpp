@@ -18,6 +18,10 @@
 #include "isa/program.hpp"
 #include "sim/system.hpp"
 
+namespace laec::mem {
+class ResidencyRecorder;
+}
+
 namespace laec::core {
 
 /// Which cache array a SimConfig's fault storm strikes.
@@ -212,6 +216,13 @@ struct RunStats {
 [[nodiscard]] std::unique_ptr<ecc::FaultInjector> attach_injector(
     sim::System& system, const SimConfig& cfg);
 
+/// Bind `recorder` to the system clock and hook it into the same array
+/// cfg.inject_target names, mirroring attach_injector's wiring — the golden
+/// run must observe exactly the word stream the injector would be consulted
+/// on.
+void attach_recorder(sim::System& system, const SimConfig& cfg,
+                     mem::ResidencyRecorder* recorder);
+
 /// run_program, but keep the finished system alive for post-mortem
 /// inspection (final-memory self-checks, chronograms). run_program and the
 /// sweep runner both build on this so the wiring cannot diverge.
@@ -220,8 +231,11 @@ struct ProgramRun {
   std::unique_ptr<ecc::FaultInjector> injector;  ///< when cfg.faults set
   RunStats stats;
 };
-[[nodiscard]] ProgramRun run_program_keep_system(const SimConfig& cfg,
-                                                 const isa::Program& program);
+/// `recorder`, when non-null, observes the targeted array for the whole run
+/// (attached before the first cycle, finalized after the last).
+[[nodiscard]] ProgramRun run_program_keep_system(
+    const SimConfig& cfg, const isa::Program& program,
+    mem::ResidencyRecorder* recorder = nullptr);
 
 /// Same, but feed core 0 from a synthetic trace (oracle DL1 outcomes).
 [[nodiscard]] RunStats run_trace(const SimConfig& cfg,

@@ -6,7 +6,16 @@
 namespace laec::ecc {
 
 FaultInjector::FaultInjector(const InjectorConfig& cfg)
-    : cfg_(cfg), rng_(cfg.seed) {}
+    : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.schedule != nullptr) {
+    // Replay mode: the whole storm was already drawn. Pre-seed the event
+    // accounting so injected_total()/faults_dropped() report the storm's
+    // totals (delivered AND architecturally masked events) exactly as the
+    // analytic fold does — campaign rows must not depend on which path ran.
+    injected_pattern_ = cfg_.schedule->events;
+    dropped_events_ = cfg_.schedule->dropped_events;
+  }
+}
 
 void FaultInjector::script_flip(u64 word_index, unsigned bit) {
   scripted_.emplace_back(word_index, bit);
@@ -14,6 +23,18 @@ void FaultInjector::script_flip(u64 word_index, unsigned bit) {
 
 FlipSet FaultInjector::flips_for_access(u64 word_index) {
   FlipSet flips;
+  if (cfg_.schedule != nullptr) {
+    // Replay mode: deliveries are keyed by consultation ordinal, not word
+    // index — the golden run already resolved WHICH word each consultation
+    // touches, and the trace is identical across a cell's trials.
+    const auto& d = cfg_.schedule->deliveries;
+    if (next_delivery_ < d.size() && d[next_delivery_].first == consults_) {
+      flips = d[next_delivery_].second;
+      ++next_delivery_;
+    }
+    ++consults_;
+    return flips;
+  }
   // Scripted flips first (entries matching this word fire together). The
   // inline FlipSet keeps the random modes' worst case in reserve — 2 slots
   // for the Bernoulli draw plus 4 for a clustered pattern event; an
@@ -67,19 +88,19 @@ FlipSet FaultInjector::flips_for_access(u64 word_index) {
   return flips;
 }
 
-unsigned FaultInjector::sample_event_count() {
+unsigned FaultInjector::draw_event_count(Rng& rng, double lambda) {
   // Largest event count one access window can meaningfully attempt: the
   // FlipSet holds kMax flips and the smallest event is a single, so
   // anything past kMax is guaranteed surplus (it still counts as dropped).
   constexpr unsigned kMaxEventsPerAccess = FlipSet::kMax;
-  const double lam = cfg_.event_lambda;
+  const double lam = lambda;
   // P(K >= 1) and P(K = 1); at extreme acceleration exp(-lam) underflows to
   // 0 and the distribution's mass sits far above the cap — saturate.
   const double denom = -std::expm1(-lam);
   const double p1 = std::exp(-lam) * lam;
   if (!(denom > 0.0) || !(p1 > 0.0)) return kMaxEventsPerAccess;
   // Inverse transform over the zero-truncated pmf p_k / denom.
-  double u = rng_.uniform() * denom;
+  double u = rng.uniform() * denom;
   double pk = p1;
   unsigned k = 1;
   while (u > pk && k < kMaxEventsPerAccess) {
@@ -90,46 +111,55 @@ unsigned FaultInjector::sample_event_count() {
   return k;
 }
 
-void FaultInjector::push_pattern_event(FlipSet& flips) {
-  const MbuPatternTable& t = cfg_.patterns;
+unsigned FaultInjector::sample_event_count() {
+  return draw_event_count(rng_, cfg_.event_lambda);
+}
+
+bool FaultInjector::draw_pattern_event(Rng& rng, const MbuPatternTable& t,
+                                       unsigned word_bits, FlipSet& flips) {
   const double total = t.total();
-  if (total <= 0) return;
-  const unsigned n = cfg_.word_bits;
-  double u = rng_.uniform() * total;
-  ++injected_pattern_;
+  if (total <= 0) return false;
+  const unsigned n = word_bits;
+  double u = rng.uniform() * total;
   if ((u -= t.single) < 0 || n < 3) {
-    flips.push(static_cast<unsigned>(rng_.below(n)));
-    return;
+    flips.push(static_cast<unsigned>(rng.below(n)));
+    return true;
   }
   if ((u -= t.adjacent_double) < 0) {
-    const unsigned a = static_cast<unsigned>(rng_.below(n - 1));
+    const unsigned a = static_cast<unsigned>(rng.below(n - 1));
     flips.push(a);
     flips.push(a + 1);
-    return;
+    return true;
   }
   if ((u -= t.adjacent_triple) < 0) {
-    const unsigned a = static_cast<unsigned>(rng_.below(n - 2));
+    const unsigned a = static_cast<unsigned>(rng.below(n - 2));
     flips.push(a);
     flips.push(a + 1);
     flips.push(a + 2);
-    return;
+    return true;
   }
   // Clustered: 2-4 distinct flips inside an 8-bit physical window (narrower
   // when the codeword itself is).
   const unsigned window = n < 8 ? n : 8;
-  const unsigned start =
-      static_cast<unsigned>(rng_.below(n - window + 1));
-  unsigned want = 2 + static_cast<unsigned>(rng_.below(3));
+  const unsigned start = static_cast<unsigned>(rng.below(n - window + 1));
+  unsigned want = 2 + static_cast<unsigned>(rng.below(3));
   if (want > window) want = window;
   unsigned chosen[4];
   unsigned count = 0;
   while (count < want) {
-    const unsigned off = static_cast<unsigned>(rng_.below(window));
+    const unsigned off = static_cast<unsigned>(rng.below(window));
     bool dup = false;
     for (unsigned i = 0; i < count; ++i) dup = dup || chosen[i] == off;
     if (dup) continue;
     chosen[count++] = off;
     flips.push(start + off);
+  }
+  return true;
+}
+
+void FaultInjector::push_pattern_event(FlipSet& flips) {
+  if (draw_pattern_event(rng_, cfg_.patterns, cfg_.word_bits, flips)) {
+    ++injected_pattern_;
   }
 }
 

@@ -16,7 +16,9 @@
 
 #include <cassert>
 #include <deque>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -83,6 +85,21 @@ struct MbuPatternTable {
   [[nodiscard]] bool operator==(const MbuPatternTable&) const = default;
 };
 
+/// A trial's complete fault storm, pre-drawn by the campaign pruner from a
+/// golden run's recorded exposure windows (see reliability/schedule.hpp).
+/// `deliveries` lists the flips reaching the decoder, keyed by injector
+/// consultation ordinal (i.e. the i-th read of the target array); events on
+/// dead windows are counted in `events` but never delivered — they are
+/// architecturally masked, the whole point of the two-pass campaign.
+struct TrialSchedule {
+  std::vector<std::pair<u64, FlipSet>> deliveries;  ///< (consult ordinal, flips), ascending
+  u64 events = 0;          ///< every upset event drawn, delivered or masked
+  u64 dropped_events = 0;  ///< live-window events past the FlipSet budget
+  /// Does any event reach a live window? False means the trial is provably
+  /// masked and need not be simulated at all.
+  [[nodiscard]] bool has_live() const { return !deliveries.empty(); }
+};
+
 struct InjectorConfig {
   /// Probability that an accessed stored word has suffered exactly one bit
   /// flip since it was written.
@@ -112,6 +129,11 @@ struct InjectorConfig {
   /// Bits eligible for flipping: data bits plus check bits of one word.
   unsigned word_bits = 39;  // (39,32) SECDED codeword by default
   u64 seed = 0x5eed;
+  /// Replay mode: when set, the injector delivers this pre-drawn schedule
+  /// verbatim — no RNG, no probabilities — by counting consultations. The
+  /// campaign pruner uses it so a simulated trial consumes exactly the
+  /// storm that was drawn analytically. Overrides every random mode.
+  std::shared_ptr<const TrialSchedule> schedule;
 };
 
 class FaultInjector {
@@ -128,9 +150,22 @@ class FaultInjector {
   [[nodiscard]] FlipSet flips_for_access(u64 word_index);
 
   [[nodiscard]] bool enabled() const {
-    return cfg_.single_flip_prob > 0 || cfg_.double_flip_prob > 0 ||
-           cfg_.event_prob > 0 || !scripted_.empty();
+    return cfg_.schedule != nullptr || cfg_.single_flip_prob > 0 ||
+           cfg_.double_flip_prob > 0 || cfg_.event_prob > 0 ||
+           !scripted_.empty();
   }
+
+  /// Number of events in a window that drew at least one: zero-truncated
+  /// Poisson(lambda), inverse-transform, capped at FlipSet::kMax. Exposed
+  /// statically so the campaign pruner replays the exact per-trial RNG
+  /// stream the injector would consume.
+  [[nodiscard]] static unsigned draw_event_count(Rng& rng, double lambda);
+
+  /// Draw one pattern-table event's shape into `flips` (campaign mode).
+  /// Returns false — consuming no RNG — when the table is all-zero.
+  /// Statically exposed for the same RNG-replay reason as above.
+  static bool draw_pattern_event(Rng& rng, const MbuPatternTable& patterns,
+                                 unsigned word_bits, FlipSet& flips);
 
   [[nodiscard]] u64 injected_single() const { return injected_single_; }
   [[nodiscard]] u64 injected_double() const { return injected_double_; }
@@ -151,8 +186,7 @@ class FaultInjector {
  private:
   /// Append one pattern-table event's flips (campaign mode).
   void push_pattern_event(FlipSet& flips);
-  /// Number of events in a window that drew at least one: zero-truncated
-  /// Poisson(event_lambda), inverse-transform, capped at kMaxEventsPerAccess.
+  /// Member shim over draw_event_count (uses cfg_.event_lambda and rng_).
   [[nodiscard]] unsigned sample_event_count();
 
   InjectorConfig cfg_;
@@ -163,6 +197,9 @@ class FaultInjector {
   u64 injected_scripted_ = 0;
   u64 injected_pattern_ = 0;
   u64 dropped_events_ = 0;
+  // Replay-mode cursor: consultations seen / next schedule entry to deliver.
+  u64 consults_ = 0;
+  std::size_t next_delivery_ = 0;
 };
 
 }  // namespace laec::ecc

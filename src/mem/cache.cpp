@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/bitops.hpp"
+#include "mem/residency.hpp"
 
 // The correction/recovery/scrub machinery is deliberately out of the
 // instruction stream of the clean-hit fast path: annotate it cold so the
@@ -163,6 +164,7 @@ WordRead SetAssocCache::read(LineRef line, Addr a, unsigned bytes) {
 
   const u32 off = a & (cfg_.line_bytes - 1);
   const u32 word_idx = off / 4;
+  if (recorder_ != nullptr) recorder_->on_read(word_key(*way, word_idx));
   WordRead word;
   if (!inject_active() && !cfg_.force_generic_path) [[likely]] {
     // Clean-hit fast path: re-encode the stored word through the
@@ -203,6 +205,7 @@ void SetAssocCache::write(LineRef line, Addr a, unsigned bytes, u32 value,
 
   const u32 off = a & (cfg_.line_bytes - 1);
   const u32 word_idx = off / 4;
+  if (recorder_ != nullptr) recorder_->on_write(word_key(*way, word_idx));
 
   // Sub-word writes are read-modify-write on the protected word (the check
   // bits cover 32 bits, so hardware must merge before re-encoding). That
@@ -265,6 +268,7 @@ std::optional<Eviction> SetAssocCache::fill(Addr a, const u8* data,
     ev->data = corrected_line_copy(*victim);
     ++live_.dirty_evictions;
   }
+  if (victim->valid) retire_line(*victim);
 
   victim->valid = true;
   victim->dirty = dirty;
@@ -276,15 +280,31 @@ std::optional<Eviction> SetAssocCache::fill(Addr a, const u8* data,
     // One virtual call per line, not one per word.
     codec_->encode_line(victim->words.data(), victim->check.data(), nwords);
   }
+  if (recorder_ != nullptr) {
+    for (u32 i = 0; i < nwords; ++i) recorder_->on_install(word_key(*victim, i));
+  }
   return ev;
 }
 
 bool SetAssocCache::invalidate(Addr a) {
   Way* way = find(a);
   if (way == nullptr) return false;
+  retire_line(*way);
   way->valid = false;
   way->dirty = false;
   return true;
+}
+
+void SetAssocCache::invalidate(LineRef line) {
+  retire_line(*line.way_);
+  line.way_->valid = false;
+  line.way_->dirty = false;
+}
+
+void SetAssocCache::retire_line(const Way& way) {
+  if (recorder_ == nullptr) return;
+  const u32 nwords = cfg_.line_bytes / 4;
+  for (u32 i = 0; i < nwords; ++i) recorder_->on_retire(word_key(way, i));
 }
 
 std::vector<u8> SetAssocCache::corrected_line_copy(const Way& way) const {

@@ -43,6 +43,8 @@
 
 namespace laec::mem {
 
+class ResidencyRecorder;
+
 enum class WritePolicy { kWriteBack, kWriteThrough };
 enum class AllocPolicy { kWriteAllocate, kNoWriteAllocate };
 
@@ -167,6 +169,10 @@ class SetAssocCache {
     ever_injected_ = ever_injected_ || inj != nullptr;
   }
 
+  /// Attach a residency recorder (not owned; golden runs only). Pass
+  /// nullptr to detach. Off the hot path: every hook is null-gated.
+  void set_recorder(ResidencyRecorder* rec) { recorder_ = rec; }
+
   // --- presence ------------------------------------------------------------
   /// Locate the resident line containing `a`; a null handle means miss.
   /// No LRU update, no fault injection, no stats.
@@ -209,10 +215,7 @@ class SetAssocCache {
 
   /// Invalidate through a handle (the controller already resolved the
   /// line). The handle is dead afterwards.
-  void invalidate(LineRef line) {
-    line.way_->valid = false;
-    line.way_->dirty = false;
-  }
+  void invalidate(LineRef line);
 
   /// Read a whole resident line (corrected view; no LRU update, no
   /// injection — used for writebacks and tests).
@@ -295,6 +298,9 @@ class SetAssocCache {
   /// hardware re-decodes on the writeback read, so corrupted raw bytes
   /// never escape just because scrubbing is off. No stats, no injection.
   [[nodiscard]] std::vector<u8> corrected_line_copy(const Way& way) const;
+  /// Retire every word of a valid line with the recorder (eviction or
+  /// invalidation). No-op when no recorder is attached.
+  void retire_line(const Way& way);
   /// Fold the plain counters' deltas into the named StatSet.
   void flush_counters() const;
 
@@ -309,6 +315,7 @@ class SetAssocCache {
   std::vector<Way> ways_;
   u64 lru_clock_ = 1;
   ecc::FaultInjector* injector_ = nullptr;
+  ResidencyRecorder* recorder_ = nullptr;  ///< golden-run observer; usually null
   /// An injector has been attached at some point, so stored words may hold
   /// unscrubbed faults. Sticky (survives detach): gates the re-decode work
   /// on writeback/RMW paths so fault-free runs skip it entirely.

@@ -1,0 +1,60 @@
+#include "mem/residency.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace laec::mem {
+
+void ResidencyRecorder::close_window(u64 word_key, bool live, bool retire) {
+  if (now_ == nullptr) throw std::logic_error("ResidencyRecorder: clock not bound");
+  auto it = last_touch_.find(word_key);
+  if (it == last_touch_.end()) return;  // not resident (e.g. traffic outside the recorded cache)
+  AccessWindow w;
+  w.gap_cycles = *now_ - it->second;
+  w.live = live;
+  windows_.push_back(w);
+  if (live) ++live_windows_;
+  if (retire) {
+    last_touch_.erase(it);
+  } else {
+    it->second = *now_;
+  }
+}
+
+void ResidencyRecorder::on_read(u64 word_key) { close_window(word_key, /*live=*/true, /*retire=*/false); }
+
+void ResidencyRecorder::on_write(u64 word_key) {
+  if (now_ == nullptr) throw std::logic_error("ResidencyRecorder: clock not bound");
+  auto it = last_touch_.find(word_key);
+  if (it == last_touch_.end()) {
+    // Write to a non-resident word (write-through store into a line the
+    // recorder never saw fill, e.g. before bind): open residency.
+    last_touch_.emplace(word_key, *now_);
+    return;
+  }
+  close_window(word_key, /*live=*/false, /*retire=*/false);
+}
+
+void ResidencyRecorder::on_install(u64 word_key) {
+  if (now_ == nullptr) throw std::logic_error("ResidencyRecorder: clock not bound");
+  last_touch_[word_key] = *now_;
+}
+
+void ResidencyRecorder::on_retire(u64 word_key) { close_window(word_key, /*live=*/false, /*retire=*/true); }
+
+void ResidencyRecorder::finalize() {
+  std::vector<u64> keys;
+  keys.reserve(last_touch_.size());
+  for (const auto& [k, t] : last_touch_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  for (u64 k : keys) close_window(k, /*live=*/false, /*retire=*/true);
+}
+
+double mean_exposure_cycles(const std::vector<AccessWindow>& windows) {
+  if (windows.empty()) return 0.0;
+  double sum = 0.0;
+  for (const AccessWindow& w : windows) sum += static_cast<double>(w.gap_cycles);
+  return sum / static_cast<double>(windows.size());
+}
+
+}  // namespace laec::mem

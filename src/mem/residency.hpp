@@ -1,0 +1,83 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace laec::mem {
+
+/// One exposure window of one cached word, as seen by the golden (fault-free)
+/// run: the stretch of device time between two consecutive touches of the
+/// word while it is resident.
+///
+/// A window is **live** when it ends in a read — an upset landing anywhere in
+/// it would be consulted (and possibly delivered) at that read. It is **dead**
+/// when it ends in a write, an eviction, an invalidation, or the end of the
+/// run — an upset landing in it is overwritten or discarded before any read
+/// could observe it, i.e. architecturally masked.
+struct AccessWindow {
+  u64 gap_cycles = 0;  ///< device cycles between the touch opening and closing it
+  bool live = false;   ///< true iff the window is closed by a read
+};
+
+/// Records per-word access events from one or more `SetAssocCache` instances
+/// during a golden run and finalizes them into the flat, deterministic window
+/// sequence (`windows()`) that pass 2 replays trial RNG streams over.
+///
+/// Because every trial in a campaign cell executes the identical instruction
+/// trace (the replicate index mixes only into the fault seed), the recorded
+/// sequence is exact for all of them: the i-th live window corresponds to the
+/// i-th injector consultation of any zero-delivery trial.
+class ResidencyRecorder {
+ public:
+  /// Bump when the recording semantics change; serialized into the campaign
+  /// identity hash so stale checkpoints cannot resume across recorder revisions.
+  static constexpr u32 kVersion = 1;
+
+  /// Point the recorder at the simulator's cycle counter. Must be called
+  /// before any cache hook fires.
+  void bind_clock(const Cycle* now) { now_ = now; }
+
+  // --- hooks called by SetAssocCache (null-gated at the call site) ----------
+
+  /// A word was read while resident: closes a live window.
+  void on_read(u64 word_key);
+
+  /// A word was (partially or fully) overwritten while resident: closes a
+  /// dead window and re-opens residency at the new value.
+  void on_write(u64 word_key);
+
+  /// A word became resident via a line fill; opens residency, no window.
+  void on_install(u64 word_key);
+
+  /// A word left the cache (eviction, writeback, invalidation): closes a
+  /// dead window and ends residency.
+  void on_retire(u64 word_key);
+
+  /// Close the trailing window of every still-resident word (dead: the run
+  /// ended before another read). Retires in sorted word-key order so the
+  /// window sequence — and hence every trial's RNG stream — is deterministic.
+  void finalize();
+
+  [[nodiscard]] const std::vector<AccessWindow>& windows() const { return windows_; }
+
+  /// Move the recorded windows out (recorder is spent afterwards).
+  [[nodiscard]] std::vector<AccessWindow> take_windows() { return std::move(windows_); }
+
+  [[nodiscard]] u64 live_windows() const { return live_windows_; }
+
+ private:
+  void close_window(u64 word_key, bool live, bool retire);
+
+  const Cycle* now_ = nullptr;
+  std::unordered_map<u64, Cycle> last_touch_;  ///< resident words -> last touch time
+  std::vector<AccessWindow> windows_;
+  u64 live_windows_ = 0;
+};
+
+/// Mean per-word inter-access gap in cycles over a golden run's windows
+/// (resident-time-weighted fault exposure). 0 when no window was recorded.
+[[nodiscard]] double mean_exposure_cycles(const std::vector<AccessWindow>& windows);
+
+}  // namespace laec::mem

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
@@ -11,6 +12,8 @@
 
 #include "core/deployment.hpp"
 #include "ecc/registry.hpp"
+#include "mem/residency.hpp"
+#include "reliability/schedule.hpp"
 #include "runner/multiproc.hpp"
 #include "workloads/eembc.hpp"
 
@@ -174,7 +177,7 @@ const std::vector<std::string>& campaign_row_headers() {
       "due_recovered", "sdc",       "data_loss", "p_fail",
       "ci_lo",         "ci_hi",     "avf",       "fit",
       "fit_lo",        "fit_hi",    "mttf_hours", "device_hours",
-      "cycles"};
+      "cycles",        "pruned",    "mean_exposure_cycles"};
   return kHeaders;
 }
 
@@ -206,10 +209,21 @@ std::vector<std::string> campaign_to_row(const CellResult& r) {
           fmt_g(r.est.fit_hi),
           fmt_g(r.est.mttf_hours),
           fmt_g(r.device_hours),
-          fmt_u64(r.total_cycles)};
+          fmt_u64(r.total_cycles),
+          fmt_u64(r.pruned),
+          fmt_g(r.mean_exposure_cycles)};
 }
 
 namespace {
+
+/// Pass-1 artifacts of one cell, produced once by a fault-free run: the
+/// recorded exposure windows every trial's storm is drawn over, and the
+/// golden result a provably-masked trial is classified/accounted from.
+struct GoldenCell {
+  std::vector<mem::AccessWindow> windows;
+  runner::PointResult result;
+  double mean_exposure = 0.0;
+};
 
 /// Per-cell running state of the campaign engine.
 struct CellState {
@@ -217,6 +231,9 @@ struct CellState {
   core::SimConfig cfg;  ///< scheme + faults applied, seed left to run_sweep
   unsigned done = 0;
   bool finished = false;
+  std::shared_ptr<const GoldenCell> golden;  ///< lazily built, once per cell
+  double lambda_scale = 0.0;  ///< accelerated upsets per exposure cycle
+  unsigned word_bits = 0;     ///< targeted codec's codeword width
 };
 
 CellProgress cell_progress(const CellState& st) {
@@ -233,13 +250,14 @@ CellProgress cell_progress(const CellState& st) {
   p.sdc = st.res.sdc;
   p.data_loss = st.res.data_loss;
   p.total_cycles = st.res.total_cycles;
+  p.pruned = st.res.pruned;
   p.device_hours = st.res.device_hours;
   return p;
 }
 
 void restore_progress(CellState& st, const CellProgress& p,
                       const CampaignSpec& spec) {
-  if (p.done > spec.trials || p.trials != p.done ||
+  if (p.done > spec.trials || p.trials != p.done || p.pruned > p.trials ||
       p.masked + p.corrected + p.due_recovered + p.sdc + p.data_loss !=
           p.trials) {
     throw std::invalid_argument(
@@ -258,15 +276,18 @@ void restore_progress(CellState& st, const CellProgress& p,
   st.res.sdc = p.sdc;
   st.res.data_loss = p.data_loss;
   st.res.total_cycles = p.total_cycles;
+  st.res.pruned = p.pruned;
   st.res.device_hours = p.device_hours;
 }
 
-void fold_trial(CellState& st, const runner::PointResult& r,
-                const CampaignSpec& spec) {
-  const TrialOutcome o = classify_trial(r);
+/// Fold one classified trial into the cell. Shared by the simulated and
+/// analytic paths so the accumulation arithmetic (including the
+/// device-hours floating-point expression) cannot diverge between them.
+void fold_outcome(CellState& st, TrialOutcome o, u64 events, u64 dropped,
+                  u64 cycles, const CampaignSpec& spec) {
   st.res.trials += 1;
-  st.res.events += r.faults_injected;
-  st.res.events_dropped += r.faults_dropped;
+  st.res.events += events;
+  st.res.events_dropped += dropped;
   switch (o) {
     case TrialOutcome::kMasked: st.res.masked += 1; break;
     case TrialOutcome::kCorrected: st.res.corrected += 1; break;
@@ -274,10 +295,62 @@ void fold_trial(CellState& st, const runner::PointResult& r,
     case TrialOutcome::kSdc: st.res.sdc += 1; break;
     case TrialOutcome::kDataLoss: st.res.data_loss += 1; break;
   }
-  st.res.total_cycles += r.stats.cycles;
-  st.res.device_hours += static_cast<double>(r.stats.cycles) /
+  st.res.total_cycles += cycles;
+  st.res.device_hours += static_cast<double>(cycles) /
                          (spec.freq_mhz * 1e6) / 3600.0 * spec.accel;
 }
+
+void fold_trial(CellState& st, const runner::PointResult& r,
+                const CampaignSpec& spec) {
+  fold_outcome(st, classify_trial(r), r.faults_injected, r.faults_dropped,
+               r.stats.cycles, spec);
+}
+
+/// Fold a pruned trial: every event is provably masked, so the trial's
+/// classification, cycle count and device-hours are the golden run's. The
+/// storm's events still count (they are real upsets the AVF denominator
+/// must see — exactly what the injector reports when the same schedule is
+/// simulated instead).
+void fold_pruned(CellState& st, const ecc::TrialSchedule& sched,
+                 const CampaignSpec& spec) {
+  const GoldenCell& g = *st.golden;
+  fold_outcome(st, classify_trial(g.result), sched.events,
+               sched.dropped_events, g.result.stats.cycles, spec);
+  st.res.pruned += 1;
+}
+
+/// The SweepPoint of one of this cell's trials.
+runner::SweepPoint cell_point(const CellState& st, unsigned replicate) {
+  runner::SweepPoint p;
+  p.workload = st.res.cell.workload;
+  p.variant = st.res.cell.rate.label;
+  p.config = st.cfg;
+  p.mode = runner::RunMode::kProgram;
+  p.replicate = replicate;
+  return p;
+}
+
+/// Pass 1, lazily: one fault-free run of the cell's workload with the
+/// residency recorder on the targeted array. Runs at most once per cell
+/// per process (trials amortize it); deterministic, so every process of a
+/// sharded campaign reconstructs the identical windows.
+void ensure_golden(CellState& st, const CampaignOptions& opts) {
+  if (st.golden != nullptr) return;
+  auto g = std::make_shared<GoldenCell>();
+  mem::ResidencyRecorder rec;
+  g->result = runner::run_golden_point(cell_point(st, 0), opts.base_seed, &rec);
+  g->windows = rec.take_windows();
+  g->mean_exposure = mem::mean_exposure_cycles(g->windows);
+  st.golden = std::move(g);
+}
+
+/// One trial's disposition within a round.
+struct TrialPlan {
+  bool prunable = false;  ///< storm has no live delivery (provably masked)
+  /// Set when the trial is folded analytically (prune mode, prunable).
+  std::shared_ptr<const ecc::TrialSchedule> schedule;
+  std::size_t result_index = 0;  ///< into the round's sweep results otherwise
+};
 
 }  // namespace
 
@@ -296,8 +369,11 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
       std::min(std::max(1u, spec.min_trials), spec.trials);
 
   // This shard's slice, in grid order. Each cell's SimConfig is built once:
-  // scheme applied, storm targeted, event probability derived from the
-  // rate and the targeted codec's codeword width.
+  // scheme applied, storm targeted, per-cycle Poisson rate derived from the
+  // rate and the targeted codec's codeword width. The InjectorConfig holds
+  // only the pattern table — every trial's storm is pre-drawn over the
+  // golden run's exposure windows and attached as a replay schedule, with
+  // pruning on AND off (the two modes differ only in which trials simulate).
   std::vector<CellState> states;
   for (const auto& c : cells) {
     if (c.index % opts.shard_count != opts.shard_index) continue;
@@ -309,10 +385,10 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
     st.cfg.inject_target = spec.target;
     ecc::InjectorConfig inj;
     inj.patterns = c.rate.patterns;
-    const unsigned bits = target_codeword_bits(st.cfg);
-    inj.event_prob = event_prob_for(spec, c.rate.fit_per_mbit, bits);
-    inj.event_lambda = event_lambda_for(spec, c.rate.fit_per_mbit, bits);
     st.cfg.faults = inj;
+    st.word_bits = target_codeword_bits(st.cfg);
+    st.lambda_scale =
+        window_lambda_scale(spec, c.rate.fit_per_mbit, st.word_bits);
     states.push_back(std::move(st));
   }
 
@@ -356,39 +432,65 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
   // batch grid an uninterrupted run walks.
   bool any_round = false;
   for (;;) {
+    // Pass 2, per round: pre-draw every pending trial's storm over the
+    // cell's golden windows. A storm with no live delivery is provably
+    // masked — under pruning it folds analytically and never simulates;
+    // otherwise the trial carries its schedule into the sweep, so the
+    // simulated storm is the drawn storm, event for event.
     std::vector<runner::SweepPoint> points;
-    std::vector<std::pair<std::size_t, unsigned>> slices;  // (state, count)
+    std::vector<std::pair<std::size_t, std::vector<TrialPlan>>> slices;
     for (std::size_t si = 0; si < states.size(); ++si) {
       CellState& st = states[si];
       if (st.finished) continue;
+      ensure_golden(st, opts);
       const unsigned bn =
           std::min<unsigned>(batch, spec.trials - st.done);
-      slices.emplace_back(si, bn);
+      std::vector<TrialPlan> plans;
+      plans.reserve(bn);
       for (unsigned t = 0; t < bn; ++t) {
-        runner::SweepPoint p;
-        p.index = points.size();
-        p.workload = st.res.cell.workload;
-        p.variant = st.res.cell.rate.label;
-        p.config = st.cfg;
-        p.mode = runner::RunMode::kProgram;
-        p.replicate = st.done + t;
-        points.push_back(std::move(p));
+        runner::SweepPoint p = cell_point(st, st.done + t);
+        auto sched = std::make_shared<ecc::TrialSchedule>(draw_trial_schedule(
+            st.golden->windows, st.lambda_scale, st.res.cell.rate.patterns,
+            st.word_bits, runner::fault_seed(opts.base_seed, p)));
+        TrialPlan plan;
+        plan.prunable = !sched->has_live();
+        if (spec.prune && plan.prunable) {
+          plan.schedule = std::move(sched);
+        } else {
+          p.config.faults->schedule = std::move(sched);
+          p.index = points.size();
+          plan.result_index = points.size();
+          points.push_back(std::move(p));
+        }
+        plans.push_back(std::move(plan));
       }
+      slices.emplace_back(si, std::move(plans));
     }
-    if (points.empty()) break;
+    if (slices.empty()) break;
 
-    runner::SweepOptions sopts;
-    sopts.threads = opts.threads;
-    sopts.base_seed = opts.base_seed;
-    const runner::SweepSummary sum = runner::run_sweep(points, sopts);
+    runner::SweepSummary sum;
+    if (!points.empty()) {
+      runner::SweepOptions sopts;
+      sopts.threads = opts.threads;
+      sopts.base_seed = opts.base_seed;
+      sum = runner::run_sweep(points, sopts);
+    }
 
-    std::size_t ri = 0;
-    for (const auto& [si, bn] : slices) {
+    for (const auto& [si, plans] : slices) {
       CellState& st = states[si];
-      for (unsigned t = 0; t < bn; ++t, ++ri) {
-        fold_trial(st, sum.results[ri], spec);
+      // Fold in strict trial order, interleaving analytic and simulated
+      // results exactly as an unpruned run would fold them.
+      for (const TrialPlan& plan : plans) {
+        if (plan.schedule != nullptr) {
+          fold_pruned(st, *plan.schedule, spec);
+        } else {
+          fold_trial(st, sum.results[plan.result_index], spec);
+          // Unpruned reference mode still REPORTS the prunable count, so
+          // the column is byte-identical across modes.
+          if (plan.prunable) st.res.pruned += 1;
+        }
       }
-      st.done += bn;
+      st.done += static_cast<unsigned>(plans.size());
       if (st.done >= spec.trials) {
         st.finished = true;
       } else if (spec.target_half_width > 0.0 && st.done >= min_trials) {
@@ -414,6 +516,10 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
   summary.cells.reserve(states.size());
   if (opts.sink != nullptr) opts.sink->begin(campaign_row_headers());
   for (CellState& st : states) {
+    // A cell restored fully-finished never entered a round; its exposure
+    // column still comes from the (deterministic) golden run.
+    ensure_golden(st, opts);
+    st.res.mean_exposure_cycles = st.golden->mean_exposure;
     st.res.avf = st.res.events == 0
                      ? 0.0
                      : static_cast<double>(st.res.failures()) /

@@ -80,9 +80,11 @@ struct CampaignSpec {
   /// Fault-process time acceleration. 1e16 makes a ~1000 FIT/Mbit storm
   /// land a handful of events on a typical kernel trial.
   double accel = 1e16;
-  /// Mean exposure window of an accessed word, in cycles: upsets
-  /// accumulate on a word between accesses; this is the access-based
-  /// injector's stand-in for the true per-word inter-access time.
+  /// Legacy fixed exposure window, in cycles. Campaign trials now measure
+  /// true per-word inter-access gaps from the golden run (see
+  /// reliability/schedule.hpp); this knob only feeds the historical
+  /// event_prob_for/event_lambda_for helpers (kept for tests and direct
+  /// injector users) and remains part of the campaign identity hash.
   unsigned exposure_cycles = 1000;
   double freq_mhz = 150.0;  ///< LEON4-class clock (Table I)
   /// Trials per cell (the maximum, when the stopping rule is armed).
@@ -98,6 +100,15 @@ struct CampaignSpec {
   double target_half_width = 0.0;
   /// Which cache array the storm strikes.
   core::InjectTarget target = core::InjectTarget::kDl1;
+  /// Two-pass pruning (the default): run each cell's workload once
+  /// fault-free with a residency recorder, pre-draw every trial's storm
+  /// over the recorded exposure windows, and classify trials whose events
+  /// all land on dead windows WITHOUT simulating them (their device-hours
+  /// are accounted analytically from the golden run). Rows are
+  /// byte-identical with pruning on or off — `prune = false` is the
+  /// simulate-everything reference path, same contract as
+  /// CacheConfig::use_lut_decode.
+  bool prune = true;
   /// Geometry / latency base configuration of every trial.
   core::SimConfig base;
 };
@@ -202,6 +213,13 @@ struct CellResult {
   /// failure); accurate when events-per-trial is around 1 (a trial counts
   /// at most one failure, so heavily accelerated storms understate it).
   double avf = 0.0;
+  /// Trials whose pre-drawn storm was provably masked (every event on a
+  /// dead exposure window). Counted identically with pruning on or off;
+  /// only whether they were SIMULATED differs.
+  u64 pruned = 0;
+  /// Resident-time-weighted fault exposure: mean per-word inter-access gap
+  /// in cycles over the golden run's recorded windows.
+  double mean_exposure_cycles = 0.0;
   RateEstimate est;  ///< p_fail + CI, FIT (+ CI), MTTF
 
   [[nodiscard]] u64 failures() const { return sdc + data_loss; }
@@ -226,6 +244,7 @@ struct CellProgress {
   u64 sdc = 0;
   u64 data_loss = 0;
   u64 total_cycles = 0;
+  u64 pruned = 0;
   double device_hours = 0.0;
 };
 

@@ -1,0 +1,58 @@
+#include "reliability/schedule.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace laec::reliability {
+
+double window_lambda_scale(const CampaignSpec& spec, double fit_per_mbit,
+                           unsigned codeword_bits) {
+  // FIT/Mbit -> upsets per bit-hour -> accelerated upsets per word-CYCLE.
+  const double per_bit_hour = fit_per_mbit * 1e-9 / (1024.0 * 1024.0);
+  const double per_word_hour =
+      per_bit_hour * static_cast<double>(codeword_bits) * spec.accel;
+  return per_word_hour / (spec.freq_mhz * 1e6) / 3600.0;
+}
+
+ecc::TrialSchedule draw_trial_schedule(
+    const std::vector<mem::AccessWindow>& windows, double lambda_scale,
+    const ecc::MbuPatternTable& patterns, unsigned word_bits, u64 seed) {
+  ecc::TrialSchedule s;
+  Rng rng(seed);
+  u64 consult = 0;
+  for (const mem::AccessWindow& w : windows) {
+    const double lam = lambda_scale * static_cast<double>(w.gap_cycles);
+    // Zero-gap windows (back-to-back touches in one cycle) draw nothing and
+    // consume no RNG: Rng::chance(0) is a no-draw false, so the stream stays
+    // aligned no matter how many such windows the trace produces.
+    if (rng.chance(-std::expm1(-lam))) {
+      const unsigned events = ecc::FaultInjector::draw_event_count(rng, lam);
+      if (w.live) {
+        ecc::FlipSet flips;
+        for (unsigned e = 0; e < events; ++e) {
+          // Mirror the injector's per-access budget: a clustered event
+          // needs up to 4 slots; overflow is counted, never silently lost.
+          if (flips.size() + 4u <= ecc::FlipSet::kMax) {
+            if (ecc::FaultInjector::draw_pattern_event(rng, patterns,
+                                                       word_bits, flips)) {
+              ++s.events;
+            }
+          } else {
+            ++s.dropped_events;
+          }
+        }
+        if (!flips.empty()) s.deliveries.emplace_back(consult, flips);
+      } else {
+        // Dead window: the upsets happened, but the word is overwritten or
+        // discarded before any read — count them (they belong in the AVF
+        // denominator), deliver nothing, draw no shapes.
+        s.events += events;
+      }
+    }
+    if (w.live) ++consult;
+  }
+  return s;
+}
+
+}  // namespace laec::reliability

@@ -43,18 +43,15 @@ std::string fmt_double(double v) {
 
 /// Run a single point to completion. The caller has already validated the
 /// workload name, so kernel_by_name cannot throw here.
-PointResult run_point(const SweepPoint& point, u64 base_seed) {
+PointResult run_point(const SweepPoint& point, u64 base_seed,
+                      mem::ResidencyRecorder* recorder = nullptr) {
   PointResult r;
   r.point = point;
 
   core::SimConfig cfg = point.config;
   const u64 seed = point_seed(base_seed, point);
   if (cfg.faults.has_value()) {
-    // Mixing the replicate index here (and only here) keeps the trace
-    // identical across a cell's trials while giving each trial its own
-    // fault sequence; replicate 0 reproduces the historical seed exactly.
-    cfg.faults->seed = splitmix64(
-        seed ^ 0xfa17u ^ (point.replicate * 0x9e3779b97f4a7c15ull));
+    cfg.faults->seed = fault_seed(base_seed, point);
   }
 
   const auto& entry = workloads::kernel_by_name(point.workload);
@@ -75,7 +72,7 @@ PointResult run_point(const SweepPoint& point, u64 base_seed) {
   }
 
   const auto built = entry.build();
-  auto run = core::run_program_keep_system(cfg, built.program);
+  auto run = core::run_program_keep_system(cfg, built.program, recorder);
   r.stats = std::move(run.stats);
   if (run.injector != nullptr) {
     r.faults_injected = run.injector->injected_total();
@@ -243,6 +240,27 @@ u64 point_seed(u64 base_seed, const SweepPoint& point) {
   h = splitmix64(h ^ fnv1a(point.workload));
   h = splitmix64(h ^ point.trace_ops);
   return h;
+}
+
+u64 fault_seed(u64 base_seed, const SweepPoint& point) {
+  // Mixing the replicate index here (and only here) keeps the trace
+  // identical across a cell's trials while giving each trial its own
+  // fault sequence; replicate 0 reproduces the historical seed exactly.
+  return splitmix64(point_seed(base_seed, point) ^ 0xfa17u ^
+                    (point.replicate * 0x9e3779b97f4a7c15ull));
+}
+
+PointResult run_golden_point(const SweepPoint& point, u64 base_seed,
+                             mem::ResidencyRecorder* recorder) {
+  if (point.mode != RunMode::kProgram) {
+    throw std::invalid_argument(
+        "run_golden_point requires program mode: trace-mode points keep no "
+        "arrays to record residency in");
+  }
+  SweepPoint golden = point;
+  golden.config.faults.reset();
+  golden.replicate = 0;  // the shared trace; replicates differ only in storms
+  return run_point(golden, base_seed, recorder);
 }
 
 const std::vector<cpu::EccPolicy>& fig8_schemes() {

@@ -170,6 +170,19 @@ struct SweepSummary {
 /// fault sequence, which keeps scheme-vs-scheme ratios (Fig. 8) fair.
 [[nodiscard]] u64 point_seed(u64 base_seed, const SweepPoint& point);
 
+/// The fault-storm seed a program-mode point's injector runs with:
+/// point_seed mixed with the replicate index (and only here), so a cell's
+/// trials share one trace but draw independent storms. Exposed so the
+/// campaign pruner can pre-draw a trial's storm without simulating it.
+[[nodiscard]] u64 fault_seed(u64 base_seed, const SweepPoint& point);
+
+/// Run `point` fault-free (cfg.faults cleared, replicate pinned to 0 — the
+/// golden trace every trial in the cell shares), with `recorder` observing
+/// the array cfg.inject_target names. Program mode only.
+[[nodiscard]] PointResult run_golden_point(const SweepPoint& point,
+                                           u64 base_seed,
+                                           mem::ResidencyRecorder* recorder);
+
 /// Run `points` under `opts`. Throws std::out_of_range for unknown
 /// workload names and std::invalid_argument for bad shard options.
 [[nodiscard]] SweepSummary run_sweep(const std::vector<SweepPoint>& points,

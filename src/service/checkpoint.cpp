@@ -28,6 +28,7 @@ void save_checkpoint(const std::string& path, u64 identity,
     payload.put_u64(c.sdc);
     payload.put_u64(c.data_loss);
     payload.put_u64(c.total_cycles);
+    payload.put_u64(c.pruned);
     payload.put_double(c.device_hours);
   }
 
@@ -115,6 +116,7 @@ std::vector<reliability::CellProgress> load_checkpoint(
     c.sdc = r.get_u64();
     c.data_loss = r.get_u64();
     c.total_cycles = r.get_u64();
+    c.pruned = r.get_u64();
     c.device_hours = r.get_double();
     cells.push_back(c);
   }

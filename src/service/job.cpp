@@ -1,5 +1,6 @@
 #include "service/job.hpp"
 
+#include "mem/residency.hpp"
 #include "service/wire.hpp"
 
 namespace laec::service {
@@ -96,6 +97,12 @@ std::string serialize_job(const CampaignJob& job) {
   w.put_double(s.confidence);
   w.put_double(s.target_half_width);
   w.put_u8(static_cast<u8>(s.target));
+  // The prune mode is part of the identity (a --prune run never silently
+  // resumes a --no-prune checkpoint), and so is the recorder revision: the
+  // recorded windows define every trial's RNG stream, so cursors taken
+  // under different recording semantics are a different campaign.
+  w.put_u8(s.prune ? 1 : 0);
+  w.put_u32(mem::ResidencyRecorder::kVersion);
   put_config(w, s.base);
 
   w.put_u64(static_cast<u64>(job.cells.size()));
@@ -126,6 +133,14 @@ CampaignJob parse_job(std::string_view bytes) {
   s.confidence = r.get_double();
   s.target_half_width = r.get_double();
   s.target = static_cast<core::InjectTarget>(r.get_u8());
+  s.prune = r.get_u8() != 0;
+  const u32 recorder_version = r.get_u32();
+  if (recorder_version != mem::ResidencyRecorder::kVersion) {
+    throw WireError("campaign job recorded with residency recorder v" +
+                    std::to_string(recorder_version) +
+                    " (this build records v" +
+                    std::to_string(mem::ResidencyRecorder::kVersion) + ")");
+  }
   get_config(r, s.base);
 
   const u64 n = r.get_u64();

@@ -21,7 +21,7 @@
 
 namespace laec::service {
 
-inline constexpr u32 kJobVersion = 1;
+inline constexpr u32 kJobVersion = 2;  ///< v2: spec.prune + recorder version
 
 struct CampaignJob {
   reliability::CampaignSpec spec;            ///< incl. base SimConfig subset

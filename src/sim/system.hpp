@@ -109,6 +109,10 @@ class System {
 
   [[nodiscard]] Cycle now() const { return now_; }
 
+  /// Stable pointer to the cycle counter, for observers (e.g. the residency
+  /// recorder) that need to timestamp cache events without a System reference.
+  [[nodiscard]] const Cycle* cycle_counter() const { return &now_; }
+
   /// Architecturally final word at `a`: flushes DL1s and the L2 into memory
   /// the first time it is called after a run, then reads memory.
   u32 read_word_final(Addr a);

@@ -56,6 +56,7 @@ std::vector<CellProgress> sample_cells() {
   cells[0].sdc = 3;
   cells[0].events = 17;
   cells[0].total_cycles = 123456789;
+  cells[0].pruned = 7;
   cells[0].device_hours = 0.1 + 0.2;  // not exactly representable
   cells[1].index = 3;
   cells[1].done = 4;
@@ -81,6 +82,7 @@ TEST(Checkpoint, SaveLoadRoundTripsEveryFieldBitExactly) {
     EXPECT_EQ(loaded[i].corrected, cells[i].corrected);
     EXPECT_EQ(loaded[i].sdc, cells[i].sdc);
     EXPECT_EQ(loaded[i].total_cycles, cells[i].total_cycles);
+    EXPECT_EQ(loaded[i].pruned, cells[i].pruned);
     // Bit-exact, not approximately equal: resumed rows must be
     // byte-identical, and device_hours feeds FIT/MTTF columns.
     EXPECT_EQ(std::bit_cast<u64>(loaded[i].device_hours),

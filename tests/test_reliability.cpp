@@ -432,9 +432,10 @@ TEST(Campaign, StoppingRuleEndsCellsEarly) {
 
 TEST(Campaign, RowSchemaCarriesTheEstimators) {
   const auto& h = campaign_row_headers();
-  for (const char* col : {"workload", "ecc", "rate", "trials", "fit",
-                          "fit_lo", "fit_hi", "mttf_hours", "avf", "ci_lo",
-                          "ci_hi", "sdc", "data_loss", "events_dropped"}) {
+  for (const char* col :
+       {"workload", "ecc", "rate", "trials", "fit", "fit_lo", "fit_hi",
+        "mttf_hours", "avf", "ci_lo", "ci_hi", "sdc", "data_loss",
+        "events_dropped", "pruned", "mean_exposure_cycles"}) {
     EXPECT_NE(std::find(h.begin(), h.end(), col), h.end()) << col;
   }
   const auto sum = run_campaign(small_grid(), small_spec(4));

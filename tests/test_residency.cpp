@@ -1,0 +1,291 @@
+// ResidencyRecorder semantics on hand-driven SetAssocCache access
+// sequences, and the pass-2 schedule drawer built on top of the recorded
+// windows. These are the soundness primitives of golden-run pruning: a
+// window misclassified live/dead, or a non-deterministic window order,
+// silently changes every trial's RNG stream.
+#include "mem/residency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ecc/registry.hpp"
+#include "mem/cache.hpp"
+#include "reliability/campaign.hpp"
+#include "reliability/schedule.hpp"
+
+namespace laec::mem {
+namespace {
+
+// 2-way, 16-set, 32B-line array: 8 words per line, small enough to force
+// evictions with three same-set fills.
+CacheConfig small_cfg() {
+  CacheConfig c;
+  c.name = "t";
+  c.size_bytes = 1024;
+  c.line_bytes = 32;
+  c.ways = 2;
+  c.codec = ecc::make_codec("secded-39-32");
+  return c;
+}
+
+std::vector<u8> line_of(u32 seed) {
+  std::vector<u8> v(32);
+  for (u32 i = 0; i < 32; ++i) v[i] = static_cast<u8>(seed + i);
+  return v;
+}
+
+struct Rig {
+  Cycle clock = 0;
+  ResidencyRecorder rec;
+  SetAssocCache cache{small_cfg()};
+  Rig() {
+    rec.bind_clock(&clock);
+    cache.set_recorder(&rec);
+  }
+};
+
+u64 count_live(const std::vector<AccessWindow>& w) {
+  return static_cast<u64>(
+      std::count_if(w.begin(), w.end(), [](auto& x) { return x.live; }));
+}
+
+TEST(Residency, ReadClosesLiveWindowThenFinalizeClosesDead) {
+  Rig r;
+  r.cache.fill(0x100, line_of(1).data(), false);  // installs 8 words at t=0
+  r.clock = 10;
+  (void)r.cache.read(0x104, 4);  // live window, gap 10
+  r.clock = 25;
+  r.rec.finalize();  // 8 still-resident words -> 8 dead windows
+
+  const auto& w = r.rec.windows();
+  ASSERT_EQ(w.size(), 9u);
+  EXPECT_EQ(count_live(w), 1u);
+  EXPECT_EQ(r.rec.live_windows(), 1u);
+  EXPECT_TRUE(w[0].live);
+  EXPECT_EQ(w[0].gap_cycles, 10u);
+  // The read word's residency reopened at t=10: its trailing dead window
+  // spans 15 cycles; the seven untouched words span the full 25.
+  u64 dead15 = 0, dead25 = 0;
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_FALSE(w[i].live);
+    if (w[i].gap_cycles == 15) ++dead15;
+    if (w[i].gap_cycles == 25) ++dead25;
+  }
+  EXPECT_EQ(dead15, 1u);
+  EXPECT_EQ(dead25, 7u);
+}
+
+TEST(Residency, OverwriteClosesDeadWindowAndReopens) {
+  Rig r;
+  r.cache.fill(0x200, line_of(2).data(), false);
+  r.clock = 5;
+  r.cache.write(0x208, 4, 0xdeadbeef, true);  // dead window, gap 5
+  r.clock = 9;
+  (void)r.cache.read(0x208, 4);  // live window, gap 4 (since the write)
+
+  const auto& w = r.rec.windows();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_FALSE(w[0].live);
+  EXPECT_EQ(w[0].gap_cycles, 5u);
+  EXPECT_TRUE(w[1].live);
+  EXPECT_EQ(w[1].gap_cycles, 4u);
+}
+
+TEST(Residency, SubWordWriteStillClosesWholeWordWindow) {
+  Rig r;
+  r.cache.fill(0x240, line_of(3).data(), false);
+  r.clock = 7;
+  r.cache.write(0x249, 1, 0xaa, true);  // 1-byte RMW merge
+  const auto& w = r.rec.windows();
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_FALSE(w[0].live);
+  EXPECT_EQ(w[0].gap_cycles, 7u);
+}
+
+TEST(Residency, CleanEvictionRetiresEveryWordDead) {
+  Rig r;
+  // Three fills into the same set (stride = 16 sets * 32 B = 512 B).
+  r.cache.fill(0x000, line_of(1).data(), false);
+  r.cache.fill(0x200, line_of(2).data(), false);
+  r.clock = 12;
+  // Evicts the LRU line 0x000; a clean victim needs no writeback, so fill
+  // reports no Eviction — but its words still retire with the recorder.
+  auto ev = r.cache.fill(0x400, line_of(3).data(), false);
+  EXPECT_FALSE(ev.has_value());
+
+  const auto& w = r.rec.windows();
+  ASSERT_EQ(w.size(), 8u);  // one dead window per word of the victim line
+  for (const auto& x : w) {
+    EXPECT_FALSE(x.live);
+    EXPECT_EQ(x.gap_cycles, 12u);
+  }
+}
+
+TEST(Residency, DirtyWritebackRetiresDeadToo) {
+  Rig r;
+  r.cache.fill(0x000, line_of(1).data(), false);
+  r.clock = 3;
+  r.cache.write(0x004, 4, 0x1234, true);  // dead window gap 3, line dirty
+  r.cache.fill(0x200, line_of(2).data(), false);
+  r.clock = 20;
+  auto ev = r.cache.fill(0x400, line_of(3).data(), false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->dirty);
+
+  // A dirty writeback is still architecturally dead for the cached copy:
+  // no *cache read* ever sees an upset landing after the last touch.
+  const auto& w = r.rec.windows();
+  ASSERT_EQ(w.size(), 9u);
+  EXPECT_EQ(count_live(w), 0u);
+  // Written word retired with gap 17 (t=3 -> t=20); the other seven with 20.
+  u64 gap17 = 0, gap20 = 0;
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    if (w[i].gap_cycles == 17) ++gap17;
+    if (w[i].gap_cycles == 20) ++gap20;
+  }
+  EXPECT_EQ(gap17, 1u);
+  EXPECT_EQ(gap20, 7u);
+}
+
+TEST(Residency, InvalidateRetiresDead) {
+  Rig r;
+  r.cache.fill(0x300, line_of(4).data(), false);
+  r.clock = 6;
+  (void)r.cache.read(0x300, 4);  // live, gap 6
+  r.clock = 11;
+  EXPECT_TRUE(r.cache.invalidate(0x300));
+  const auto& w = r.rec.windows();
+  ASSERT_EQ(w.size(), 9u);
+  EXPECT_EQ(count_live(w), 1u);
+  EXPECT_EQ(w[0].gap_cycles, 6u);
+}
+
+TEST(Residency, ReadOnlyArrayProducesOnlyReadAndRetireWindows) {
+  // L1I arrangement: fills and reads only, never written, never dirty.
+  CacheConfig cfg = small_cfg();
+  cfg.read_only = true;
+  cfg.write_policy = WritePolicy::kWriteThrough;
+  Cycle clock = 0;
+  ResidencyRecorder rec;
+  rec.bind_clock(&clock);
+  SetAssocCache cache(cfg);
+  cache.set_recorder(&rec);
+
+  cache.fill(0x100, line_of(9).data(), false);
+  clock = 4;
+  (void)cache.read(0x100, 4);
+  clock = 5;
+  (void)cache.read(0x100, 4);  // second read of same word: live, gap 1
+  clock = 9;
+  rec.finalize();
+
+  const auto& w = rec.windows();
+  ASSERT_EQ(w.size(), 10u);
+  EXPECT_EQ(count_live(w), 2u);
+  EXPECT_TRUE(w[0].live);
+  EXPECT_EQ(w[0].gap_cycles, 4u);
+  EXPECT_TRUE(w[1].live);
+  EXPECT_EQ(w[1].gap_cycles, 1u);
+}
+
+TEST(Residency, FinalizeOrderIsDeterministicAcrossRuns) {
+  auto run = [] {
+    Rig r;
+    r.cache.fill(0x600, line_of(1).data(), false);
+    r.cache.fill(0x040, line_of(2).data(), false);
+    r.clock = 2;
+    (void)r.cache.read(0x608, 4);
+    r.clock = 8;
+    r.rec.finalize();
+    std::vector<std::pair<u64, bool>> seq;
+    for (const auto& w : r.rec.windows()) seq.emplace_back(w.gap_cycles, w.live);
+    return seq;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Residency, MeanExposureCycles) {
+  EXPECT_EQ(mean_exposure_cycles({}), 0.0);
+  std::vector<AccessWindow> w{{10, true}, {20, false}, {60, false}};
+  EXPECT_DOUBLE_EQ(mean_exposure_cycles(w), 30.0);
+}
+
+TEST(Residency, TakeWindowsMovesOut) {
+  Rig r;
+  r.cache.fill(0x100, line_of(1).data(), false);
+  r.clock = 5;
+  r.rec.finalize();
+  auto w = r.rec.take_windows();
+  EXPECT_EQ(w.size(), 8u);
+  EXPECT_TRUE(r.rec.windows().empty());
+}
+
+}  // namespace
+}  // namespace laec::mem
+
+namespace laec::reliability {
+namespace {
+
+using mem::AccessWindow;
+
+ecc::MbuPatternTable seu_only() { return ecc::MbuPatternTable{}; }
+
+TEST(TrialSchedule, ZeroLambdaDrawsNothing) {
+  std::vector<AccessWindow> w{{100, true}, {100, false}};
+  const auto s = draw_trial_schedule(w, 0.0, seu_only(), 39, 1234);
+  EXPECT_EQ(s.events, 0u);
+  EXPECT_EQ(s.dropped_events, 0u);
+  EXPECT_FALSE(s.has_live());
+}
+
+TEST(TrialSchedule, SaturatedLambdaDeliversAtConsultOrdinals) {
+  // Consultation ordinals count LIVE windows only: dead windows are never
+  // consulted by the injector. With lambda >> 1 every window fires.
+  std::vector<AccessWindow> w{
+      {1, false}, {1, true}, {1, false}, {1, true}, {1, false}};
+  const auto s = draw_trial_schedule(w, 1e9, seu_only(), 39, 7);
+  EXPECT_TRUE(s.has_live());
+  ASSERT_EQ(s.deliveries.size(), 2u);
+  EXPECT_EQ(s.deliveries[0].first, 0u);  // first live window -> consult 0
+  EXPECT_EQ(s.deliveries[1].first, 1u);
+  // Dead-window events are counted (AVF denominator) but never delivered.
+  EXPECT_GE(s.events, 5u);
+  for (const auto& d : s.deliveries) EXPECT_FALSE(d.second.empty());
+}
+
+TEST(TrialSchedule, DeterministicPerSeed) {
+  std::vector<AccessWindow> w;
+  for (int i = 0; i < 64; ++i) {
+    w.push_back({static_cast<u64>(10 + i), (i % 3) == 0});
+  }
+  const auto a = draw_trial_schedule(w, 0.01, seu_only(), 39, 42);
+  const auto b = draw_trial_schedule(w, 0.01, seu_only(), 39, 42);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.dropped_events, b.dropped_events);
+  ASSERT_EQ(a.deliveries.size(), b.deliveries.size());
+  for (std::size_t i = 0; i < a.deliveries.size(); ++i) {
+    EXPECT_EQ(a.deliveries[i].first, b.deliveries[i].first);
+    EXPECT_TRUE(a.deliveries[i].second == b.deliveries[i].second);
+  }
+  // A different seed draws a different storm (on 64 windows the chance of
+  // a collision at these rates is negligible and, crucially, fixed).
+  const auto c = draw_trial_schedule(w, 0.5, seu_only(), 39, 42);
+  const auto d = draw_trial_schedule(w, 0.5, seu_only(), 39, 43);
+  EXPECT_TRUE(c.events != d.events || c.deliveries.size() != d.deliveries.size());
+}
+
+TEST(TrialSchedule, WindowLambdaScaleMatchesClosedForm) {
+  CampaignSpec spec;
+  spec.accel = 1e12;
+  spec.freq_mhz = 100.0;
+  const double fit = 900.0;  // 28nm-class per-Mbit rate
+  const unsigned bits = 39;
+  const double expect = fit * 1e-9 / (1024.0 * 1024.0) * bits * spec.accel /
+                        (spec.freq_mhz * 1e6) / 3600.0;
+  EXPECT_DOUBLE_EQ(window_lambda_scale(spec, fit, bits), expect);
+}
+
+}  // namespace
+}  // namespace laec::reliability

@@ -232,6 +232,12 @@ TEST(CampaignJob, IdentityReactsToEveryConfigurationAxis) {
   j.spec.base.dl1_size_bytes *= 2;
   EXPECT_NE(campaign_identity(j), id);
 
+  // A --no-prune run is the same campaign rows-wise, but NOT the same RNG
+  // bookkeeping contract — never silently resume across the toggle.
+  j = base;
+  j.spec.prune = false;
+  EXPECT_NE(campaign_identity(j), id);
+
   j = base;
   j.cells.pop_back();
   EXPECT_NE(campaign_identity(j), id);

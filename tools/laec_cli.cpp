@@ -82,6 +82,9 @@
 //                                presets carry their own and numeric rates
 //                                use the 40nm mix)
 //   --inject-target=dl1|l1i|l2   which cache array the campaign strikes
+//   --prune | --no-prune         golden-run residency pruning on (default)
+//                                or off; rows are byte-identical either
+//                                way, --no-prune simulates every trial
 //   --checkpoint=FILE            persist per-cell trial cursors each round
 //   --resume                     continue a checkpointed campaign
 //   --stop-after-rounds=N        deterministic interruption (CI smoke)
@@ -338,6 +341,12 @@ CliOptions parse(int argc, char** argv) {
       o.cfg.lut_decode = false;
     } else if (arg == "--lut") {
       o.cfg.lut_decode = true;
+    } else if (arg == "--no-prune") {
+      o.campaign.prune = false;
+      o.campaign_only_flags.push_back(arg);
+    } else if (arg == "--prune") {
+      o.campaign.prune = true;
+      o.campaign_only_flags.push_back(arg);
     } else if (auto v2 = value("--dl1-kb"); !v2.empty()) {
       o.cfg.dl1_size_bytes = static_cast<u32>(std::stoul(v2)) * 1024;
     } else if (auto v3 = value("--dl1-ways"); !v3.empty()) {
@@ -564,15 +573,22 @@ void print_worker_diagnostics(const char* cmd,
   }
 }
 
-/// Render one --progress heartbeat line from the round's cursors.
-void print_heartbeat(const std::vector<reliability::CellProgress>& cells,
-                     unsigned trials_per_cell,
-                     std::chrono::steady_clock::time_point start) {
+/// Render one --progress heartbeat line from the round's cursors. The ETA
+/// uses the completed-trials/s rate of the LAST heartbeat window
+/// (done - prev_done over window_secs), not the cumulative average: under
+/// pruning, a burst of analytically-classified trials would make the
+/// since-start average wildly unrepresentative of the simulated trials
+/// still to come. Returns done_trials for the caller to carry as the next
+/// window's prev_done.
+u64 print_heartbeat(const std::vector<reliability::CellProgress>& cells,
+                    unsigned trials_per_cell, double elapsed,
+                    double window_secs, u64 prev_done) {
   std::size_t finished = 0;
-  u64 trials = 0, events = 0, done_trials = 0;
+  u64 trials = 0, events = 0, pruned = 0, done_trials = 0;
   for (const auto& p : cells) {
     trials += p.trials;
     events += p.events;
+    pruned += p.pruned;
     if (p.finished) {
       ++finished;
       // A cell the stopping rule ended early counts as its full budget:
@@ -584,29 +600,31 @@ void print_heartbeat(const std::vector<reliability::CellProgress>& cells,
   }
   const u64 target_trials =
       static_cast<u64>(cells.size()) * trials_per_cell;
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
   double eta = -1.0;
-  if (done_trials > 0 && target_trials >= done_trials) {
-    eta = elapsed * static_cast<double>(target_trials - done_trials) /
-          static_cast<double>(done_trials);
+  if (done_trials > prev_done && window_secs > 0.0 &&
+      target_trials >= done_trials) {
+    const double rate =
+        static_cast<double>(done_trials - prev_done) / window_secs;
+    eta = static_cast<double>(target_trials - done_trials) / rate;
   }
   if (eta >= 0.0) {
     std::fprintf(stderr,
-                 "campaign: %zu/%zu cells, %llu trials, %llu faults "
-                 "injected, %.0fs elapsed, ETA %.0fs\n",
+                 "campaign: %zu/%zu cells, %llu trials (%llu pruned), %llu "
+                 "faults injected, %.0fs elapsed, ETA %.0fs\n",
                  finished, cells.size(),
                  static_cast<unsigned long long>(trials),
+                 static_cast<unsigned long long>(pruned),
                  static_cast<unsigned long long>(events), elapsed, eta);
   } else {
     std::fprintf(stderr,
-                 "campaign: %zu/%zu cells, %llu trials, %llu faults "
-                 "injected, %.0fs elapsed\n",
+                 "campaign: %zu/%zu cells, %llu trials (%llu pruned), %llu "
+                 "faults injected, %.0fs elapsed\n",
                  finished, cells.size(),
                  static_cast<unsigned long long>(trials),
+                 static_cast<unsigned long long>(pruned),
                  static_cast<unsigned long long>(events), elapsed);
   }
+  return done_trials;
 }
 
 void print_stats(const CliOptions& o, const core::RunStats& s,
@@ -986,6 +1004,7 @@ int cmd_campaign(const CliOptions& o) {
     unsigned rounds = 0;
     const auto start = std::chrono::steady_clock::now();
     auto last_beat = start;
+    u64 last_done = 0;
     copts.on_round = [&](const std::vector<reliability::CellProgress>& p) {
       ++rounds;
       if (checkpointing) {
@@ -995,7 +1014,14 @@ int cmd_campaign(const CliOptions& o) {
         const auto now = std::chrono::steady_clock::now();
         if (now - last_beat >= std::chrono::seconds(o.progress_secs) ||
             rounds == 1) {
-          print_heartbeat(p, spec.trials, start);
+          const double elapsed =
+              std::chrono::duration<double>(now - start).count();
+          // On the first beat last_beat == start, so the "window" spans
+          // the whole run so far — still a measured rate, never stale.
+          const double window =
+              std::chrono::duration<double>(now - last_beat).count();
+          last_done = print_heartbeat(p, spec.trials, elapsed, window,
+                                      last_done);
           last_beat = now;
         }
       }
@@ -1198,6 +1224,10 @@ void usage() {
       "  --min-trials=N  --batch=N  --confidence=C  --ci-width=W\n"
       "  --accel=A  --exposure=CYCLES  --mbu=single:W,adj2:W,adj3:W,"
       "cluster:W\n"
+      "  --prune / --no-prune       golden-run residency pruning: classify\n"
+      "                             provably-masked trials without\n"
+      "                             simulating them (byte-identical rows;\n"
+      "                             --no-prune is the reference path)\n"
       "  --checkpoint=FILE  --resume  --stop-after-rounds=N  "
       "--progress[=SECS]\n"
       "service mode (serve/submit/stop):\n"
