@@ -1,22 +1,30 @@
-// Campaign-throughput benchmark: golden-run pruning vs simulate-everything.
+// Campaign-throughput benchmark: the two-pass accelerators vs
+// simulate-everything, at both operating points that matter.
 //
-// Runs the same campaign grid twice — spec.prune on and off — at the
-// default 28nm tech preset, and reports trials/s for both passes, the
-// pruned-trial fraction per cell, and the end-to-end speedup. The two
-// passes' CSV rows are asserted byte-identical first (the equivalence
-// contract), so the number measures acceleration, not divergence.
+// Scenario 1 ("pruning point", --accel, default 1e15): golden-run pruning
+// vs the full-simulation floor, fast-forward off in both passes so the
+// number isolates pruning. At the 28nm raw rate this is the regime where
+// most storms land entirely on dead exposure windows (roughly 90% of
+// trials classified without simulation).
 //
-// The operating point matters: pruning pays off when the accelerated
-// per-window event rate leaves most storms entirely on dead exposure
-// windows. At the 28nm raw rate that is the accel ~1e15 regime (roughly
-// 90% of trials classified without simulation); the CLI default 1e16
-// saturates the windows and prunes nothing. CI runs this with
-// --min-speedup as a perf-smoke regression gate; the measured numbers are
-// tracked in BENCH_campaign_speed.json.
+// Scenario 2 ("saturated point", --accel-saturated, default 1e16): the
+// windows saturate and pruning classifies almost nothing, so snapshot
+// fast-forward carries the load. Three passes — the full-simulation floor
+// (prune and ff both off), prune-only (ff off), and the default
+// accelerator stack (prune + ff) — yield ff_speedup (ff's marginal win
+// over prune-only) and total_speedup (the whole stack vs the floor).
+//
+// Every pass of a scenario must produce byte-identical CSV rows first (the
+// equivalence contract), so the numbers measure acceleration, not
+// divergence. CI runs this with the --min-* floors as a perf-smoke
+// regression gate; measured numbers are tracked in
+// BENCH_campaign_speed.json.
 //
 // Flags: --threads=N (default 1), --trials=N per cell (default 48),
-// --accel=A (default 1e15), --min-speedup=S (exit 1 below it, default 0 =
-// report only), --json (machine-readable summary to stdout).
+// --accel=A (scenario 1 point, default 1e15), --accel-saturated=A
+// (scenario 2 point, default 1e16), --min-speedup=S (scenario 1 floor),
+// --min-ff-speedup=S / --min-total-speedup=S (scenario 2 floors; all
+// floors default 0 = report only, exit 1 below), --json.
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -36,6 +44,12 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+struct Pass {
+  reliability::CampaignSummary sum;
+  double secs = 0.0;
+  std::string csv;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -43,19 +57,31 @@ int main(int argc, char** argv) {
   popts.threads = 1;
   u64 trials = 48;
   double accel = 1e15;
+  double accel_saturated = 1e16;
   double min_speedup = 0.0;
+  double min_ff_speedup = 0.0;
+  double min_total_speedup = 0.0;
   bool json = false;
   if (!bench::parse_bench_args(
           argc, argv, popts,
           "usage: campaign_speed [--threads=N] [--trials=N] [--accel=A]\n"
-          "                      [--min-speedup=S] [--json]\n",
+          "                      [--accel-saturated=A] [--min-speedup=S]\n"
+          "                      [--min-ff-speedup=S] "
+          "[--min-total-speedup=S]\n"
+          "                      [--json]\n",
           [&](const std::string& arg) {
             if (arg.rfind("--trials=", 0) == 0) {
               trials = std::stoull(arg.substr(9));
+            } else if (arg.rfind("--accel-saturated=", 0) == 0) {
+              accel_saturated = std::stod(arg.substr(18));
             } else if (arg.rfind("--accel=", 0) == 0) {
               accel = std::stod(arg.substr(8));
             } else if (arg.rfind("--min-speedup=", 0) == 0) {
               min_speedup = std::stod(arg.substr(14));
+            } else if (arg.rfind("--min-ff-speedup=", 0) == 0) {
+              min_ff_speedup = std::stod(arg.substr(17));
+            } else if (arg.rfind("--min-total-speedup=", 0) == 0) {
+              min_total_speedup = std::stod(arg.substr(20));
             } else if (arg == "--json") {
               json = true;
             } else {
@@ -66,103 +92,193 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  reliability::CampaignGrid grid;
-  grid.workloads({"puwmod", "rspeed"})
+  // Scenario 1 keeps the PR-8 grid so its speedup series stays comparable.
+  // Scenario 2 swaps rspeed for iirflt: rspeed's windows stay ~96% dead
+  // even at 1e16 (pruning still wins), while puwmod and iirflt saturate —
+  // ~50-80% of their trials carry live storms, which is the regime the
+  // fast-forward path exists for.
+  reliability::CampaignGrid grid1;
+  grid1.workloads({"puwmod", "rspeed"})
+      .schemes({"laec", "sec-daec-39-32"})
+      .rates({*reliability::tech_preset("28nm")});
+  reliability::CampaignGrid grid2;
+  grid2.workloads({"puwmod", "iirflt"})
       .schemes({"laec", "sec-daec-39-32"})
       .rates({*reliability::tech_preset("28nm")});
 
-  reliability::CampaignSpec spec;
-  spec.accel = accel;
-  spec.trials = static_cast<unsigned>(trials);
-  spec.base.dl1_size_bytes = 2 * 1024;
+  reliability::CampaignSpec base;
+  base.trials = static_cast<unsigned>(trials);
+  base.base.dl1_size_bytes = 2 * 1024;
 
-  const auto run = [&](bool prune, std::string* csv) {
-    reliability::CampaignSpec s = spec;
+  const auto run = [&](const reliability::CampaignGrid& grid, double a,
+                       bool prune, bool ff) {
+    reliability::CampaignSpec s = base;
+    s.accel = a;
     s.prune = prune;
+    s.fast_forward = ff;
     std::ostringstream out;
     report::CsvWriter sink(out);
     reliability::CampaignOptions opts;
     opts.threads = popts.threads;
     opts.sink = &sink;
     const auto t0 = std::chrono::steady_clock::now();
-    const auto sum = run_campaign(grid, s, opts);
-    const double secs = seconds_since(t0);
-    *csv = out.str();
-    return std::pair{sum, secs};
+    Pass p;
+    p.sum = run_campaign(grid, s, opts);
+    p.secs = seconds_since(t0);
+    p.csv = out.str();
+    return p;
   };
 
-  // Warm-up golden runs / code paths once so both timed passes are fair.
+  // Warm-up golden runs / code paths once so the timed passes are fair.
   {
-    reliability::CampaignSpec warm = spec;
+    reliability::CampaignSpec warm = base;
     warm.trials = 1;
-    (void)run_campaign(grid, warm);
+    (void)run_campaign(grid1, warm);
+    (void)run_campaign(grid2, warm);
   }
 
-  std::string csv_pruned, csv_full;
-  const auto [sum_p, secs_p] = run(true, &csv_pruned);
-  const auto [sum_f, secs_f] = run(false, &csv_full);
+  bool rows_identical = true;
 
-  if (csv_pruned != csv_full) {
+  // Scenario 1: pruning point, fast-forward off in both passes.
+  const Pass p1_full = run(grid1, accel, /*prune=*/false, /*ff=*/false);
+  const Pass p1_pruned = run(grid1, accel, /*prune=*/true, /*ff=*/false);
+  if (p1_pruned.csv != p1_full.csv) {
+    std::fprintf(
+        stderr,
+        "campaign_speed: FAIL — pruned and full CSV rows differ (S1)\n");
+    rows_identical = false;
+  }
+
+  // Scenario 2: saturated point, floor / prune-only / full stack.
+  const Pass p2_floor =
+      run(grid2, accel_saturated, /*prune=*/false, /*ff=*/false);
+  const Pass p2_noff = run(grid2, accel_saturated, /*prune=*/true, /*ff=*/false);
+  const Pass p2_ff = run(grid2, accel_saturated, /*prune=*/true, /*ff=*/true);
+  if (p2_ff.csv != p2_noff.csv || p2_ff.csv != p2_floor.csv) {
     std::fprintf(stderr,
-                 "campaign_speed: FAIL — pruned and full CSV rows differ\n");
-    return 1;
+                 "campaign_speed: FAIL — ff / no-ff / floor CSV rows "
+                 "differ (S2)\n");
+    rows_identical = false;
   }
+  if (!rows_identical) return 1;
 
-  u64 total = 0, pruned = 0;
-  for (const auto& c : sum_p.cells) {
-    total += c.trials;
-    pruned += c.pruned;
-  }
-  const double tps_pruned = static_cast<double>(total) / secs_p;
-  const double tps_full = static_cast<double>(total) / secs_f;
-  const double speedup = secs_p > 0.0 ? secs_f / secs_p : 0.0;
-  const double frac =
-      total > 0 ? static_cast<double>(pruned) / static_cast<double>(total) : 0.0;
+  const auto totals = [](const reliability::CampaignSummary& s) {
+    u64 trials_total = 0, pruned = 0, ff = 0;
+    for (const auto& c : s.cells) {
+      trials_total += c.trials;
+      pruned += c.pruned;
+      ff += c.fast_forwarded;
+    }
+    return std::tuple{trials_total, pruned, ff};
+  };
+  const auto frac = [](u64 num, u64 den) {
+    return den > 0 ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+  };
+  const auto ratio = [](double num, double den) {
+    return den > 0.0 ? num / den : 0.0;
+  };
+
+  const auto [s1_total, s1_pruned, s1_ff] = totals(p1_pruned.sum);
+  const double s1_speedup = ratio(p1_full.secs, p1_pruned.secs);
+
+  const auto [s2_total, s2_pruned, s2_ffwd] = totals(p2_ff.sum);
+  const double ff_speedup = ratio(p2_noff.secs, p2_ff.secs);
+  const double total_speedup = ratio(p2_floor.secs, p2_ff.secs);
 
   if (json) {
     std::printf("{\n");
     std::printf("  \"threads\": %u,\n", popts.threads);
     std::printf("  \"trials_per_cell\": %llu,\n",
                 static_cast<unsigned long long>(trials));
-    std::printf("  \"accel\": %g,\n", accel);
     std::printf("  \"rows_identical\": true,\n");
-    std::printf("  \"trials_total\": %llu,\n",
-                static_cast<unsigned long long>(total));
-    std::printf("  \"pruned_fraction\": %.4f,\n", frac);
-    std::printf("  \"pruned_trials_per_s\": %.1f,\n", tps_pruned);
-    std::printf("  \"full_trials_per_s\": %.1f,\n", tps_full);
-    std::printf("  \"speedup\": %.2f,\n", speedup);
+    std::printf("  \"pruning_point\": {\n");
+    std::printf("    \"accel\": %g,\n", accel);
+    std::printf("    \"trials_total\": %llu,\n",
+                static_cast<unsigned long long>(s1_total));
+    std::printf("    \"pruned_fraction\": %.4f,\n", frac(s1_pruned, s1_total));
+    std::printf("    \"pruned_trials_per_s\": %.1f,\n",
+                frac(s1_total, 1) / p1_pruned.secs);
+    std::printf("    \"full_trials_per_s\": %.1f,\n",
+                frac(s1_total, 1) / p1_full.secs);
+    std::printf("    \"speedup\": %.2f\n", s1_speedup);
+    std::printf("  },\n");
+    std::printf("  \"saturated_point\": {\n");
+    std::printf("    \"accel\": %g,\n", accel_saturated);
+    std::printf("    \"trials_total\": %llu,\n",
+                static_cast<unsigned long long>(s2_total));
+    std::printf("    \"pruned_fraction\": %.4f,\n", frac(s2_pruned, s2_total));
+    std::printf("    \"fast_forwarded_fraction\": %.4f,\n",
+                frac(s2_ffwd, s2_total));
+    std::printf("    \"floor_trials_per_s\": %.1f,\n",
+                frac(s2_total, 1) / p2_floor.secs);
+    std::printf("    \"no_ff_trials_per_s\": %.1f,\n",
+                frac(s2_total, 1) / p2_noff.secs);
+    std::printf("    \"ff_trials_per_s\": %.1f,\n",
+                frac(s2_total, 1) / p2_ff.secs);
+    std::printf("    \"ff_speedup\": %.2f,\n", ff_speedup);
+    std::printf("    \"total_speedup\": %.2f\n", total_speedup);
+    std::printf("  },\n");
     std::printf("  \"cells\": [\n");
-    for (std::size_t i = 0; i < sum_p.cells.size(); ++i) {
-      const auto& c = sum_p.cells[i];
+    for (std::size_t i = 0; i < p2_ff.sum.cells.size(); ++i) {
+      const auto& c = p2_ff.sum.cells[i];
       std::printf("    {\"workload\": \"%s\", \"ecc\": \"%s\", "
-                  "\"pruned\": %llu, \"trials\": %llu}%s\n",
+                  "\"pruned\": %llu, \"fast_forwarded\": %llu, "
+                  "\"trials\": %llu}%s\n",
                   c.cell.workload.c_str(), c.cell.scheme.c_str(),
                   static_cast<unsigned long long>(c.pruned),
+                  static_cast<unsigned long long>(c.fast_forwarded),
                   static_cast<unsigned long long>(c.trials),
-                  i + 1 < sum_p.cells.size() ? "," : "");
+                  i + 1 < p2_ff.sum.cells.size() ? "," : "");
     }
     std::printf("  ]\n}\n");
   } else {
-    std::printf("campaign_speed: %llu trials, 28nm, accel=%g, %u thread(s)\n",
-                static_cast<unsigned long long>(total), accel, popts.threads);
-    for (const auto& c : sum_p.cells) {
-      std::printf("  %-8s %-18s pruned %llu/%llu\n", c.cell.workload.c_str(),
-                  c.cell.scheme.c_str(),
+    std::printf("campaign_speed: %llu trials/cell-pass, 28nm, %u thread(s)\n",
+                static_cast<unsigned long long>(s1_total), popts.threads);
+    std::printf("scenario 1 — pruning point (accel=%g):\n", accel);
+    std::printf("  pruned:  %8.1f trials/s (%.3f s, %.0f%% pruned)\n",
+                frac(s1_total, 1) / p1_pruned.secs, p1_pruned.secs,
+                frac(s1_pruned, s1_total) * 100.0);
+    std::printf("  full:    %8.1f trials/s (%.3f s)\n",
+                frac(s1_total, 1) / p1_full.secs, p1_full.secs);
+    std::printf("  speedup: %.2fx, rows identical\n", s1_speedup);
+    std::printf("scenario 2 — saturated point (accel=%g):\n", accel_saturated);
+    for (const auto& c : p2_ff.sum.cells) {
+      std::printf("  %-8s %-18s pruned %llu, fast-forwarded %llu / %llu\n",
+                  c.cell.workload.c_str(), c.cell.scheme.c_str(),
                   static_cast<unsigned long long>(c.pruned),
+                  static_cast<unsigned long long>(c.fast_forwarded),
                   static_cast<unsigned long long>(c.trials));
     }
-    std::printf("  pruned:  %8.1f trials/s (%.3f s)\n", tps_pruned, secs_p);
-    std::printf("  full:    %8.1f trials/s (%.3f s)\n", tps_full, secs_f);
-    std::printf("  speedup: %.2fx (pruned fraction %.0f%%), rows identical\n",
-                speedup, frac * 100.0);
+    std::printf("  stack:   %8.1f trials/s (%.3f s, prune + ff)\n",
+                frac(s2_total, 1) / p2_ff.secs, p2_ff.secs);
+    std::printf("  no-ff:   %8.1f trials/s (%.3f s, prune only)\n",
+                frac(s2_total, 1) / p2_noff.secs, p2_noff.secs);
+    std::printf("  floor:   %8.1f trials/s (%.3f s, simulate everything)\n",
+                frac(s2_total, 1) / p2_floor.secs, p2_floor.secs);
+    std::printf("  ff speedup: %.2fx, total speedup: %.2fx, rows identical\n",
+                ff_speedup, total_speedup);
   }
 
-  if (min_speedup > 0.0 && speedup < min_speedup) {
-    std::fprintf(stderr,
-                 "campaign_speed: FAIL — speedup %.2fx below floor %.2fx\n",
-                 speedup, min_speedup);
-    return 1;
+  bool fail = false;
+  if (min_speedup > 0.0 && s1_speedup < min_speedup) {
+    std::fprintf(
+        stderr,
+        "campaign_speed: FAIL — pruning speedup %.2fx below floor %.2fx\n",
+        s1_speedup, min_speedup);
+    fail = true;
   }
-  return 0;
+  if (min_ff_speedup > 0.0 && ff_speedup < min_ff_speedup) {
+    std::fprintf(stderr,
+                 "campaign_speed: FAIL — ff speedup %.2fx below floor %.2fx\n",
+                 ff_speedup, min_ff_speedup);
+    fail = true;
+  }
+  if (min_total_speedup > 0.0 && total_speedup < min_total_speedup) {
+    std::fprintf(
+        stderr,
+        "campaign_speed: FAIL — total speedup %.2fx below floor %.2fx\n",
+        total_speedup, min_total_speedup);
+    fail = true;
+  }
+  return fail ? 1 : 0;
 }

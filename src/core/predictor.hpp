@@ -20,6 +20,11 @@
 
 #include "common/types.hpp"
 
+namespace laec::service {
+class ByteWriter;
+class ByteReader;
+}  // namespace laec::service
+
 namespace laec::core {
 
 struct StridePredictorParams {
@@ -40,6 +45,10 @@ class StridePredictor {
 
   [[nodiscard]] u64 lookups() const { return lookups_; }
   [[nodiscard]] u64 predictions() const { return predictions_; }
+
+  /// Snapshot support: table contents and lookup/prediction counters.
+  void save_state(service::ByteWriter& w) const;
+  void restore_state(service::ByteReader& r);
 
  private:
   struct Entry {

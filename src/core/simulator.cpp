@@ -5,6 +5,7 @@
 
 #include "ecc/registry.hpp"
 #include "mem/residency.hpp"
+#include "sim/snapshot.hpp"
 
 namespace laec::core {
 
@@ -196,18 +197,63 @@ void attach_recorder(sim::System& system, const SimConfig& cfg,
 
 ProgramRun run_program_keep_system(const SimConfig& cfg,
                                    const isa::Program& program,
-                                   mem::ResidencyRecorder* recorder) {
+                                   mem::ResidencyRecorder* recorder,
+                                   sim::SnapshotStore* snapshots) {
   ProgramRun r;
   r.system =
       std::make_unique<sim::System>(make_system_config(cfg, /*trace_mode=*/false));
   r.injector = attach_injector(*r.system, cfg);
   if (recorder != nullptr) attach_recorder(*r.system, cfg, recorder);
   r.system->load_program(program);
-  const auto run = r.system->run();
+  sim::System::RunResult run;
+  if (snapshots != nullptr && snapshots->every() > 0) {
+    if (recorder == nullptr) {
+      throw std::invalid_argument(
+          "snapshot capture requires a residency recorder: its live-window "
+          "count is the injector-consultation clock snapshots are keyed by");
+    }
+    // Mirror sim::System::run, dropping a snapshot whenever the targeted
+    // array's consultation count crosses the capture cadence. The ordinal
+    // recorded with each snapshot is the EXACT consultation count at
+    // capture (which may overshoot the threshold when one cycle performs
+    // several reads); a trial restoring it fast-forwards to that count.
+    sim::System& sys = *r.system;
+    u64 next_threshold = snapshots->every();
+    while (!sys.core(0).halted() && sys.now() < cfg.max_cycles) {
+      sys.tick();
+      const u64 consults = recorder->live_windows();
+      if (consults >= next_threshold) {
+        if (snapshots->begin_capture()) {
+          snapshots->add(consults, sys.now(), sim::save_system_state(sys));
+        }
+        next_threshold = consults + snapshots->every();
+      }
+    }
+    run.completed = sys.core(0).halted();
+    run.cycles = sys.core(0).pipeline().stats().value("cycles");
+  } else {
+    run = r.system->run();
+  }
   // Close trailing windows before stats/self-check flushes touch the
   // arrays (flush paths never consult the injector, so they are invisible
   // to the recorded consultation sequence either way).
   if (recorder != nullptr) recorder->finalize();
+  r.stats = collect_stats(*r.system, run.completed);
+  return r;
+}
+
+ProgramRun run_program_resume(const SimConfig& cfg, const std::string& blob,
+                              u64 consult_ordinal) {
+  ProgramRun r;
+  r.system =
+      std::make_unique<sim::System>(make_system_config(cfg, /*trace_mode=*/false));
+  // Restore first, THEN attach the injector: set_injector marks the array's
+  // sticky ever_injected_ flag, and the replay-mode injector consumes no RNG,
+  // so attachment order cannot perturb the simulated suffix.
+  sim::restore_system_state(*r.system, blob);
+  r.injector = attach_injector(*r.system, cfg);
+  if (r.injector != nullptr) r.injector->fast_forward(consult_ordinal);
+  const auto run = r.system->run();
   r.stats = collect_stats(*r.system, run.completed);
   return r;
 }

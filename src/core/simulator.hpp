@@ -22,6 +22,10 @@ namespace laec::mem {
 class ResidencyRecorder;
 }
 
+namespace laec::sim {
+class SnapshotStore;
+}
+
 namespace laec::core {
 
 /// Which cache array a SimConfig's fault storm strikes.
@@ -233,9 +237,24 @@ struct ProgramRun {
 };
 /// `recorder`, when non-null, observes the targeted array for the whole run
 /// (attached before the first cycle, finalized after the last).
+/// `snapshots`, when non-null (requires `recorder`: its live-window count is
+/// the consultation clock), makes the run drop full-state snapshots into the
+/// store at its configured consultation cadence — the golden-run side of
+/// campaign fast-forwarding.
 [[nodiscard]] ProgramRun run_program_keep_system(
     const SimConfig& cfg, const isa::Program& program,
-    mem::ResidencyRecorder* recorder = nullptr);
+    mem::ResidencyRecorder* recorder = nullptr,
+    sim::SnapshotStore* snapshots = nullptr);
+
+/// Resume a replay trial from a golden snapshot: build the system from
+/// `cfg`, restore `blob` (a sim::save_system_state frame), attach the replay
+/// injector fast-forwarded to `consult_ordinal`, and run to completion. The
+/// program image is already inside the snapshot, so none is loaded. Sound
+/// only for cfg.faults with a pre-drawn schedule whose first delivery is at
+/// or after `consult_ordinal` (the campaign engine guarantees this).
+[[nodiscard]] ProgramRun run_program_resume(const SimConfig& cfg,
+                                            const std::string& blob,
+                                            u64 consult_ordinal);
 
 /// Same, but feed core 0 from a synthetic trace (oracle DL1 outcomes).
 [[nodiscard]] RunStats run_trace(const SimConfig& cfg,

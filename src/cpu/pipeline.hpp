@@ -92,6 +92,12 @@ class Pipeline {
   }
   [[nodiscard]] const PipelineParams& params() const { return params_; }
 
+  /// Snapshot support: slots, register file, fetch/redirect state, the
+  /// stride predictor and counters. Throws std::logic_error when chronogram
+  /// recording is enabled (event history is not snapshot state).
+  void save_state(service::ByteWriter& w) const;
+  void restore_state(service::ByteReader& r);
+
  private:
   friend class laec::core::LookaheadUnit;
 

@@ -1,6 +1,7 @@
 #include "ecc/injector.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace laec::ecc {
@@ -19,6 +20,18 @@ FaultInjector::FaultInjector(const InjectorConfig& cfg)
 
 void FaultInjector::script_flip(u64 word_index, unsigned bit) {
   scripted_.emplace_back(word_index, bit);
+}
+
+void FaultInjector::fast_forward(u64 consults) {
+  assert(cfg_.schedule != nullptr && "fast_forward is replay-mode only");
+  consults_ = consults;
+  // The snapshot contract guarantees no delivery below the target ordinal;
+  // the scan is defensive (and O(deliveries), which is tiny).
+  const auto& d = cfg_.schedule->deliveries;
+  next_delivery_ = 0;
+  while (next_delivery_ < d.size() && d[next_delivery_].first < consults_) {
+    ++next_delivery_;
+  }
 }
 
 FlipSet FaultInjector::flips_for_access(u64 word_index) {

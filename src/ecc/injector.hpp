@@ -149,6 +149,15 @@ class FaultInjector {
   /// positions within the codeword ([0, word_bits)), allocation-free.
   [[nodiscard]] FlipSet flips_for_access(u64 word_index);
 
+  /// Replay mode only: jump the consultation cursor to `consults` without
+  /// delivering anything, as if the fault-free prefix had been consulted.
+  /// Used by snapshot fast-forward — the restored golden state at ordinal C
+  /// already IS the state after C clean consultations, and the snapshot is
+  /// chosen at-or-before the schedule's first delivery so nothing can be
+  /// skipped over. Event totals (pre-seeded from the schedule) are
+  /// untouched.
+  void fast_forward(u64 consults);
+
   [[nodiscard]] bool enabled() const {
     return cfg_.schedule != nullptr || cfg_.single_flip_prob > 0 ||
            cfg_.double_flip_prob > 0 || cfg_.event_prob > 0 ||

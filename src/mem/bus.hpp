@@ -73,6 +73,11 @@ class Bus {
   [[nodiscard]] StatSet& stats() { return stats_; }
   [[nodiscard]] const StatSet& stats() const { return stats_; }
 
+  /// Snapshot support: queues, slots, arbitration state, counters. The
+  /// restore target must have the same requester count.
+  void save_state(service::ByteWriter& w) const;
+  void restore_state(service::ByteReader& r);
+
  private:
   static constexpr Token kNoToken = ~Token{0};
 

@@ -238,6 +238,14 @@ class SetAssocCache {
     }
   }
 
+  /// Snapshot support: serialize/restore the array's full deterministic
+  /// state (ways, LRU clock, folded stat counters). Codec wiring, injector
+  /// and recorder attachments are NOT covered — the restore target must be
+  /// constructed from the same CacheConfig, and attachments are re-made by
+  /// the caller afterwards. Throws service::WireError on geometry mismatch.
+  void save_state(service::ByteWriter& w) const;
+  void restore_state(service::ByteReader& r);
+
   /// Named counters of this array. Reading the set is the batch boundary:
   /// the plain hot-path counters are folded into it here.
   [[nodiscard]] StatSet& stats() {

@@ -66,6 +66,11 @@ class MemorySystem final : public BusTarget {
   /// Write every dirty L2 line back to memory (end-of-run finalization).
   void flush_l2();
 
+  /// Snapshot support: memory pages, L2 array, bus, recovery counters.
+  /// (The refill staging buffer is transient scratch and not covered.)
+  void save_state(service::ByteWriter& w) const;
+  void restore_state(service::ByteReader& r);
+
   // BusTarget: execute a granted transaction, return service latency.
   unsigned service(BusTransaction& t) override;
 

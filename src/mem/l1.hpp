@@ -91,6 +91,10 @@ class DL1Controller {
 
   void set_injector(ecc::FaultInjector* inj) { cache_.set_injector(inj); }
 
+  /// Snapshot support: miss state machine, in-flight tokens, cache array.
+  void save_state(service::ByteWriter& w) const;
+  void restore_state(service::ByteReader& r);
+
  private:
   enum class State { kIdle, kLoadMiss, kStoreMiss, kWriteThrough, kOracleMiss };
 
@@ -140,6 +144,10 @@ class L1IController {
   [[nodiscard]] const StatSet& stats() const { return stats_; }
 
   void set_injector(ecc::FaultInjector* inj) { cache_.set_injector(inj); }
+
+  /// Snapshot support: miss state, in-flight token, cache array.
+  void save_state(service::ByteWriter& w) const;
+  void restore_state(service::ByteReader& r);
 
  private:
   L1Params params_;

@@ -1,6 +1,10 @@
 #include "mem/memory.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
+
+#include "service/wire.hpp"
 
 namespace laec::mem {
 
@@ -59,6 +63,35 @@ void MainMemory::read_block(Addr a, u8* dst, unsigned len) const {
 
 void MainMemory::write_block(Addr a, const u8* src, unsigned len) {
   for (unsigned i = 0; i < len; ++i) write_u8(a + i, src[i]);
+}
+
+void MainMemory::save_state(service::ByteWriter& w) const {
+  std::vector<Addr> keys;
+  keys.reserve(pages_.size());
+  for (const auto& [key, page] : pages_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  w.put_u32(static_cast<u32>(keys.size()));
+  for (const Addr key : keys) {
+    w.put_u32(key);
+    const u8* page = pages_.at(key).get();
+    w.put_string(
+        std::string_view(reinterpret_cast<const char*>(page), kPageSize));
+  }
+}
+
+void MainMemory::restore_state(service::ByteReader& r) {
+  pages_.clear();
+  const u32 n = r.get_u32();
+  for (u32 i = 0; i < n; ++i) {
+    const Addr key = r.get_u32();
+    const std::string data = r.get_string();
+    if (data.size() != kPageSize) {
+      throw service::WireError("snapshot: memory page size mismatch");
+    }
+    auto page = std::make_unique<u8[]>(kPageSize);
+    std::memcpy(page.get(), data.data(), kPageSize);
+    pages_.emplace(key, std::move(page));
+  }
 }
 
 }  // namespace laec::mem

@@ -11,6 +11,11 @@
 
 #include "common/types.hpp"
 
+namespace laec::service {
+class ByteWriter;
+class ByteReader;
+}  // namespace laec::service
+
 namespace laec::mem {
 
 class MainMemory {
@@ -31,6 +36,11 @@ class MainMemory {
 
   /// Number of resident 4 KiB pages (for tests).
   [[nodiscard]] std::size_t resident_pages() const { return pages_.size(); }
+
+  /// Snapshot support: resident pages, serialized in ascending page order
+  /// so the blob is byte-stable regardless of hash-map iteration order.
+  void save_state(service::ByteWriter& w) const;
+  void restore_state(service::ByteReader& r);
 
  private:
   [[nodiscard]] const u8* page_for_read(Addr a) const;

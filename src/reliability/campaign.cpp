@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <ostream>
 #include <stdexcept>
@@ -15,6 +16,7 @@
 #include "mem/residency.hpp"
 #include "reliability/schedule.hpp"
 #include "runner/multiproc.hpp"
+#include "sim/snapshot.hpp"
 #include "workloads/eembc.hpp"
 
 namespace laec::reliability {
@@ -177,7 +179,8 @@ const std::vector<std::string>& campaign_row_headers() {
       "due_recovered", "sdc",       "data_loss", "p_fail",
       "ci_lo",         "ci_hi",     "avf",       "fit",
       "fit_lo",        "fit_hi",    "mttf_hours", "device_hours",
-      "cycles",        "pruned",    "mean_exposure_cycles"};
+      "cycles",        "pruned",    "fast_forwarded",
+      "mean_exposure_cycles"};
   return kHeaders;
 }
 
@@ -211,19 +214,35 @@ std::vector<std::string> campaign_to_row(const CellResult& r) {
           fmt_g(r.device_hours),
           fmt_u64(r.total_cycles),
           fmt_u64(r.pruned),
+          fmt_u64(r.fast_forwarded),
           fmt_g(r.mean_exposure_cycles)};
 }
 
 namespace {
 
-/// Pass-1 artifacts of one cell, produced once by a fault-free run: the
-/// recorded exposure windows every trial's storm is drawn over, and the
-/// golden result a provably-masked trial is classified/accounted from.
+/// Pass-1 artifacts of one (workload, scheme), produced once by a fault-free
+/// run: the recorded exposure windows every trial's storm is drawn over, the
+/// golden result a provably-masked trial is classified/accounted from, and
+/// the full-state snapshots fast-forwarded trials resume from. Rate cells of
+/// the same (workload, scheme) SHARE one GoldenCell — the golden run clears
+/// faults and the point seed excludes the rate label, so the pass-1 run (and
+/// everything derived from it) is rate-invariant by construction.
 struct GoldenCell {
+  explicit GoldenCell(const CampaignSpec& spec)
+      : snapshots(spec.snapshot_every,
+                  static_cast<u64>(spec.snapshot_mem_mb) << 20) {}
   std::vector<mem::AccessWindow> windows;
   runner::PointResult result;
   double mean_exposure = 0.0;
+  /// Captured unconditionally (with fast-forward on OR off, as long as
+  /// snapshot_every > 0) so the fast_forwarded column counts identically in
+  /// both modes; --no-ff differs only in whether trials actually restore.
+  sim::SnapshotStore snapshots;
 };
+
+/// Pass-1 dedup across the rate axis, keyed (workload, scheme).
+using GoldenCache = std::map<std::pair<std::string, std::string>,
+                             std::shared_ptr<const GoldenCell>>;
 
 /// Per-cell running state of the campaign engine.
 struct CellState {
@@ -251,6 +270,8 @@ CellProgress cell_progress(const CellState& st) {
   p.data_loss = st.res.data_loss;
   p.total_cycles = st.res.total_cycles;
   p.pruned = st.res.pruned;
+  p.fast_forwarded = st.res.fast_forwarded;
+  p.cycles_skipped = st.res.cycles_skipped;
   p.device_hours = st.res.device_hours;
   return p;
 }
@@ -258,6 +279,7 @@ CellProgress cell_progress(const CellState& st) {
 void restore_progress(CellState& st, const CellProgress& p,
                       const CampaignSpec& spec) {
   if (p.done > spec.trials || p.trials != p.done || p.pruned > p.trials ||
+      p.fast_forwarded + p.pruned > p.trials ||
       p.masked + p.corrected + p.due_recovered + p.sdc + p.data_loss !=
           p.trials) {
     throw std::invalid_argument(
@@ -277,6 +299,8 @@ void restore_progress(CellState& st, const CellProgress& p,
   st.res.data_loss = p.data_loss;
   st.res.total_cycles = p.total_cycles;
   st.res.pruned = p.pruned;
+  st.res.fast_forwarded = p.fast_forwarded;
+  st.res.cycles_skipped = p.cycles_skipped;
   st.res.device_hours = p.device_hours;
 }
 
@@ -330,18 +354,29 @@ runner::SweepPoint cell_point(const CellState& st, unsigned replicate) {
   return p;
 }
 
-/// Pass 1, lazily: one fault-free run of the cell's workload with the
-/// residency recorder on the targeted array. Runs at most once per cell
-/// per process (trials amortize it); deterministic, so every process of a
-/// sharded campaign reconstructs the identical windows.
-void ensure_golden(CellState& st, const CampaignOptions& opts) {
+/// Pass 1, lazily: one fault-free run of the (workload, scheme)'s kernel
+/// with the residency recorder on the targeted array, dropping full-state
+/// snapshots at the spec's cadence. Runs at most once per (workload, scheme)
+/// per process — every rate cell reuses the cached artifacts (trials
+/// amortize it further); deterministic, so every process of a sharded
+/// campaign reconstructs the identical windows and snapshots.
+void ensure_golden(CellState& st, const CampaignSpec& spec,
+                   const CampaignOptions& opts, GoldenCache& cache) {
   if (st.golden != nullptr) return;
-  auto g = std::make_shared<GoldenCell>();
+  const auto key =
+      std::make_pair(st.res.cell.workload, st.res.cell.scheme);
+  if (const auto it = cache.find(key); it != cache.end()) {
+    st.golden = it->second;
+    return;
+  }
+  auto g = std::make_shared<GoldenCell>(spec);
   mem::ResidencyRecorder rec;
-  g->result = runner::run_golden_point(cell_point(st, 0), opts.base_seed, &rec);
+  g->result = runner::run_golden_point(cell_point(st, 0), opts.base_seed,
+                                       &rec, &g->snapshots);
   g->windows = rec.take_windows();
   g->mean_exposure = mem::mean_exposure_cycles(g->windows);
-  st.golden = std::move(g);
+  st.golden = g;
+  cache.emplace(key, std::move(g));
 }
 
 /// One trial's disposition within a round.
@@ -349,6 +384,11 @@ struct TrialPlan {
   bool prunable = false;  ///< storm has no live delivery (provably masked)
   /// Set when the trial is folded analytically (prune mode, prunable).
   std::shared_ptr<const ecc::TrialSchedule> schedule;
+  /// The golden snapshot at-or-before this trial's FIRST live delivery
+  /// ordinal — the fast_forwarded column's evidence. Non-prunable trials
+  /// only, and computed with fast-forward on AND off (only whether the
+  /// restore happens differs), so the count is mode-invariant.
+  std::shared_ptr<const sim::SnapshotStore::Entry> snapshot;
   std::size_t result_index = 0;  ///< into the round's sweep results otherwise
 };
 
@@ -415,6 +455,7 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
   }
 
   CampaignSummary summary;
+  GoldenCache golden_cache;
 
   const auto snapshot_progress = [&states] {
     std::vector<CellProgress> out;
@@ -442,7 +483,7 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
     for (std::size_t si = 0; si < states.size(); ++si) {
       CellState& st = states[si];
       if (st.finished) continue;
-      ensure_golden(st, opts);
+      ensure_golden(st, spec, opts, golden_cache);
       const unsigned bn =
           std::min<unsigned>(batch, spec.trials - st.done);
       std::vector<TrialPlan> plans;
@@ -454,9 +495,24 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
             st.word_bits, runner::fault_seed(opts.base_seed, p)));
         TrialPlan plan;
         plan.prunable = !sched->has_live();
+        if (!plan.prunable) {
+          plan.snapshot = st.golden->snapshots.best_at_or_before(
+              sched->deliveries.front().first);
+        }
         if (spec.prune && plan.prunable) {
           plan.schedule = std::move(sched);
         } else {
+          if (spec.fast_forward) {
+            // Skip the fault-free prefix. A dead-storm trial simulated in
+            // no-prune mode delivers nothing at all, so ANY snapshot is
+            // before its (nonexistent) first delivery — resume from the
+            // last one. Such restores are pure speed: they are NOT counted
+            // as fast_forwarded, keeping the column prune-mode-invariant.
+            p.resume_from =
+                plan.prunable
+                    ? st.golden->snapshots.best_at_or_before(~u64{0})
+                    : plan.snapshot;
+          }
           p.config.faults->schedule = std::move(sched);
           p.index = points.size();
           plan.result_index = points.size();
@@ -488,6 +544,10 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
           // Unpruned reference mode still REPORTS the prunable count, so
           // the column is byte-identical across modes.
           if (plan.prunable) st.res.pruned += 1;
+          if (plan.snapshot != nullptr) {
+            st.res.fast_forwarded += 1;
+            st.res.cycles_skipped += plan.snapshot->cycle;
+          }
         }
       }
       st.done += static_cast<unsigned>(plans.size());
@@ -518,7 +578,7 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
   for (CellState& st : states) {
     // A cell restored fully-finished never entered a round; its exposure
     // column still comes from the (deterministic) golden run.
-    ensure_golden(st, opts);
+    ensure_golden(st, spec, opts, golden_cache);
     st.res.mean_exposure_cycles = st.golden->mean_exposure;
     st.res.avf = st.res.events == 0
                      ? 0.0

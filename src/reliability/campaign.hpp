@@ -109,6 +109,27 @@ struct CampaignSpec {
   /// simulate-everything reference path, same contract as
   /// CacheConfig::use_lut_decode.
   bool prune = true;
+  /// Snapshot fast-forward (the default): the golden run drops full-state
+  /// snapshots every `snapshot_every` injector consultations (under the
+  /// `snapshot_mem_mb` budget, keep-every-k thinned), and every simulated
+  /// trial restores the latest snapshot at-or-before its first delivery
+  /// ordinal instead of re-simulating the fault-free prefix. Rows are
+  /// byte-identical with fast-forward on or off — `fast_forward = false` is
+  /// the simulate-everything reference path, same contract shape as `prune`
+  /// and CacheConfig::use_lut_decode. Composes multiplicatively with
+  /// pruning: pruning kills dead-storm trials, fast-forward shrinks the
+  /// live ones.
+  bool fast_forward = true;
+  /// Golden-run snapshot cadence, in injector-consultation ordinals.
+  /// 0 disables capture (and therefore fast-forwarding). The default is a
+  /// measured balance: finer strides shave a little more fault-free prefix
+  /// per trial but the golden run pays capture cost per snapshot, and past
+  /// ~stride 256 the capture savings dominate on every EEMBC-class kernel.
+  unsigned snapshot_every = 256;
+  /// Per-(workload, scheme) snapshot byte budget in MiB; keep-every-k
+  /// thinning halves snapshot density whenever it would be exceeded.
+  /// 0 = unlimited.
+  unsigned snapshot_mem_mb = 256;
   /// Geometry / latency base configuration of every trial.
   core::SimConfig base;
 };
@@ -217,6 +238,18 @@ struct CellResult {
   /// dead exposure window). Counted identically with pruning on or off;
   /// only whether they were SIMULATED differs.
   u64 pruned = 0;
+  /// Trials that had a golden snapshot at-or-before their first delivery
+  /// ordinal available — i.e. whose fault-free prefix is (with
+  /// spec.fast_forward) skipped by a snapshot restore. Like `pruned`,
+  /// counted identically with fast-forward on or off (and with pruning on
+  /// or off: pruned trials are excluded); only whether the restore actually
+  /// HAPPENS differs, so rows stay byte-identical across modes.
+  u64 fast_forwarded = 0;
+  /// Simulated cycles those snapshots cover (the sum of each fast-forwarded
+  /// trial's snapshot cycle): the heartbeat's estimate of simulation work
+  /// the restores avoid. Not a CSV column — identical across modes but an
+  /// estimate, not a measurement.
+  u64 cycles_skipped = 0;
   /// Resident-time-weighted fault exposure: mean per-word inter-access gap
   /// in cycles over the golden run's recorded windows.
   double mean_exposure_cycles = 0.0;
@@ -245,6 +278,8 @@ struct CellProgress {
   u64 data_loss = 0;
   u64 total_cycles = 0;
   u64 pruned = 0;
+  u64 fast_forwarded = 0;
+  u64 cycles_skipped = 0;
   double device_hours = 0.0;
 };
 

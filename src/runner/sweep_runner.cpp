@@ -44,7 +44,8 @@ std::string fmt_double(double v) {
 /// Run a single point to completion. The caller has already validated the
 /// workload name, so kernel_by_name cannot throw here.
 PointResult run_point(const SweepPoint& point, u64 base_seed,
-                      mem::ResidencyRecorder* recorder = nullptr) {
+                      mem::ResidencyRecorder* recorder = nullptr,
+                      sim::SnapshotStore* snapshots = nullptr) {
   PointResult r;
   r.point = point;
 
@@ -72,7 +73,16 @@ PointResult run_point(const SweepPoint& point, u64 base_seed,
   }
 
   const auto built = entry.build();
-  auto run = core::run_program_keep_system(cfg, built.program, recorder);
+  // Fast-forward: a replay trial with a golden snapshot at-or-before its
+  // first delivery restores it and simulates only the suffix. The restored
+  // state already contains the program image and the full fault-free prefix,
+  // so the rows are byte-identical with the from-reset path (the ff-equiv
+  // suite and CI gate hold this contract).
+  auto run = point.resume_from != nullptr
+                 ? core::run_program_resume(cfg, *point.resume_from->blob,
+                                            point.resume_from->ordinal)
+                 : core::run_program_keep_system(cfg, built.program, recorder,
+                                                 snapshots);
   r.stats = std::move(run.stats);
   if (run.injector != nullptr) {
     r.faults_injected = run.injector->injected_total();
@@ -251,7 +261,8 @@ u64 fault_seed(u64 base_seed, const SweepPoint& point) {
 }
 
 PointResult run_golden_point(const SweepPoint& point, u64 base_seed,
-                             mem::ResidencyRecorder* recorder) {
+                             mem::ResidencyRecorder* recorder,
+                             sim::SnapshotStore* snapshots) {
   if (point.mode != RunMode::kProgram) {
     throw std::invalid_argument(
         "run_golden_point requires program mode: trace-mode points keep no "
@@ -260,7 +271,8 @@ PointResult run_golden_point(const SweepPoint& point, u64 base_seed,
   SweepPoint golden = point;
   golden.config.faults.reset();
   golden.replicate = 0;  // the shared trace; replicates differ only in storms
-  return run_point(golden, base_seed, recorder);
+  golden.resume_from = nullptr;
+  return run_point(golden, base_seed, recorder, snapshots);
 }
 
 const std::vector<cpu::EccPolicy>& fig8_schemes() {
@@ -353,6 +365,14 @@ SweepSummary run_sweep(const std::vector<SweepPoint>& points,
             "run_sweep: point " + std::to_string(p.index) +
             " combines trace mode with fault injection, which requires "
             "program mode (the oracle keeps no arrays to inject into)");
+      }
+      if (p.resume_from != nullptr &&
+          (p.mode != RunMode::kProgram || !p.config.faults.has_value() ||
+           p.config.faults->schedule == nullptr)) {
+        throw std::invalid_argument(
+            "run_sweep: point " + std::to_string(p.index) +
+            " carries a fast-forward snapshot without a program-mode replay "
+            "schedule (snapshots are only sound for pre-drawn storms)");
       }
     }
   }

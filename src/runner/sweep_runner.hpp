@@ -29,6 +29,7 @@
 #include "common/stats.hpp"
 #include "core/simulator.hpp"
 #include "report/sink.hpp"
+#include "sim/snapshot.hpp"
 #include "workloads/eembc.hpp"
 
 namespace laec::runner {
@@ -60,6 +61,12 @@ struct SweepPoint {
   /// recovery paths differ). 0 (the default) reproduces the pre-replicate
   /// seeding exactly.
   u64 replicate = 0;
+  /// Fast-forward: restore this golden snapshot instead of simulating the
+  /// fault-free prefix. Program-mode replay points only (config.faults with
+  /// a pre-drawn schedule whose first delivery ordinal is >= the snapshot's
+  /// ordinal — the campaign engine picks entries that satisfy this). Null =
+  /// run from reset.
+  std::shared_ptr<const sim::SnapshotStore::Entry> resume_from;
 };
 
 struct PointResult {
@@ -178,10 +185,12 @@ struct SweepSummary {
 
 /// Run `point` fault-free (cfg.faults cleared, replicate pinned to 0 — the
 /// golden trace every trial in the cell shares), with `recorder` observing
-/// the array cfg.inject_target names. Program mode only.
-[[nodiscard]] PointResult run_golden_point(const SweepPoint& point,
-                                           u64 base_seed,
-                                           mem::ResidencyRecorder* recorder);
+/// the array cfg.inject_target names. Program mode only. `snapshots`, when
+/// non-null, receives full-state checkpoints at its configured consultation
+/// cadence (see core::run_program_keep_system).
+[[nodiscard]] PointResult run_golden_point(
+    const SweepPoint& point, u64 base_seed, mem::ResidencyRecorder* recorder,
+    sim::SnapshotStore* snapshots = nullptr);
 
 /// Run `points` under `opts`. Throws std::out_of_range for unknown
 /// workload names and std::invalid_argument for bad shard options.

@@ -29,6 +29,8 @@ void save_checkpoint(const std::string& path, u64 identity,
     payload.put_u64(c.data_loss);
     payload.put_u64(c.total_cycles);
     payload.put_u64(c.pruned);
+    payload.put_u64(c.fast_forwarded);
+    payload.put_u64(c.cycles_skipped);
     payload.put_double(c.device_hours);
   }
 
@@ -117,6 +119,8 @@ std::vector<reliability::CellProgress> load_checkpoint(
     c.data_loss = r.get_u64();
     c.total_cycles = r.get_u64();
     c.pruned = r.get_u64();
+    c.fast_forwarded = r.get_u64();
+    c.cycles_skipped = r.get_u64();
     c.device_hours = r.get_double();
     cells.push_back(c);
   }

@@ -12,9 +12,10 @@
 // File layout ("LAECCKP1", little-endian):
 //   magic (8 bytes) | u64 fnv1a(payload) | payload
 //   payload: u32 version | u64 identity | u32 ncells | cells
-//   cell: u64 index | u32 done | u8 finished | 10 x u64 counters
+//   cell: u64 index | u32 done | u8 finished | 12 x u64 counters
 //         | u64 device_hours IEEE bits
-//   (version 2 appended the `pruned` counter to the u64 block)
+//   (version 2 appended the `pruned` counter to the u64 block; version 3
+//   appended `fast_forwarded` and `cycles_skipped`)
 //
 // Writes are atomic (tmp file + rename), so a power cut mid-save leaves
 // the previous checkpoint intact. Loads verify magic, checksum, version
@@ -31,7 +32,7 @@ namespace laec::service {
 
 inline constexpr char kCheckpointMagic[8] = {'L', 'A', 'E', 'C',
                                              'C', 'K', 'P', '1'};
-inline constexpr u32 kCheckpointVersion = 2;
+inline constexpr u32 kCheckpointVersion = 3;
 
 /// Serialize cursors to `path` atomically (write `path`.tmp, rename).
 /// Throws std::runtime_error when the file cannot be written.

@@ -2,6 +2,7 @@
 
 #include "mem/residency.hpp"
 #include "service/wire.hpp"
+#include "sim/snapshot.hpp"
 
 namespace laec::service {
 
@@ -103,6 +104,14 @@ std::string serialize_job(const CampaignJob& job) {
   // under different recording semantics are a different campaign.
   w.put_u8(s.prune ? 1 : 0);
   w.put_u32(mem::ResidencyRecorder::kVersion);
+  // Fast-forward mode is identity the same way prune is (a --ff run never
+  // silently resumes a --no-ff checkpoint — the rows are byte-identical but
+  // the operator asked for a specific reference mode), and the snapshot
+  // cadence/budget and frame revision pin WHICH snapshots existed.
+  w.put_u8(s.fast_forward ? 1 : 0);
+  w.put_u32(s.snapshot_every);
+  w.put_u32(s.snapshot_mem_mb);
+  w.put_u32(sim::kSnapshotVersion);
   put_config(w, s.base);
 
   w.put_u64(static_cast<u64>(job.cells.size()));
@@ -140,6 +149,16 @@ CampaignJob parse_job(std::string_view bytes) {
                     std::to_string(recorder_version) +
                     " (this build records v" +
                     std::to_string(mem::ResidencyRecorder::kVersion) + ")");
+  }
+  s.fast_forward = r.get_u8() != 0;
+  s.snapshot_every = r.get_u32();
+  s.snapshot_mem_mb = r.get_u32();
+  const u32 snapshot_version = r.get_u32();
+  if (snapshot_version != sim::kSnapshotVersion) {
+    throw WireError("campaign job built against snapshot frame v" +
+                    std::to_string(snapshot_version) +
+                    " (this build captures v" +
+                    std::to_string(sim::kSnapshotVersion) + ")");
   }
   get_config(r, s.base);
 

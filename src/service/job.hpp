@@ -21,7 +21,9 @@
 
 namespace laec::service {
 
-inline constexpr u32 kJobVersion = 2;  ///< v2: spec.prune + recorder version
+/// v2: spec.prune + recorder version; v3: fast-forward mode (flag, snapshot
+/// cadence/budget, snapshot frame version).
+inline constexpr u32 kJobVersion = 3;
 
 struct CampaignJob {
   reliability::CampaignSpec spec;            ///< incl. base SimConfig subset

@@ -59,6 +59,30 @@ class ByteWriter {
     buf_.append(s.data(), s.size());
   }
 
+  /// Bulk little-endian u32 array (no length prefix — the caller's framing
+  /// carries the count). One memcpy on little-endian hosts; the element
+  /// loop elsewhere. Snapshot capture serializes whole cache arrays through
+  /// this, so it must not cost a call per word.
+  void put_u32_block(const u32* v, std::size_t n) {
+    if constexpr (std::endian::native == std::endian::little) {
+      buf_.append(reinterpret_cast<const char*>(v), n * sizeof(u32));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) put_u32(v[i]);
+    }
+  }
+
+  /// Bulk little-endian u16 array; same contract as put_u32_block.
+  void put_u16_block(const u16* v, std::size_t n) {
+    if constexpr (std::endian::native == std::endian::little) {
+      buf_.append(reinterpret_cast<const char*>(v), n * sizeof(u16));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        buf_.push_back(static_cast<char>(v[i] & 0xff));
+        buf_.push_back(static_cast<char>((v[i] >> 8) & 0xff));
+      }
+    }
+  }
+
   [[nodiscard]] const std::string& bytes() const { return buf_; }
   [[nodiscard]] std::string take() { return std::move(buf_); }
 
@@ -104,6 +128,31 @@ class ByteReader {
     std::string s(data_.substr(pos_, n));
     pos_ += n;
     return s;
+  }
+
+  /// Bulk inverse of ByteWriter::put_u32_block.
+  void get_u32_block(u32* out, std::size_t n) {
+    need(n * sizeof(u32));
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(out, data_.data() + pos_, n * sizeof(u32));
+      pos_ += n * sizeof(u32);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = get_u32();
+    }
+  }
+
+  /// Bulk inverse of ByteWriter::put_u16_block.
+  void get_u16_block(u16* out, std::size_t n) {
+    need(n * sizeof(u16));
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(out, data_.data() + pos_, n * sizeof(u16));
+      pos_ += n * sizeof(u16);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const u16 lo = get_u8();
+        out[i] = static_cast<u16>(lo | (static_cast<u16>(get_u8()) << 8));
+      }
+    }
   }
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }

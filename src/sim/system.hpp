@@ -62,6 +62,10 @@ class Core {
   [[nodiscard]] mem::WriteBuffer& wbuf() { return wbuf_; }
   [[nodiscard]] unsigned id() const { return id_; }
 
+  /// Snapshot support: DL1, L1I (when present), write buffer, pipeline.
+  void save_state(service::ByteWriter& w) const;
+  void restore_state(service::ByteReader& r);
+
  private:
   unsigned id_;
   std::unique_ptr<mem::DL1Controller> dl1_;
@@ -121,6 +125,14 @@ class System {
   /// when nothing has simulated since the last flush (the state is already
   /// final); tick() re-arms it.
   void flush_all();
+
+  /// Snapshot support (sim/snapshot.hpp wraps these in a versioned,
+  /// checksummed frame): the cycle counter, every core, every traffic
+  /// generator, and the memory system. The restore target must be built
+  /// from the same configuration; injector/recorder attachments are not
+  /// covered and must be re-made afterwards.
+  void save_state(service::ByteWriter& w) const;
+  void restore_state(service::ByteReader& r);
 
  private:
   SystemConfig cfg_;

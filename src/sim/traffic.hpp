@@ -32,6 +32,10 @@ class TrafficGenerator {
 
   [[nodiscard]] u64 transactions() const { return completed_; }
 
+  /// Snapshot support: pending transaction token, pacing, address cursor.
+  void save_state(service::ByteWriter& w) const;
+  void restore_state(service::ByteReader& r);
+
  private:
   unsigned id_;
   mem::Bus& bus_;

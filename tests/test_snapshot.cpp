@@ -1,0 +1,239 @@
+// Simulation state snapshots: the frame save_system_state/restore_system_state
+// round-trips the COMPLETE deterministic state of a sim::System, and the
+// budgeted SnapshotStore thins deterministically.
+//
+// The fast-forward contract (sim/snapshot.hpp) says a snapshot taken by the
+// golden run at consultation ordinal C is bit-identical to the state of any
+// trial whose first delivery is at or after C. These tests pin the two
+// halves of that claim: (1) restoring a blob into a freshly-constructed
+// system and re-serializing reproduces the blob byte for byte — restore
+// loses nothing save captured; (2) resuming from EVERY captured snapshot
+// and running the suffix fault-free lands on exactly the golden run's final
+// stats and architectural memory — save captures everything the suffix
+// depends on. Corrupt, truncated, version-skewed and geometry-mismatched
+// blobs must be rejected loudly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "ecc/injector.hpp"
+#include "mem/residency.hpp"
+#include "runner/sweep_runner.hpp"
+#include "service/wire.hpp"
+#include "sim/snapshot.hpp"
+#include "sim/system.hpp"
+#include "workloads/eembc.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace laec::sim {
+namespace {
+
+core::SimConfig config_for(const std::string& scheme) {
+  core::SimConfig cfg;
+  cfg.set_scheme(scheme);
+  cfg.dl1_size_bytes = 2 * 1024;
+  return cfg;
+}
+
+struct Golden {
+  core::SimConfig cfg;
+  runner::PointResult result;
+  std::unique_ptr<SnapshotStore> store;
+};
+
+/// One fault-free golden run of `workload` under `scheme`, capturing
+/// snapshots every `every` injector consultations (unlimited budget).
+Golden make_golden(const std::string& workload, const std::string& scheme,
+                   u64 every) {
+  Golden g;
+  g.cfg = config_for(scheme);
+  g.store = std::make_unique<SnapshotStore>(every, 0);
+  runner::SweepPoint p;
+  p.workload = workload;
+  p.config = g.cfg;
+  p.mode = runner::RunMode::kProgram;
+  mem::ResidencyRecorder rec;
+  g.result = runner::run_golden_point(p, 0x1aec, &rec, g.store.get());
+  return g;
+}
+
+// ------------------------------------------------------------- tier 1 ----
+
+TEST(Snapshot, RestoreReserializesByteIdenticalPerHierarchyKey) {
+  // Restore into a system that never ran a cycle, then re-save: the bytes
+  // must reproduce the blob exactly. Anything restore fails to apply (or
+  // save fails to capture symmetrically) shows up as a byte diff. One
+  // representative key per deployment shape: the paper's policy, a plain
+  // codec, a wider codec, and a compound per-level hierarchy key.
+  for (const std::string scheme :
+       {"laec", "secded-39-32", "sec-daec-39-32", "laec+l2:sec-daec-39-32"}) {
+    const Golden g = make_golden("puwmod", scheme, 2048);
+    ASSERT_TRUE(g.result.stats.completed) << scheme;
+    ASSERT_GE(g.store->size(), 2u) << scheme;
+    for (const auto& e : g.store->entries()) {
+      System fresh(core::make_system_config(g.cfg, /*trace_mode=*/false));
+      restore_system_state(fresh, *e->blob);
+      EXPECT_EQ(save_system_state(fresh), *e->blob)
+          << scheme << " @ ordinal " << e->ordinal;
+    }
+  }
+}
+
+TEST(Snapshot, GoldenCaptureIsDeterministic) {
+  const Golden a = make_golden("puwmod", "laec", 2048);
+  const Golden b = make_golden("puwmod", "laec", 2048);
+  ASSERT_EQ(a.store->size(), b.store->size());
+  ASSERT_GE(a.store->size(), 2u);
+  for (std::size_t i = 0; i < a.store->size(); ++i) {
+    const auto& x = *a.store->entries()[i];
+    const auto& y = *b.store->entries()[i];
+    EXPECT_EQ(x.ordinal, y.ordinal) << i;
+    EXPECT_EQ(x.cycle, y.cycle) << i;
+    EXPECT_EQ(*x.blob, *y.blob) << i;
+  }
+}
+
+TEST(Snapshot, ResumeFromEverySnapshotMatchesGoldenCompletion) {
+  // The actual fast-forward soundness claim: restore at ordinal C, attach a
+  // replay injector with an EMPTY schedule (the fault-free trial), run the
+  // suffix — final stats and every architecturally-final word must equal
+  // the golden run's. A single field missing from the frame diverges here.
+  const Golden g = make_golden("puwmod", "laec", 2048);
+  ASSERT_TRUE(g.result.stats.completed);
+  ASSERT_GE(g.store->size(), 2u);
+
+  core::SimConfig replay = g.cfg;
+  ecc::InjectorConfig inj;
+  inj.schedule = std::make_shared<ecc::TrialSchedule>();
+  replay.faults = inj;
+
+  const auto& built = workloads::kernel_by_name("puwmod").build();
+  for (const auto& e : g.store->entries()) {
+    auto r = core::run_program_resume(replay, *e->blob, e->ordinal);
+    ASSERT_TRUE(r.stats.completed) << "ordinal " << e->ordinal;
+    EXPECT_EQ(r.stats.cycles, g.result.stats.cycles) << e->ordinal;
+    EXPECT_EQ(r.stats.instructions, g.result.stats.instructions) << e->ordinal;
+    EXPECT_EQ(r.stats.loads, g.result.stats.loads) << e->ordinal;
+    EXPECT_EQ(r.stats.load_hits, g.result.stats.load_hits) << e->ordinal;
+    EXPECT_EQ(r.stats.bus_transactions, g.result.stats.bus_transactions)
+        << e->ordinal;
+    for (const auto& [addr, expect] : built.expected) {
+      ASSERT_EQ(r.system->read_word_final(addr), expect)
+          << "ordinal " << e->ordinal << " addr " << addr;
+    }
+  }
+}
+
+TEST(Snapshot, TraceDrivenSystemRoundTrips) {
+  // The synthetic-trace workload class: tick a trace-mode system mid-run,
+  // save, restore into a fresh system, re-save — byte-identical. (The trace
+  // source itself is external to the system and not part of the frame.)
+  core::SimConfig cfg = config_for("laec");
+  workloads::SyntheticParams params;
+  params.num_ops = 50'000;
+  workloads::SyntheticTrace trace(params);
+  System sys(core::make_system_config(cfg, /*trace_mode=*/true), &trace);
+  for (int i = 0; i < 5'000; ++i) sys.tick();
+  const std::string blob = save_system_state(sys);
+
+  workloads::SyntheticTrace unused(params);
+  System fresh(core::make_system_config(cfg, /*trace_mode=*/true), &unused);
+  restore_system_state(fresh, blob);
+  EXPECT_EQ(save_system_state(fresh), blob);
+}
+
+TEST(Snapshot, CorruptAndSkewedBlobsAreRejected) {
+  const Golden g = make_golden("puwmod", "laec", 4096);
+  ASSERT_GE(g.store->size(), 1u);
+  const std::string good = *g.store->entries().front()->blob;
+  const auto fresh = [&] {
+    return System(core::make_system_config(g.cfg, /*trace_mode=*/false));
+  };
+
+  {  // bad magic
+    std::string bad = good;
+    bad[0] ^= 0x40;
+    auto s = fresh();
+    EXPECT_THROW(restore_system_state(s, bad), service::WireError);
+  }
+  {  // version skew (version field sits right after the 8-byte magic)
+    std::string bad = good;
+    bad[8] ^= 0x01;
+    auto s = fresh();
+    try {
+      restore_system_state(s, bad);
+      FAIL() << "version-skewed blob accepted";
+    } catch (const service::WireError& err) {
+      EXPECT_NE(std::string(err.what()).find("version"), std::string::npos);
+    }
+  }
+  {  // payload corruption caught by the checksum
+    std::string bad = good;
+    bad[bad.size() / 2] ^= 0x10;
+    auto s = fresh();
+    try {
+      restore_system_state(s, bad);
+      FAIL() << "corrupt blob accepted";
+    } catch (const service::WireError& err) {
+      EXPECT_NE(std::string(err.what()).find("checksum"), std::string::npos);
+    }
+  }
+  {  // truncation
+    auto s = fresh();
+    EXPECT_THROW(restore_system_state(s, std::string_view(good).substr(0, 16)),
+                 service::WireError);
+  }
+}
+
+TEST(Snapshot, GeometryMismatchIsRejected) {
+  const Golden g = make_golden("puwmod", "laec", 4096);
+  ASSERT_GE(g.store->size(), 1u);
+  core::SimConfig other = g.cfg;
+  other.dl1_size_bytes = 4 * 1024;
+  System sys(core::make_system_config(other, /*trace_mode=*/false));
+  EXPECT_THROW(restore_system_state(sys, *g.store->entries().front()->blob),
+               service::WireError);
+}
+
+TEST(Snapshot, StoreThinsDeterministicallyUnderBudget) {
+  // 300-byte blobs under a 1000-byte budget: the keep stride must double
+  // exactly when the budget would overflow, survivors are the on-stride
+  // capture sequence, and the surviving set depends only on that sequence.
+  const auto build = [] {
+    SnapshotStore s(/*every=*/1, /*budget_bytes=*/1000);
+    u64 ordinal = 3;
+    for (int i = 0; i < 8; ++i) {
+      if (s.begin_capture()) {
+        s.add(ordinal, ordinal * 10, std::string(300, 'x'));
+      }
+      ordinal += 5;
+    }
+    return s;
+  };
+  const SnapshotStore s = build();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.stride(), 4u);
+  EXPECT_EQ(s.bytes(), 600u);
+  ASSERT_EQ(s.entries().size(), 2u);
+  EXPECT_EQ(s.entries()[0]->ordinal, 3u);   // capture seq 0
+  EXPECT_EQ(s.entries()[1]->ordinal, 23u);  // capture seq 4
+
+  EXPECT_EQ(s.best_at_or_before(2), nullptr);
+  EXPECT_EQ(s.best_at_or_before(3)->ordinal, 3u);
+  EXPECT_EQ(s.best_at_or_before(22)->ordinal, 3u);
+  EXPECT_EQ(s.best_at_or_before(23)->ordinal, 23u);
+  EXPECT_EQ(s.best_at_or_before(~u64{0})->ordinal, 23u);
+
+  // Determinism: an identical capture sequence reproduces the store.
+  const SnapshotStore t = build();
+  ASSERT_EQ(t.size(), s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(t.entries()[i]->ordinal, s.entries()[i]->ordinal);
+  }
+}
+
+}  // namespace
+}  // namespace laec::sim

@@ -85,6 +85,13 @@
 //   --prune | --no-prune         golden-run residency pruning on (default)
 //                                or off; rows are byte-identical either
 //                                way, --no-prune simulates every trial
+//   --ff | --no-ff               snapshot fast-forward on (default) or off;
+//                                rows are byte-identical either way,
+//                                --no-ff simulates every fault-free prefix
+//   --snapshot-every=N           golden snapshot cadence, in injector
+//                                consultations (default 256, 0 disables)
+//   --snapshot-mem=MB            snapshot memory budget per golden run
+//                                (default 256, keep-every-k thinning)
 //   --checkpoint=FILE            persist per-cell trial cursors each round
 //   --resume                     continue a checkpointed campaign
 //   --stop-after-rounds=N        deterministic interruption (CI smoke)
@@ -347,6 +354,18 @@ CliOptions parse(int argc, char** argv) {
     } else if (arg == "--prune") {
       o.campaign.prune = true;
       o.campaign_only_flags.push_back(arg);
+    } else if (arg == "--no-ff") {
+      o.campaign.fast_forward = false;
+      o.campaign_only_flags.push_back(arg);
+    } else if (arg == "--ff") {
+      o.campaign.fast_forward = true;
+      o.campaign_only_flags.push_back(arg);
+    } else if (auto se = value("--snapshot-every"); !se.empty()) {
+      (void)take_ulong("--snapshot-every", se, o, o.campaign.snapshot_every);
+      o.campaign_only_flags.push_back("--snapshot-every");
+    } else if (auto sm = value("--snapshot-mem"); !sm.empty()) {
+      (void)take_ulong("--snapshot-mem", sm, o, o.campaign.snapshot_mem_mb);
+      o.campaign_only_flags.push_back("--snapshot-mem");
     } else if (auto v2 = value("--dl1-kb"); !v2.empty()) {
       o.cfg.dl1_size_bytes = static_cast<u32>(std::stoul(v2)) * 1024;
     } else if (auto v3 = value("--dl1-ways"); !v3.empty()) {
@@ -585,10 +604,13 @@ u64 print_heartbeat(const std::vector<reliability::CellProgress>& cells,
                     double window_secs, u64 prev_done) {
   std::size_t finished = 0;
   u64 trials = 0, events = 0, pruned = 0, done_trials = 0;
+  u64 fast_forwarded = 0, cycles_skipped = 0;
   for (const auto& p : cells) {
     trials += p.trials;
     events += p.events;
     pruned += p.pruned;
+    fast_forwarded += p.fast_forwarded;
+    cycles_skipped += p.cycles_skipped;
     if (p.finished) {
       ++finished;
       // A cell the stopping rule ended early counts as its full budget:
@@ -609,19 +631,25 @@ u64 print_heartbeat(const std::vector<reliability::CellProgress>& cells,
   }
   if (eta >= 0.0) {
     std::fprintf(stderr,
-                 "campaign: %zu/%zu cells, %llu trials (%llu pruned), %llu "
+                 "campaign: %zu/%zu cells, %llu trials (%llu pruned, %llu "
+                 "fast-forwarded, ~%llu cycles skipped), %llu "
                  "faults injected, %.0fs elapsed, ETA %.0fs\n",
                  finished, cells.size(),
                  static_cast<unsigned long long>(trials),
                  static_cast<unsigned long long>(pruned),
+                 static_cast<unsigned long long>(fast_forwarded),
+                 static_cast<unsigned long long>(cycles_skipped),
                  static_cast<unsigned long long>(events), elapsed, eta);
   } else {
     std::fprintf(stderr,
-                 "campaign: %zu/%zu cells, %llu trials (%llu pruned), %llu "
+                 "campaign: %zu/%zu cells, %llu trials (%llu pruned, %llu "
+                 "fast-forwarded, ~%llu cycles skipped), %llu "
                  "faults injected, %.0fs elapsed\n",
                  finished, cells.size(),
                  static_cast<unsigned long long>(trials),
                  static_cast<unsigned long long>(pruned),
+                 static_cast<unsigned long long>(fast_forwarded),
+                 static_cast<unsigned long long>(cycles_skipped),
                  static_cast<unsigned long long>(events), elapsed);
   }
   return done_trials;
@@ -1228,6 +1256,15 @@ void usage() {
       "                             provably-masked trials without\n"
       "                             simulating them (byte-identical rows;\n"
       "                             --no-prune is the reference path)\n"
+      "  --ff / --no-ff             snapshot fast-forward: restore a golden\n"
+      "                             checkpoint instead of re-simulating each\n"
+      "                             trial's fault-free prefix\n"
+      "                             (byte-identical rows; --no-ff is the\n"
+      "                             simulate-everything reference path)\n"
+      "  --snapshot-every=N         golden snapshot cadence in injector\n"
+      "                             consultations (default 256; 0 disables)\n"
+      "  --snapshot-mem=MB          per-(workload,scheme) snapshot budget\n"
+      "                             (default 256; keep-every-k thinning)\n"
       "  --checkpoint=FILE  --resume  --stop-after-rounds=N  "
       "--progress[=SECS]\n"
       "service mode (serve/submit/stop):\n"
