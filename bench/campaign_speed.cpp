@@ -25,6 +25,13 @@
 // (scenario 2 point, default 1e16), --min-speedup=S (scenario 1 floor),
 // --min-ff-speedup=S / --min-total-speedup=S (scenario 2 floors; all
 // floors default 0 = report only, exit 1 below), --json.
+//
+// --trace=FILE re-runs the scenario-2 full stack with the flight recorder
+// armed (and a per-round checkpoint write, so checkpoint spans appear),
+// asserts the rows stay byte-identical to the untraced pass, writes the
+// Chrome trace document, and reports the tracing overhead. The untraced
+// passes above ARE the instrumented-but-off baseline — the perf-smoke
+// floors gate the disabled-path cost.
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -32,8 +39,10 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/trace.hpp"
 #include "reliability/campaign.hpp"
 #include "report/sink.hpp"
+#include "service/checkpoint.hpp"
 
 namespace {
 
@@ -61,6 +70,7 @@ int main(int argc, char** argv) {
   double min_speedup = 0.0;
   double min_ff_speedup = 0.0;
   double min_total_speedup = 0.0;
+  std::string trace_path;
   bool json = false;
   if (!bench::parse_bench_args(
           argc, argv, popts,
@@ -68,7 +78,7 @@ int main(int argc, char** argv) {
           "                      [--accel-saturated=A] [--min-speedup=S]\n"
           "                      [--min-ff-speedup=S] "
           "[--min-total-speedup=S]\n"
-          "                      [--json]\n",
+          "                      [--trace=FILE] [--json]\n",
           [&](const std::string& arg) {
             if (arg.rfind("--trials=", 0) == 0) {
               trials = std::stoull(arg.substr(9));
@@ -82,6 +92,8 @@ int main(int argc, char** argv) {
               min_ff_speedup = std::stod(arg.substr(17));
             } else if (arg.rfind("--min-total-speedup=", 0) == 0) {
               min_total_speedup = std::stod(arg.substr(20));
+            } else if (arg.rfind("--trace=", 0) == 0) {
+              trace_path = arg.substr(8);
             } else if (arg == "--json") {
               json = true;
             } else {
@@ -161,6 +173,58 @@ int main(int argc, char** argv) {
     rows_identical = false;
   }
   if (!rows_identical) return 1;
+
+  // Traced pass: scenario-2 full stack again with the flight recorder on
+  // and a per-round checkpoint write. The contract is twofold: the rows
+  // must stay byte-identical to the untraced pass, and the wall-clock
+  // delta IS the tracing overhead (reported, not gated — the gated floors
+  // above already price the instrumented-but-off path).
+  if (!trace_path.empty()) {
+    obs::Tracer::global().enable();
+    reliability::CampaignSpec s = base;
+    s.accel = accel_saturated;
+    s.prune = true;
+    s.fast_forward = true;
+    std::ostringstream out;
+    report::CsvWriter sink(out);
+    reliability::CampaignOptions opts;
+    opts.threads = popts.threads;
+    opts.sink = &sink;
+    const std::string ckpt = trace_path + ".ckpt";
+    opts.on_round = [&](const std::vector<reliability::CellProgress>& p) {
+      service::save_checkpoint(ckpt, /*identity=*/0x1aec, p);
+    };
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)run_campaign(grid2, s, opts);
+    const double traced_secs = seconds_since(t0);
+    std::remove(ckpt.c_str());
+    if (out.str() != p2_ff.csv) {
+      std::fprintf(stderr,
+                   "campaign_speed: FAIL — traced rows differ from "
+                   "untraced\n");
+      return 1;
+    }
+    const auto& tracer = obs::Tracer::global();
+    const u64 recorded = tracer.total_recorded();
+    const u64 dropped = tracer.dropped();
+    if (!obs::write_trace_file(trace_path)) {
+      std::fprintf(stderr, "campaign_speed: cannot write trace file %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    obs::Tracer::global().disable();
+    std::fprintf(stderr,
+                 "campaign_speed: traced pass %.3f s vs %.3f s untraced "
+                 "(%+.1f%%), %llu events (%llu dropped), rows identical — "
+                 "wrote %s\n",
+                 traced_secs, p2_ff.secs,
+                 p2_ff.secs > 0.0
+                     ? (traced_secs / p2_ff.secs - 1.0) * 100.0
+                     : 0.0,
+                 static_cast<unsigned long long>(recorded),
+                 static_cast<unsigned long long>(dropped),
+                 trace_path.c_str());
+  }
 
   const auto totals = [](const reliability::CampaignSummary& s) {
     u64 trials_total = 0, pruned = 0, ff = 0;

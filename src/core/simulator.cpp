@@ -5,6 +5,8 @@
 
 #include "ecc/registry.hpp"
 #include "mem/residency.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/snapshot.hpp"
 
 namespace laec::core {
@@ -224,7 +226,11 @@ ProgramRun run_program_keep_system(const SimConfig& cfg,
       const u64 consults = recorder->live_windows();
       if (consults >= next_threshold) {
         if (snapshots->begin_capture()) {
+          obs::Span span("snapshot-capture");
+          span.arg("ordinal", consults);
+          span.arg("cycle", sys.now());
           snapshots->add(consults, sys.now(), sim::save_system_state(sys));
+          obs::Registry::global().counter("snapshot.captures").add();
         }
         next_threshold = consults + snapshots->every();
       }
@@ -250,7 +256,13 @@ ProgramRun run_program_resume(const SimConfig& cfg, const std::string& blob,
   // Restore first, THEN attach the injector: set_injector marks the array's
   // sticky ever_injected_ flag, and the replay-mode injector consumes no RNG,
   // so attachment order cannot perturb the simulated suffix.
-  sim::restore_system_state(*r.system, blob);
+  {
+    obs::Span span("snapshot-restore");
+    span.arg("ordinal", consult_ordinal);
+    span.arg("bytes", static_cast<u64>(blob.size()));
+    sim::restore_system_state(*r.system, blob);
+    obs::Registry::global().counter("snapshot.restores").add();
+  }
   r.injector = attach_injector(*r.system, cfg);
   if (r.injector != nullptr) r.injector->fast_forward(consult_ordinal);
   const auto run = r.system->run();

@@ -14,6 +14,8 @@
 #include "core/deployment.hpp"
 #include "ecc/registry.hpp"
 #include "mem/residency.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "reliability/schedule.hpp"
 #include "runner/multiproc.hpp"
 #include "sim/snapshot.hpp"
@@ -366,15 +368,28 @@ void ensure_golden(CellState& st, const CampaignSpec& spec,
   const auto key =
       std::make_pair(st.res.cell.workload, st.res.cell.scheme);
   if (const auto it = cache.find(key); it != cache.end()) {
+    obs::Registry::global().counter("campaign.golden_cache_hits").add();
     st.golden = it->second;
     return;
   }
+  obs::Span span("golden-run");
+  span.arg("workload", st.res.cell.workload);
+  span.arg("scheme", st.res.cell.scheme);
   auto g = std::make_shared<GoldenCell>(spec);
   mem::ResidencyRecorder rec;
   g->result = runner::run_golden_point(cell_point(st, 0), opts.base_seed,
                                        &rec, &g->snapshots);
   g->windows = rec.take_windows();
   g->mean_exposure = mem::mean_exposure_cycles(g->windows);
+  auto& reg = obs::Registry::global();
+  reg.counter("campaign.golden_runs").add();
+  auto& window_hist = reg.histogram("campaign.exposure_window_cycles");
+  for (const mem::AccessWindow& w : g->windows) {
+    window_hist.record(w.gap_cycles);
+  }
+  span.arg("windows", static_cast<u64>(g->windows.size()));
+  span.arg("snapshots", static_cast<u64>(g->snapshots.size()));
+  span.arg("snapshot_bytes", g->snapshots.bytes());
   st.golden = g;
   cache.emplace(key, std::move(g));
 }
@@ -464,6 +479,41 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
     return out;
   };
 
+  // Publish this shard's cursor totals as registry gauges, so the
+  // --progress heartbeat (and any other observer) renders purely from a
+  // metrics snapshot. Gauges are set, not added: a resumed campaign's
+  // restored counts are included because they live in the cursors.
+  const auto publish_metrics = [&states, &golden_cache, &spec] {
+    auto& reg = obs::Registry::global();
+    u64 finished = 0, trials = 0, pruned = 0, ff = 0, skipped = 0,
+        events = 0, snap_bytes = 0, budget_done = 0;
+    for (const CellState& st : states) {
+      if (st.finished) ++finished;
+      trials += st.res.trials;
+      pruned += st.res.pruned;
+      ff += st.res.fast_forwarded;
+      skipped += st.res.cycles_skipped;
+      events += st.res.events;
+      // A cell the stopping rule ended early counts as its full budget
+      // towards the ETA denominator: its remaining trials never run.
+      budget_done += st.finished ? spec.trials : st.done;
+    }
+    for (const auto& [key, g] : golden_cache) {
+      snap_bytes += g->snapshots.bytes();
+    }
+    reg.gauge("snapshot.bytes_in_use").set(snap_bytes);
+    reg.gauge("campaign.cells_total").set(states.size());
+    reg.gauge("campaign.cells_finished").set(finished);
+    reg.gauge("campaign.trials_done").set(trials);
+    reg.gauge("campaign.trials_pruned").set(pruned);
+    reg.gauge("campaign.trials_fast_forwarded").set(ff);
+    reg.gauge("campaign.cycles_skipped").set(skipped);
+    reg.gauge("campaign.fault_events").set(events);
+    reg.gauge("campaign.trials_budget_done").set(budget_done);
+    reg.gauge("campaign.trials_target")
+        .set(static_cast<u64>(states.size()) * spec.trials);
+  };
+
   // Batched rounds: every unfinished cell contributes its next `batch`
   // trials to ONE run_sweep call (one thread pool over the whole round),
   // then the stopping rule is evaluated per cell. A cell's trajectory
@@ -473,11 +523,13 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
   // batch grid an uninterrupted run walks.
   bool any_round = false;
   for (;;) {
+    obs::Span round_span("campaign.round");
     // Pass 2, per round: pre-draw every pending trial's storm over the
     // cell's golden windows. A storm with no live delivery is provably
     // masked — under pruning it folds analytically and never simulates;
     // otherwise the trial carries its schedule into the sweep, so the
     // simulated storm is the drawn storm, event for event.
+    obs::Span plan_span("prune-plan");
     std::vector<runner::SweepPoint> points;
     std::vector<std::pair<std::size_t, std::vector<TrialPlan>>> slices;
     for (std::size_t si = 0; si < states.size(); ++si) {
@@ -522,6 +574,15 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
       }
       slices.emplace_back(si, std::move(plans));
     }
+    if (plan_span.live()) {
+      u64 planned = 0;
+      for (const auto& [si, plans] : slices) planned += plans.size();
+      plan_span.arg("trials", planned);
+      plan_span.arg("pruned_analytic",
+                    planned - static_cast<u64>(points.size()));
+      plan_span.arg("simulated", static_cast<u64>(points.size()));
+    }
+    plan_span.close();
     if (slices.empty()) break;
 
     runner::SweepSummary sum;
@@ -561,6 +622,7 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
     }
 
     any_round = true;
+    publish_metrics();
     if (opts.on_round) opts.on_round(snapshot_progress());
     if (opts.should_stop && opts.should_stop()) {
       summary.interrupted = true;
@@ -570,7 +632,10 @@ CampaignSummary run_campaign(const std::vector<CampaignCell>& cells,
 
   // A resume that had nothing left to run still reports its cursors once
   // (the CLI heartbeat and checkpoint writer see the final state).
-  if (!any_round && opts.on_round) opts.on_round(snapshot_progress());
+  if (!any_round) {
+    publish_metrics();
+    if (opts.on_round) opts.on_round(snapshot_progress());
+  }
 
   // Finalize and emit in grid order.
   summary.cells.reserve(states.size());
@@ -684,6 +749,7 @@ CampaignProcSummary run_campaign_procs(const std::vector<CampaignCell>& cells,
   fm.procs = opts.procs;
   fm.scratch_prefix = opts.scratch_prefix;
   fm.csv_header = opts.format == "csv";
+  fm.trace_path = opts.trace_path;
   const runner::ForkMergeSummary fms = runner::fork_workers_and_merge(
       fm,
       [&](unsigned j, const std::string& rows_path,

@@ -353,6 +353,8 @@ struct CampaignProcOptions {
   std::string format = "csv";  ///< "csv" or "jsonl"/"json"
   /// Scratch prefix for shard files; empty picks a unique tmp-dir prefix.
   std::string scratch_prefix;
+  /// Merged Chrome trace output path (see runner::ForkMergeOptions).
+  std::string trace_path;
 };
 
 struct CampaignProcSummary {

@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "report/sink.hpp"
 
 #if !defined(_WIN32)
@@ -30,6 +32,10 @@ std::string shard_row_path(const std::string& prefix, unsigned j) {
 
 std::string shard_meta_path(const std::string& prefix, unsigned j) {
   return prefix + ".shard" + std::to_string(j) + ".meta";
+}
+
+std::string shard_events_path(const std::string& prefix, unsigned j) {
+  return prefix + ".shard" + std::to_string(j) + ".events";
 }
 
 /// Default scratch prefix: unique per process under the system tmp dir
@@ -127,8 +133,13 @@ ForkMergeSummary fork_workers_and_merge(const ForkMergeOptions& opts,
   std::vector<char> worker_failed(opts.procs, 0);
   const auto fail = [&](unsigned j, const std::string& why) {
     worker_failed[j] = 1;
+    obs::log_warn("laec-procs", "worker " + std::to_string(j) + ": " + why);
     summary.diagnostics.push_back("worker " + std::to_string(j) + ": " + why);
   };
+  const bool tracing =
+      !opts.trace_path.empty() && obs::Tracer::global().enabled();
+  obs::Span workers_span("procs.workers");
+  workers_span.arg("procs", static_cast<u64>(opts.procs));
 #if LAEC_HAVE_FORK
   std::vector<pid_t> pids(opts.procs, -1);
   for (unsigned j = 0; j < opts.procs; ++j) {
@@ -139,11 +150,20 @@ ForkMergeSummary fork_workers_and_merge(const ForkMergeOptions& opts,
     if (pid == 0) {
       // Worker: run the slice, then leave WITHOUT unwinding the parent's
       // state (no atexit handlers, no double-flushed stdio buffers).
+      if (tracing) {
+        // Drop the flight-recorder events inherited from the parent's
+        // ring (the parent emits them itself) and restart the clock.
+        obs::Tracer::global().enable();
+      }
       int code = 2;
       try {
         code = worker(j, shard_row_path(prefix, j), shard_meta_path(prefix, j));
       } catch (...) {
         code = 2;
+      }
+      if (tracing) {
+        (void)obs::write_shard_events_file(shard_events_path(prefix, j),
+                                           j + 1);
       }
       std::_Exit(code);
     }
@@ -178,6 +198,8 @@ ForkMergeSummary fork_workers_and_merge(const ForkMergeOptions& opts,
     if (code >= 2) fail(j, "exited with status " + std::to_string(code));
   }
 #endif
+  workers_span.close();
+  obs::Span merge_span("procs.merge");
 
   // Sum the meta digests (a failed worker may not have written one).
   std::vector<std::string> row_paths;
@@ -221,6 +243,30 @@ ForkMergeSummary fork_workers_and_merge(const ForkMergeOptions& opts,
   for (unsigned j = 0; j < opts.procs; ++j) {
     std::remove(shard_row_path(prefix, j).c_str());
     std::remove(shard_meta_path(prefix, j).c_str());
+  }
+  merge_span.close();
+
+  // Stitch the shard flight recorders plus the parent's own events into
+  // one Chrome trace document. Workers that never wrote an events file
+  // (sequential fallback, early death) are simply absent from the trace.
+  if (tracing) {
+    std::vector<std::string> shard_events;
+    shard_events.reserve(opts.procs);
+    for (unsigned j = 0; j < opts.procs; ++j) {
+      shard_events.push_back(shard_events_path(prefix, j));
+    }
+    std::vector<std::string> parent_lines;
+    for (const obs::TraceEvent& ev : obs::Tracer::global().events()) {
+      parent_lines.push_back(obs::event_to_json(ev, 0));
+    }
+    if (!obs::merge_trace_files(shard_events, parent_lines,
+                                opts.trace_path)) {
+      obs::log_warn("laec-procs",
+                    "cannot write trace file " + opts.trace_path);
+    }
+    for (unsigned j = 0; j < opts.procs; ++j) {
+      std::remove(shard_events_path(prefix, j).c_str());
+    }
   }
   return summary;
 }
@@ -321,6 +367,7 @@ ProcSummary run_sweep_procs(const std::vector<SweepPoint>& points,
   fm.procs = opts.procs;
   fm.scratch_prefix = opts.scratch_prefix;
   fm.csv_header = opts.format == "csv";
+  fm.trace_path = opts.trace_path;
   const ForkMergeSummary fms = fork_workers_and_merge(
       fm,
       [&](unsigned j, const std::string& rows_path,

@@ -52,6 +52,13 @@ struct ForkMergeOptions {
   std::string scratch_prefix;
   /// CSV: every worker writes the same header; emit exactly one.
   bool csv_header = true;
+  /// When nonempty AND the global tracer is armed, each forked worker
+  /// resets its inherited flight recorder, records its slice, and writes
+  /// `<prefix>.shard<j>.events` (JSON-lines, pid = j+1); after the row
+  /// merge the parent stitches the shard files plus its own events
+  /// (pid 0) into one Chrome trace document at this path. Purely
+  /// observational — rows and merge order are untouched.
+  std::string trace_path;
 };
 
 struct ForkMergeSummary {
@@ -112,6 +119,8 @@ struct ProcOptions {
   /// Path prefix for the shard row/meta files. Empty picks a unique prefix
   /// under the system temp directory. Files are removed after the merge.
   std::string scratch_prefix;
+  /// Merged Chrome trace output path (see ForkMergeOptions::trace_path).
+  std::string trace_path;
 };
 
 struct ProcSummary {

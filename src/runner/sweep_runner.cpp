@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,8 @@
 #include <thread>
 
 #include "ecc/injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/system.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -412,11 +415,30 @@ SweepSummary run_sweep(const std::vector<SweepPoint>& points,
       std::min<std::size_t>(requested, std::max<std::size_t>(1, mine.size())));
 
   std::atomic<std::size_t> cursor{0};
+  // Per-point wall time feeds the heartbeat's p50/p99 (tracer on or off);
+  // the clock reads sit at point granularity, never inside the sim loop.
+  obs::Histogram& point_us =
+      obs::Registry::global().histogram("sweep.point_us");
   const auto worker = [&] {
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= mine.size()) return;
-      PointResult r = run_point(*mine[i], opts.base_seed);
+      const SweepPoint& p = *mine[i];
+      obs::Span span("trial");
+      if (span.live()) {
+        span.arg("workload", p.workload);
+        span.arg("replicate", static_cast<u64>(p.replicate));
+        if (p.resume_from != nullptr) {
+          span.arg("ff_ordinal", p.resume_from->ordinal);
+        }
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      PointResult r = run_point(p, opts.base_seed);
+      point_us.record(static_cast<u64>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+      span.close();
       std::lock_guard<std::mutex> lock(emit_mutex);
       summary.results[i] = std::move(r);
       done[i] = 1;

@@ -5,12 +5,18 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/wire.hpp"
 
 namespace laec::service {
 
 void save_checkpoint(const std::string& path, u64 identity,
                      const std::vector<reliability::CellProgress>& cells) {
+  obs::Span span("checkpoint-write");
+  span.arg("path", path);
+  span.arg("cells", static_cast<u64>(cells.size()));
   ByteWriter payload;
   payload.put_u32(kCheckpointVersion);
   payload.put_u64(identity);
@@ -60,6 +66,15 @@ void save_checkpoint(const std::string& path, u64 identity,
     throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " +
                              path + ": " + ec.message());
   }
+  auto& reg = obs::Registry::global();
+  reg.counter("checkpoint.writes").add();
+  reg.counter("checkpoint.bytes_written")
+      .add(sizeof kCheckpointMagic + 8 + payload.bytes().size());
+  obs::log_debug("laec-checkpoint",
+                 "wrote " + path + " (" +
+                     std::to_string(payload.bytes().size()) +
+                     " payload bytes, " + std::to_string(cells.size()) +
+                     " cells)");
 }
 
 std::vector<reliability::CellProgress> load_checkpoint(

@@ -1,8 +1,8 @@
 #include "service/daemon.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
-#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -11,6 +11,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/protocol.hpp"
 #include "service/queue.hpp"
 #include "service/wire.hpp"
@@ -82,46 +85,147 @@ struct WorkItem {
   std::size_t slot = 0;
 };
 
-void worker_loop(MpmcQueue<WorkItem>& queue) {
+/// Per-worker progress counters (status frame columns).
+struct WorkerCounters {
+  std::atomic<u64> cells{0};
+  std::atomic<u64> trials{0};
+};
+
+/// Shared observable state of one daemon instance: everything the kStatus
+/// frame reports. Counters are relaxed atomics — a status probe reads a
+/// near-consistent snapshot, never blocks a worker.
+struct DaemonState {
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  std::vector<std::unique_ptr<WorkerCounters>> per_worker;
+  std::atomic<u64> jobs_accepted{0};
+  std::atomic<u64> jobs_rejected{0};
+  std::atomic<u64> cells_done{0};
+  std::atomic<u64> trials_done{0};
+  std::atomic<u64> rows_streamed{0};
+  std::atomic<u64> inflight{0};
+
+  [[nodiscard]] u64 uptime_ms() const {
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+};
+
+void worker_loop(MpmcQueue<WorkItem>& queue, DaemonState& state,
+                 unsigned widx) {
+  WorkerCounters& mine = *state.per_worker[widx];
+  obs::Histogram& wait_us =
+      obs::Registry::global().histogram("daemon.queue_wait_us");
   for (;;) {
-    std::optional<WorkItem> item = queue.pop();
+    std::optional<WorkItem> item;
+    {
+      obs::Span wait("queue-wait");
+      const auto t0 = std::chrono::steady_clock::now();
+      item = queue.pop();
+      wait_us.record(static_cast<u64>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    }
     if (!item.has_value()) return;  // queue closed and drained
+    state.inflight.fetch_add(1, std::memory_order_relaxed);
     JobState& job = *item->job;
+    const reliability::CampaignCell& cell = job.cells[item->slot];
+    obs::Span span("daemon-cell");
+    span.arg("cell", static_cast<u64>(cell.index));
+    span.arg("workload", cell.workload);
+    span.arg("scheme", cell.scheme);
     try {
       reliability::CampaignOptions copts;
       copts.threads = 1;
       copts.base_seed = job.base_seed;
       const reliability::CampaignSummary sum = reliability::run_campaign(
-          {job.cells[item->slot]}, job.spec, copts);
+          {cell}, job.spec, copts);
       if (sum.cells.size() != 1) {
         throw std::runtime_error("cell produced no result");
       }
+      mine.cells.fetch_add(1, std::memory_order_relaxed);
+      mine.trials.fetch_add(sum.cells.front().trials,
+                            std::memory_order_relaxed);
+      state.cells_done.fetch_add(1, std::memory_order_relaxed);
+      state.trials_done.fetch_add(sum.cells.front().trials,
+                                  std::memory_order_relaxed);
       job.deliver(item->slot, sum.cells.front());
     } catch (const std::exception& e) {
-      job.fail("cell " + std::to_string(job.cells[item->slot].index) +
-               " failed: " + e.what());
+      job.fail("cell " + std::to_string(cell.index) + " failed: " + e.what());
     }
+    state.inflight.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void log_line(const ServeOptions& opts, const std::string& msg) {
   if (!opts.verbose) return;
-  std::fprintf(stderr, "laec-serve: %s\n", msg.c_str());
+  obs::log_info("laec-serve", msg);
+}
+
+/// Assemble the kStatus reply: daemon counters plus a digest of the
+/// process-wide metrics registry (histograms reduced to count/sum/p50/p99).
+DaemonStatus collect_status(const DaemonState& state,
+                            const MpmcQueue<WorkItem>& queue) {
+  DaemonStatus s;
+  s.uptime_ms = state.uptime_ms();
+  s.workers = static_cast<u32>(state.per_worker.size());
+  s.queue_depth = queue.size();
+  s.inflight_cells = state.inflight.load(std::memory_order_relaxed);
+  s.jobs_accepted = state.jobs_accepted.load(std::memory_order_relaxed);
+  s.jobs_rejected = state.jobs_rejected.load(std::memory_order_relaxed);
+  s.cells_done = state.cells_done.load(std::memory_order_relaxed);
+  s.trials_done = state.trials_done.load(std::memory_order_relaxed);
+  s.rows_streamed = state.rows_streamed.load(std::memory_order_relaxed);
+  s.per_worker.reserve(state.per_worker.size());
+  for (const auto& w : state.per_worker) {
+    WorkerStatus ws;
+    ws.cells_done = w->cells.load(std::memory_order_relaxed);
+    ws.trials_done = w->trials.load(std::memory_order_relaxed);
+    s.per_worker.push_back(ws);
+  }
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  s.metrics.reserve(snap.metrics.size());
+  for (const obs::MetricValue& m : snap.metrics) {
+    StatusMetric sm;
+    sm.name = m.name;
+    sm.kind = static_cast<u8>(m.kind);
+    if (m.kind == obs::MetricKind::kHistogram) {
+      sm.value = m.hist.count;
+      sm.sum = m.hist.sum;
+      sm.p50 = m.hist.percentile(0.50);
+      sm.p99 = m.hist.percentile(0.99);
+    } else {
+      sm.value = m.value;
+    }
+    s.metrics.push_back(std::move(sm));
+  }
+  return s;
 }
 
 /// Serve one connection: hello, read a frame, dispatch. Returns true if
 /// the client requested daemon shutdown.
 bool serve_connection(int fd, MpmcQueue<WorkItem>& queue,
-                      const ServeOptions& opts) {
+                      DaemonState& state, const ServeOptions& opts) {
   write_frame(fd, FrameType::kHello, hello_payload());
   const Frame req = read_frame(fd);
+  obs::Span frame_span("daemon-frame");
+  frame_span.arg("type", static_cast<u64>(req.type));
 
   if (req.type == FrameType::kShutdown) {
     write_frame(fd, FrameType::kDone, encode_done({}));
     return true;
   }
+  if (req.type == FrameType::kStatus) {
+    write_frame(fd, FrameType::kStatus,
+                encode_status(collect_status(state, queue)));
+    return false;
+  }
   if (req.type != FrameType::kSubmit) {
-    write_frame(fd, FrameType::kError, "expected a submit or stop frame");
+    write_frame(fd, FrameType::kError,
+                "expected a submit, status or stop frame");
     return false;
   }
 
@@ -147,11 +251,14 @@ bool serve_connection(int fd, MpmcQueue<WorkItem>& queue,
       (void)workloads::kernel_by_name(c.workload);
     }
   } catch (const std::exception& e) {
+    state.jobs_rejected.fetch_add(1, std::memory_order_relaxed);
+    obs::log_warn("laec-serve", std::string("job rejected: ") + e.what());
     write_frame(fd, FrameType::kError,
                 std::string("job rejected: ") + e.what());
     return false;
   }
 
+  state.jobs_accepted.fetch_add(1, std::memory_order_relaxed);
   log_line(opts, "job accepted: " + std::to_string(job->cells.size()) +
                      " cells");
   job->results.resize(job->cells.size());
@@ -187,6 +294,7 @@ bool serve_connection(int fd, MpmcQueue<WorkItem>& queue,
     done.failures += res.failures();
     write_frame(fd, FrameType::kRow,
                 encode_string_list(reliability::campaign_to_row(res)));
+    state.rows_streamed.fetch_add(1, std::memory_order_relaxed);
   }
   write_frame(fd, FrameType::kDone, encode_done(done));
   log_line(opts, "job done: " + std::to_string(done.cells) + " cells, " +
@@ -246,10 +354,15 @@ int run_daemon(const ServeOptions& opts) {
   // push() once workers fall behind, which is exactly the backpressure a
   // work queue should exert on its clients.
   MpmcQueue<WorkItem> queue(std::max(4u, n_workers * 4u));
+  DaemonState state;
+  state.per_worker.reserve(n_workers);
+  for (unsigned i = 0; i < n_workers; ++i) {
+    state.per_worker.push_back(std::make_unique<WorkerCounters>());
+  }
   std::vector<std::thread> workers;
   workers.reserve(n_workers);
   for (unsigned i = 0; i < n_workers; ++i) {
-    workers.emplace_back([&queue] { worker_loop(queue); });
+    workers.emplace_back([&queue, &state, i] { worker_loop(queue, state, i); });
   }
 
   log_line(opts, "listening on " + opts.socket_path + " with " +
@@ -269,15 +382,18 @@ int run_daemon(const ServeOptions& opts) {
     if (rv == 0) continue;
     const int conn = ::accept(listener.fd, nullptr, nullptr);
     if (conn < 0) continue;
-    connections.emplace_back([conn, &queue, &shutdown, &opts] {
+    connections.emplace_back([conn, &queue, &state, &shutdown, &opts] {
       Fd guard(conn);
       try {
-        if (serve_connection(conn, queue, opts)) {
+        if (serve_connection(conn, queue, state, opts)) {
           shutdown.store(true, std::memory_order_release);
         }
       } catch (const std::exception& e) {
         // Peer vanished mid-conversation; the daemon itself lives on.
-        log_line(opts, std::string("connection dropped: ") + e.what());
+        if (opts.verbose) {
+          obs::log_warn("laec-serve",
+                        std::string("connection dropped: ") + e.what());
+        }
       }
     });
   }
@@ -340,6 +456,24 @@ void request_shutdown(const std::string& socket_path) {
   (void)read_frame(fd.fd);  // wait for the kDone acknowledgement
 }
 
+DaemonStatus request_status(const std::string& socket_path) {
+  Fd fd = connect_to(socket_path);
+  const Frame hello = read_frame(fd.fd);
+  if (hello.type != FrameType::kHello) {
+    throw WireError("daemon did not greet with a hello frame");
+  }
+  check_hello(hello.payload);
+  write_frame(fd.fd, FrameType::kStatus, {});
+  const Frame reply = read_frame(fd.fd);
+  if (reply.type == FrameType::kError) {
+    throw std::runtime_error("daemon: " + reply.payload);
+  }
+  if (reply.type != FrameType::kStatus) {
+    throw WireError("unexpected frame type from daemon");
+  }
+  return decode_status(reply.payload);
+}
+
 #else  // !LAEC_HAVE_SOCKETS
 
 int run_daemon(const ServeOptions&) {
@@ -356,6 +490,12 @@ SubmitSummary submit_job(const std::string&, const CampaignJob&,
 }
 
 void request_shutdown(const std::string&) {
+  throw std::runtime_error(
+      "the campaign daemon needs Unix-domain sockets, which this platform "
+      "lacks");
+}
+
+DaemonStatus request_status(const std::string&) {
   throw std::runtime_error(
       "the campaign daemon needs Unix-domain sockets, which this platform "
       "lacks");

@@ -23,6 +23,7 @@
 
 #include "report/sink.hpp"
 #include "service/job.hpp"
+#include "service/protocol.hpp"
 
 namespace laec::service {
 
@@ -57,5 +58,10 @@ SubmitSummary submit_job(const std::string& socket_path,
 
 /// Ask a daemon to shut down (waits for acknowledgement).
 void request_shutdown(const std::string& socket_path);
+
+/// Probe a daemon's observable state (kStatus frame): uptime, queue depth,
+/// in-flight cells, per-worker progress, and the daemon-side metrics
+/// digest. Purely observational — never perturbs scheduling or rows.
+[[nodiscard]] DaemonStatus request_status(const std::string& socket_path);
 
 }  // namespace laec::service

@@ -21,6 +21,14 @@
 // report::RowWriter (csv, jsonl, columnar), so one daemon serves every
 // output format and the bytes match the equivalent local run exactly.
 //
+// Status ("status" client, protocol v2): a client sends kStatus (empty
+// payload) instead of kSubmit; the server replies with one kStatus frame
+// carrying a DaemonStatus snapshot (uptime, queue depth, in-flight cells,
+// per-worker cell/trial counts, plus the daemon process's metrics
+// registry rendered as name/kind/value triples) and the connection
+// closes. Purely observational — a status probe never perturbs job
+// scheduling or row bytes.
+//
 // Frame payloads are capped (kMaxFramePayload) and decoded with the
 // bounds-checked wire reader: truncated, oversized or trailing-garbage
 // frames raise WireError instead of desynchronizing the stream.
@@ -36,7 +44,7 @@ namespace laec::service {
 
 inline constexpr char kProtocolMagic[7] = {'L', 'A', 'E', 'C',
                                            'S', 'R', 'V'};
-inline constexpr u32 kProtocolVersion = 1;
+inline constexpr u32 kProtocolVersion = 2;  ///< v2: kStatus frame
 
 /// Frames bigger than this are rejected before allocation. Jobs scale
 /// with grid size (tens of bytes per cell); 64 MiB is ~1M cells.
@@ -50,6 +58,7 @@ enum class FrameType : u8 {
   kDone = 5,
   kError = 6,
   kShutdown = 7,
+  kStatus = 8,
 };
 
 struct Frame {
@@ -84,5 +93,41 @@ struct DoneSummary {
 };
 [[nodiscard]] std::string encode_done(const DoneSummary& d);
 [[nodiscard]] DoneSummary decode_done(std::string_view payload);
+
+/// One metric in a kStatus reply. Counters and gauges carry `value`;
+/// histograms carry count in `value` plus sum and the p50/p99 estimates
+/// (the full bucket vector stays daemon-side — the probe wants the
+/// digest, not the raw buckets).
+struct StatusMetric {
+  std::string name;
+  u8 kind = 0;  ///< obs::MetricKind as u8
+  u64 value = 0;
+  u64 sum = 0;
+  u64 p50 = 0;
+  u64 p99 = 0;
+};
+
+/// Per-worker progress counters in a kStatus reply.
+struct WorkerStatus {
+  u64 cells_done = 0;
+  u64 trials_done = 0;
+};
+
+/// kStatus reply payload: one self-describing snapshot of the daemon.
+struct DaemonStatus {
+  u64 uptime_ms = 0;
+  u32 workers = 0;
+  u64 queue_depth = 0;      ///< cells waiting in the MPMC queue
+  u64 inflight_cells = 0;   ///< cells currently being simulated
+  u64 jobs_accepted = 0;
+  u64 jobs_rejected = 0;
+  u64 cells_done = 0;
+  u64 trials_done = 0;
+  u64 rows_streamed = 0;
+  std::vector<WorkerStatus> per_worker;
+  std::vector<StatusMetric> metrics;  ///< daemon-side registry digest
+};
+[[nodiscard]] std::string encode_status(const DaemonStatus& s);
+[[nodiscard]] DaemonStatus decode_status(std::string_view payload);
 
 }  // namespace laec::service

@@ -33,6 +33,10 @@
 //       Submit a campaign to a daemon and stream the rows here. Accepts
 //       the campaign grid flags plus --shard (complementary clients shard
 //       one campaign); rows are byte-identical to a local run.
+//   laec_cli status --socket=PATH
+//       Probe a running daemon: uptime, queue depth, in-flight cells,
+//       per-worker trial rates and the daemon's metrics digest. Purely
+//       observational — never perturbs scheduling or row bytes.
 //   laec_cli stop --socket=PATH
 //       Ask a daemon to shut down cleanly.
 //   laec_cli cat FILE [--format=csv|jsonl] [--out=FILE]
@@ -65,6 +69,15 @@
 //   --format=<csv|jsonl>         row format (default csv)
 //   --out=<file>                 write rows to a file instead of stdout
 //   --trace                      calibrated-trace mode (sweep only)
+//   --trace=FILE                 flight recorder: write a Chrome trace-event
+//                                JSON of the run (golden runs, prune plans,
+//                                trials, snapshot restores, checkpoint
+//                                writes ...) viewable in chrome://tracing /
+//                                Perfetto. Rows stay byte-identical with
+//                                tracing on or off. With --procs=N each
+//                                worker records its own ring; the parent
+//                                stitches them into one document
+//                                (sweep / campaign / serve)
 //   --seed=<n>                   base seed for per-point deterministic RNG
 //
 // Campaign options:
@@ -98,7 +111,7 @@
 //   --progress[=SECS]            heartbeat on stderr (default every 5 s)
 //
 // Service options:
-//   --socket=PATH                Unix-domain socket (serve/submit/stop)
+//   --socket=PATH                Unix-domain socket (serve/submit/status/stop)
 //   --workers=N                  daemon worker threads (0 = hw concurrency)
 #include <atomic>
 #include <chrono>
@@ -118,6 +131,8 @@
 #include "core/simulator.hpp"
 #include "ecc/registry.hpp"
 #include "ecc/xor_tree.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "reliability/campaign.hpp"
 #include "report/sink.hpp"
 #include "report/table.hpp"
@@ -157,6 +172,10 @@ struct CliOptions {
   u64 base_seed = 0x1aec;
   std::string format = "csv";
   std::string out_path;
+  /// --trace=FILE: flight-recorder output (Chrome trace-event JSON).
+  /// Distinct from the bare --trace sweep-mode flag. Valid for sweep,
+  /// campaign and serve (validated in main, not via a flag class).
+  std::string trace_path;
   /// Sweep-only flags seen on the command line (rejected for other
   /// commands instead of being silently ignored).
   std::vector<std::string> sweep_only_flags;
@@ -432,6 +451,10 @@ CliOptions parse(int argc, char** argv) {
     } else if (arg == "--trace") {
       o.sweep_trace = true;
       o.sweep_only_flags.push_back("--trace");
+    } else if (auto tf = value("--trace"); !tf.empty()) {
+      // --trace=FILE is the flight recorder; bare --trace (above) is the
+      // synthetic-trace sweep mode. The '=' disambiguates.
+      o.trace_path = tf;
     } else if (auto rv = value("--rates"); !rv.empty()) {
       o.campaign_only_flags.push_back("--rates");
       o.rate_tokens = split_csv(rv);
@@ -592,36 +615,21 @@ void print_worker_diagnostics(const char* cmd,
   }
 }
 
-/// Render one --progress heartbeat line from the round's cursors. The ETA
-/// uses the completed-trials/s rate of the LAST heartbeat window
-/// (done - prev_done over window_secs), not the cumulative average: under
-/// pruning, a burst of analytically-classified trials would make the
-/// since-start average wildly unrepresentative of the simulated trials
-/// still to come. Returns done_trials for the caller to carry as the next
+/// Render one --progress heartbeat from the metrics registry. run_campaign
+/// publishes its cursor totals as gauges every round (so a resumed run's
+/// restored counts are included), making the heartbeat a pure VIEW over
+/// the registry — the same numbers any other observer reads. The ETA uses
+/// the completed-trials/s rate of the LAST heartbeat window (done -
+/// prev_done over window_secs), not the cumulative average: under pruning,
+/// a burst of analytically-classified trials would make the since-start
+/// average wildly unrepresentative of the simulated trials still to come.
+/// Returns the budget-done count for the caller to carry as the next
 /// window's prev_done.
-u64 print_heartbeat(const std::vector<reliability::CellProgress>& cells,
-                    unsigned trials_per_cell, double elapsed,
-                    double window_secs, u64 prev_done) {
-  std::size_t finished = 0;
-  u64 trials = 0, events = 0, pruned = 0, done_trials = 0;
-  u64 fast_forwarded = 0, cycles_skipped = 0;
-  for (const auto& p : cells) {
-    trials += p.trials;
-    events += p.events;
-    pruned += p.pruned;
-    fast_forwarded += p.fast_forwarded;
-    cycles_skipped += p.cycles_skipped;
-    if (p.finished) {
-      ++finished;
-      // A cell the stopping rule ended early counts as its full budget:
-      // the remaining trials will never run.
-      done_trials += trials_per_cell;
-    } else {
-      done_trials += p.done;
-    }
-  }
-  const u64 target_trials =
-      static_cast<u64>(cells.size()) * trials_per_cell;
+u64 print_heartbeat(double elapsed, double window_secs, u64 prev_done) {
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  const auto ull = [](u64 v) { return static_cast<unsigned long long>(v); };
+  const u64 done_trials = snap.value("campaign.trials_budget_done");
+  const u64 target_trials = snap.value("campaign.trials_target");
   double eta = -1.0;
   if (done_trials > prev_done && window_secs > 0.0 &&
       target_trials >= done_trials) {
@@ -629,29 +637,40 @@ u64 print_heartbeat(const std::vector<reliability::CellProgress>& cells,
         static_cast<double>(done_trials - prev_done) / window_secs;
     eta = static_cast<double>(target_trials - done_trials) / rate;
   }
+  char eta_buf[48] = "";
   if (eta >= 0.0) {
-    std::fprintf(stderr,
-                 "campaign: %zu/%zu cells, %llu trials (%llu pruned, %llu "
-                 "fast-forwarded, ~%llu cycles skipped), %llu "
-                 "faults injected, %.0fs elapsed, ETA %.0fs\n",
-                 finished, cells.size(),
-                 static_cast<unsigned long long>(trials),
-                 static_cast<unsigned long long>(pruned),
-                 static_cast<unsigned long long>(fast_forwarded),
-                 static_cast<unsigned long long>(cycles_skipped),
-                 static_cast<unsigned long long>(events), elapsed, eta);
-  } else {
-    std::fprintf(stderr,
-                 "campaign: %zu/%zu cells, %llu trials (%llu pruned, %llu "
-                 "fast-forwarded, ~%llu cycles skipped), %llu "
-                 "faults injected, %.0fs elapsed\n",
-                 finished, cells.size(),
-                 static_cast<unsigned long long>(trials),
-                 static_cast<unsigned long long>(pruned),
-                 static_cast<unsigned long long>(fast_forwarded),
-                 static_cast<unsigned long long>(cycles_skipped),
-                 static_cast<unsigned long long>(events), elapsed);
+    std::snprintf(eta_buf, sizeof eta_buf, ", ETA %.0fs", eta);
   }
+  std::fprintf(stderr,
+               "campaign: %llu/%llu cells, %llu trials (%llu pruned, %llu "
+               "fast-forwarded, ~%llu cycles skipped), %llu "
+               "faults injected, %.0fs elapsed%s\n",
+               ull(snap.value("campaign.cells_finished")),
+               ull(snap.value("campaign.cells_total")),
+               ull(snap.value("campaign.trials_done")),
+               ull(snap.value("campaign.trials_pruned")),
+               ull(snap.value("campaign.trials_fast_forwarded")),
+               ull(snap.value("campaign.cycles_skipped")),
+               ull(snap.value("campaign.fault_events")), elapsed, eta_buf);
+  // Second line: golden-run amortization, snapshot-store memory, and the
+  // live trial-latency digest (sweep.point_us records every simulated
+  // trial unconditionally — tracer on or off).
+  char lat_buf[64] = "";
+  if (const obs::MetricValue* lat = snap.find("sweep.point_us");
+      lat != nullptr && lat->hist.count > 0) {
+    std::snprintf(lat_buf, sizeof lat_buf,
+                  ", trial p50 %lluus p99 %lluus",
+                  ull(lat->hist.percentile(0.50)),
+                  ull(lat->hist.percentile(0.99)));
+  }
+  std::fprintf(
+      stderr,
+      "campaign: %llu golden runs (%llu cache hits), snapshots %.1f MB%s\n",
+      ull(snap.value("campaign.golden_runs")),
+      ull(snap.value("campaign.golden_cache_hits")),
+      static_cast<double>(snap.value("snapshot.bytes_in_use")) /
+          (1024.0 * 1024.0),
+      lat_buf);
   return done_trials;
 }
 
@@ -873,7 +892,9 @@ int cmd_sweep(const CliOptions& o) {
   opts.worker.shard_index = o.shard_index;
   opts.worker.shard_count = o.shard_count;
   opts.worker.base_seed = o.base_seed;
+  opts.trace_path = o.trace_path;
   if (!o.out_path.empty()) opts.scratch_prefix = o.out_path;
+  if (!o.trace_path.empty()) obs::Tracer::global().enable();
 
   std::ostringstream csv_buffer;
   std::ostream& engine_out = columnar ? csv_buffer : out;
@@ -884,6 +905,13 @@ int cmd_sweep(const CliOptions& o) {
     service::ColumnarWriter writer(out);
     (void)service::csv_to_rows(csv_in, writer);
     writer.end();
+  }
+  // With --procs>1 the fork/merge engine stitched the shard rings into the
+  // trace file already; single-process runs dump the in-process ring here.
+  if (!o.trace_path.empty() && o.procs == 1 &&
+      !obs::write_trace_file(o.trace_path)) {
+    std::fprintf(stderr, "cannot write trace file %s\n",
+                 o.trace_path.c_str());
   }
 
   std::fprintf(stderr,
@@ -1029,6 +1057,7 @@ int cmd_campaign(const CliOptions& o) {
     }
 
     install_stop_handlers();
+    if (!o.trace_path.empty()) obs::Tracer::global().enable();
     unsigned rounds = 0;
     const auto start = std::chrono::steady_clock::now();
     auto last_beat = start;
@@ -1048,8 +1077,7 @@ int cmd_campaign(const CliOptions& o) {
           // the whole run so far — still a measured rate, never stale.
           const double window =
               std::chrono::duration<double>(now - last_beat).count();
-          last_done = print_heartbeat(p, spec.trials, elapsed, window,
-                                      last_done);
+          last_done = print_heartbeat(elapsed, window, last_done);
           last_beat = now;
         }
       }
@@ -1060,6 +1088,13 @@ int cmd_campaign(const CliOptions& o) {
     };
 
     const auto summary = reliability::run_campaign(cells, spec, copts);
+    // Dump the flight recorder even for interrupted runs — a trace of the
+    // rounds that DID happen is exactly what a post-mortem wants.
+    if (!o.trace_path.empty() &&
+        !obs::write_trace_file(o.trace_path)) {
+      std::fprintf(stderr, "cannot write trace file %s\n",
+                   o.trace_path.c_str());
+    }
     if (summary.interrupted) {
       if (checkpointing) {
         std::fprintf(stderr,
@@ -1101,7 +1136,9 @@ int cmd_campaign(const CliOptions& o) {
   popts.worker.shard_index = o.shard_index;
   popts.worker.shard_count = o.shard_count;
   popts.worker.base_seed = o.base_seed;
+  popts.trace_path = o.trace_path;
   if (!o.out_path.empty()) popts.scratch_prefix = o.out_path;
+  if (!o.trace_path.empty()) obs::Tracer::global().enable();
   if (!columnar &&
       report::make_row_writer(popts.format, out) == nullptr) {
     std::fprintf(stderr, "unknown --format=%s (want csv, jsonl or col)\n",
@@ -1141,11 +1178,63 @@ int cmd_serve(const CliOptions& o) {
     return 2;
   }
   install_stop_handlers();
+  if (!o.trace_path.empty()) obs::Tracer::global().enable();
   service::ServeOptions so;
   so.socket_path = o.socket_path;
   so.workers = o.serve_workers;
   so.stop = &g_stop_requested;
-  return service::run_daemon(so);
+  const int rc = service::run_daemon(so);
+  if (!o.trace_path.empty() &&
+      !obs::write_trace_file(o.trace_path)) {
+    std::fprintf(stderr, "cannot write trace file %s\n",
+                 o.trace_path.c_str());
+  }
+  return rc;
+}
+
+int cmd_status(const CliOptions& o) {
+  if (o.socket_path.empty()) {
+    std::fprintf(stderr, "status needs --socket=PATH\n");
+    return 2;
+  }
+  const service::DaemonStatus s = service::request_status(o.socket_path);
+  const auto ull = [](u64 v) { return static_cast<unsigned long long>(v); };
+  const double up_secs = static_cast<double>(s.uptime_ms) / 1000.0;
+  std::printf("daemon at %s: up %.1fs, %u worker thread(s)\n",
+              o.socket_path.c_str(), up_secs, s.workers);
+  std::printf("  queue depth %llu, in-flight cells %llu\n",
+              ull(s.queue_depth), ull(s.inflight_cells));
+  std::printf("  jobs: %llu accepted, %llu rejected\n",
+              ull(s.jobs_accepted), ull(s.jobs_rejected));
+  std::printf("  done: %llu cells, %llu trials, %llu rows streamed\n",
+              ull(s.cells_done), ull(s.trials_done), ull(s.rows_streamed));
+  if (!s.per_worker.empty()) {
+    report::Table t({"worker", "cells", "trials", "trials/s"});
+    for (std::size_t i = 0; i < s.per_worker.size(); ++i) {
+      const auto& w = s.per_worker[i];
+      const double rate =
+          up_secs > 0.0 ? static_cast<double>(w.trials_done) / up_secs : 0.0;
+      t.add_row({std::to_string(i), std::to_string(w.cells_done),
+                 std::to_string(w.trials_done),
+                 report::Table::num(rate, 1)});
+    }
+    std::printf("%s", t.to_text().c_str());
+  }
+  if (!s.metrics.empty()) {
+    report::Table t({"metric", "kind", "value", "sum", "p50", "p99"});
+    for (const auto& m : s.metrics) {
+      const char* kind = m.kind == 2   ? "histogram"
+                         : m.kind == 1 ? "gauge"
+                                       : "counter";
+      const bool hist = m.kind == 2;
+      t.add_row({m.name, kind, std::to_string(m.value),
+                 hist ? std::to_string(m.sum) : "-",
+                 hist ? std::to_string(m.p50) : "-",
+                 hist ? std::to_string(m.p99) : "-"});
+    }
+    std::printf("%s", t.to_text().c_str());
+  }
+  return 0;
 }
 
 int cmd_submit(const CliOptions& o) {
@@ -1231,7 +1320,7 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: laec_cli <list|schemes|run|trace|compare|sweep|campaign|"
-      "serve|submit|stop|cat> [kernel|file] [options]\n"
+      "serve|submit|status|stop|cat> [kernel|file] [options]\n"
       "  --ecc=SCHEME[,SCHEME...]   policy name, codec name,\n"
       "                             placement:codec, or compound hierarchy\n"
       "                             key like laec+l2:sec-daec-39-32 (see\n"
@@ -1247,6 +1336,10 @@ void usage() {
       "sweep/campaign mode:\n"
       "  --threads=N  --procs=N  --shard=I/N  --format=csv|jsonl|col\n"
       "  --out=FILE  --trace  --seed=N\n"
+      "  --trace=FILE               flight recorder: Chrome trace-event\n"
+      "                             JSON of the run (open in Perfetto /\n"
+      "                             chrome://tracing); rows stay byte-\n"
+      "                             identical traced or not (also: serve)\n"
       "campaign mode:\n"
       "  --rates=R[,R...]  (65nm|40nm|28nm or FIT/Mbit)  --trials=N\n"
       "  --min-trials=N  --batch=N  --confidence=C  --ci-width=W\n"
@@ -1267,9 +1360,12 @@ void usage() {
       "                             (default 256; keep-every-k thinning)\n"
       "  --checkpoint=FILE  --resume  --stop-after-rounds=N  "
       "--progress[=SECS]\n"
-      "service mode (serve/submit/stop):\n"
+      "service mode (serve/submit/status/stop):\n"
       "  --socket=PATH  --workers=N  (submit also takes the campaign "
       "grid flags)\n"
+      "  laec_cli status --socket=PATH   probe a daemon: uptime, queue\n"
+      "                             depth, in-flight cells, per-worker\n"
+      "                             trial rates, metrics digest\n"
       "cat mode:\n"
       "  laec_cli cat FILE.col [--format=csv|jsonl] [--out=FILE]\n");
 }
@@ -1329,11 +1425,20 @@ int main(int argc, char** argv) {
       return 2;
     }
     const bool service_cmd = o.command == "serve" || o.command == "submit" ||
-                             o.command == "stop";
+                             o.command == "status" || o.command == "stop";
     if (!service_cmd && !o.service_flags.empty()) {
       std::fprintf(stderr,
-                   "%s only applies to the serve/submit/stop commands\n",
+                   "%s only applies to the serve/submit/status/stop "
+                   "commands\n",
                    o.service_flags.front().c_str());
+      usage();
+      return 2;
+    }
+    if (!o.trace_path.empty() && o.command != "sweep" &&
+        o.command != "campaign" && o.command != "serve") {
+      std::fprintf(stderr,
+                   "--trace=FILE only applies to the sweep, campaign and "
+                   "serve commands\n");
       usage();
       return 2;
     }
@@ -1358,6 +1463,7 @@ int main(int argc, char** argv) {
     if (o.command == "campaign") return cmd_campaign(o);
     if (o.command == "serve") return cmd_serve(o);
     if (o.command == "submit") return cmd_submit(o);
+    if (o.command == "status") return cmd_status(o);
     if (o.command == "stop") return cmd_stop(o);
     if (o.command == "cat") return cmd_cat(o);
   } catch (const std::exception& e) {
